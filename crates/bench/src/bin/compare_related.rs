@@ -1,0 +1,77 @@
+//! §V-A "Comparison with related work": DAB stringency of the per-item
+//! budget-split baseline (adapted from Sharfman et al. \[5\]) versus Optimal
+//! Refresh, on the paper's worked example — a product query with B = 50 at
+//! V = (40, 20) and equal rates.
+//!
+//! Expected shape (paper): the n-sufficient-conditions approach yields
+//! more stringent DABs (the paper reports (3.17, 2.5) for \[5\] versus
+//! (3.87, 2.79) for Optimal Refresh on its variant of the example), so
+//! its estimated refresh rate is strictly higher. The same comparison is
+//! repeated over a generated portfolio workload.
+
+use pq_bench::{fmt, print_table, Scale};
+use pq_core::{baseline::per_item_split, optimal_refresh, SolveContext};
+use pq_poly::{ItemId, PolynomialQuery};
+
+fn main() {
+    // --- The worked example ------------------------------------------------
+    let q = PolynomialQuery::portfolio([(1.0, ItemId(0), ItemId(1))], 50.0).unwrap();
+    let values = [40.0, 20.0];
+    let rates = [1.0, 1.0];
+    let ctx = SolveContext::new(&values, &rates);
+    let base = per_item_split(&q, &ctx).unwrap();
+    let opt = optimal_refresh(&q, &ctx).unwrap();
+    let rows = vec![
+        vec![
+            "per-item-split [5]".to_string(),
+            fmt(base.primary_dab(ItemId(0)).unwrap()),
+            fmt(base.primary_dab(ItemId(1)).unwrap()),
+            fmt(base.refresh_rate),
+        ],
+        vec![
+            "optimal-refresh".to_string(),
+            fmt(opt.primary_dab(ItemId(0)).unwrap()),
+            fmt(opt.primary_dab(ItemId(1)).unwrap()),
+            fmt(opt.refresh_rate),
+        ],
+    ];
+    print_table(
+        "Worked example: Q = x*y : 50 at V = (40, 20)",
+        &["scheme", "b_x", "b_y", "est. refreshes/unit"],
+        &rows,
+    );
+
+    // --- Generated portfolio workload --------------------------------------
+    let scale = Scale::from_env();
+    let traces = scale.universe();
+    let initial = traces.initial_values();
+    let rates: Vec<f64> =
+        pq_ddm::RateEstimator::SampledAverage { interval_ticks: 60 }.estimate_all(&traces);
+    let queries = scale.workload().portfolio_queries(40, &initial);
+    let ctx = SolveContext::new(&initial, &rates);
+
+    let mut worse = 0usize;
+    let mut ratio_sum = 0.0;
+    for q in &queries {
+        let b = per_item_split(q, &ctx).unwrap();
+        let o = optimal_refresh(q, &ctx).unwrap();
+        if b.refresh_rate >= o.refresh_rate {
+            worse += 1;
+        }
+        ratio_sum += b.refresh_rate / o.refresh_rate;
+    }
+    let rows = vec![vec![
+        queries.len().to_string(),
+        worse.to_string(),
+        fmt(ratio_sum / queries.len() as f64),
+    ]];
+    print_table(
+        "Workload sweep: baseline vs optimal refresh objective",
+        &[
+            "queries",
+            "baseline worse-or-equal",
+            "mean refresh ratio (base/opt)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,10 @@
+//! Fig. 8(b): Half-and-Half vs Different Sum on *dependent* arbitrage
+//! queries (buy and sell sides share data items).
+//!
+//! Expected shape (paper): DS keeps its recomputation advantage even when
+//! the sub-polynomials are dependent — which is why DS is the paper's
+//! choice for general polynomials.
+
+fn main() {
+    pq_bench::heuristics::run_heuristic_figure(false, "Fig 8(b): dependent PQs");
+}

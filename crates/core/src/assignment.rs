@@ -1,0 +1,298 @@
+//! DAB assignments: the output of every algorithm in this crate.
+
+use std::collections::BTreeMap;
+
+use pq_poly::{ItemId, PolynomialQuery};
+
+/// Over what data movements an assignment's primary DABs remain valid
+/// (i.e. continue to guarantee the QAB) without recomputation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidityRange {
+    /// The condition is value-independent (linear queries, §I-A): the
+    /// assignment never needs recomputation.
+    Always,
+    /// Valid only at the anchor values (single-DAB assignments for
+    /// non-linear queries, §I-B): any refresh of a referenced item
+    /// invalidates the assignment and forces a recomputation.
+    AnchorOnly,
+    /// Valid while every item stays within `anchor ± secondary[item]`
+    /// (the Dual-DAB approach, §III-A.2).
+    Box(BTreeMap<ItemId, f64>),
+}
+
+/// A DAB assignment for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAssignment {
+    /// Primary DAB `b_x` per referenced item — the filter width installed
+    /// at the item's source.
+    pub primary: BTreeMap<ItemId, f64>,
+    /// Validity range of the primary DABs.
+    pub validity: ValidityRange,
+    /// Data values `V` at which the assignment was computed.
+    pub anchor: BTreeMap<ItemId, f64>,
+    /// Model-estimated recomputations per unit time (`R` in §III-A.2);
+    /// zero when the validity range is `Always` or not modelled.
+    pub recompute_rate: f64,
+    /// Model-estimated refreshes per unit time under the assumed ddm.
+    pub refresh_rate: f64,
+}
+
+impl QueryAssignment {
+    /// The primary DAB of `item`, if assigned.
+    pub fn primary_dab(&self, item: ItemId) -> Option<f64> {
+        self.primary.get(&item).copied()
+    }
+
+    /// The secondary DAB of `item` (`Box` ranges only).
+    pub fn secondary_dab(&self, item: ItemId) -> Option<f64> {
+        match &self.validity {
+            ValidityRange::Box(c) => c.get(&item).copied(),
+            _ => None,
+        }
+    }
+
+    /// True if the assignment is still valid when the coordinator's cached
+    /// values are `values` (indexed by item id).
+    ///
+    /// For `AnchorOnly`, validity requires the cached values to still equal
+    /// the anchor (up to floating-point identity): in the push protocol
+    /// this means "no refresh has arrived since the assignment was made".
+    pub fn is_valid_at(&self, values: &[f64]) -> bool {
+        match &self.validity {
+            ValidityRange::Always => true,
+            ValidityRange::AnchorOnly => self
+                .anchor
+                .iter()
+                .all(|(item, v)| values.get(item.index()) == Some(v)),
+            ValidityRange::Box(c) => self.anchor.iter().all(|(item, v0)| {
+                let now = values.get(item.index()).copied().unwrap_or(f64::NAN);
+                let cx = c.get(item).copied().unwrap_or(0.0);
+                (now - v0).abs() <= cx
+            }),
+        }
+    }
+
+    /// Numerically verifies Condition 1 at the anchor: the worst-case query
+    /// deviation over the primary-DAB box (shifted to the worst point of
+    /// the validity range, if any) does not exceed `qab`.
+    ///
+    /// Used by tests and debug assertions; `tolerance` absorbs solver
+    /// slack (constraints are active at the optimum, so equality holds up
+    /// to the duality gap).
+    pub fn respects_qab(&self, query: &PolynomialQuery, tolerance: f64) -> bool {
+        let n = self.anchor.keys().map(|i| i.index() + 1).max().unwrap_or(0);
+        let mut values = vec![0.0; n];
+        let mut dabs = vec![0.0; n];
+        for (&item, &v) in &self.anchor {
+            values[item.index()] = v;
+        }
+        for (&item, &b) in &self.primary {
+            dabs[item.index()] = b;
+        }
+        match &self.validity {
+            ValidityRange::Box(c) => {
+                // An infinite secondary DAB claims "this item's reference
+                // value can never invalidate the assignment" — sound only
+                // for items appearing linearly everywhere (uncoupled).
+                let coupled = pq_poly::coupled_items(query.poly());
+                for (&item, &cx) in c {
+                    if cx.is_infinite() && coupled.binary_search(&item).is_ok() {
+                        return false;
+                    }
+                }
+                // Worst reference point: anchor shifted to a corner of the
+                // secondary box (uncoupled items stay put — their shift
+                // provably cannot change the deviation). For positive data
+                // the all-up corner dominates, but we enumerate all corners
+                // to stay strategy-agnostic.
+                let items: Vec<ItemId> = self.anchor.keys().copied().collect();
+                assert!(items.len() <= 20, "corner enumeration capped at 20 items");
+                let mut shifted = values.clone();
+                for mask in 0u32..(1u32 << items.len()) {
+                    for (bit, &it) in items.iter().enumerate() {
+                        let cx = c.get(&it).copied().unwrap_or(0.0);
+                        let cx = if cx.is_infinite() { 0.0 } else { cx };
+                        let v0 = values[it.index()];
+                        shifted[it.index()] = if mask >> bit & 1 == 1 {
+                            v0 + cx
+                        } else {
+                            (v0 - cx).max(0.0)
+                        };
+                    }
+                    let dev = query.poly().max_abs_deviation_over_box(&shifted, &dabs);
+                    if dev > query.qab() + tolerance {
+                        return false;
+                    }
+                }
+                true
+            }
+            _ => {
+                let dev = query.poly().max_abs_deviation_over_box(&values, &dabs);
+                dev <= query.qab() + tolerance
+            }
+        }
+    }
+}
+
+/// Per-coordinator assignment across all queries: each item's installed
+/// filter is the *minimum* primary DAB over the queries that reference it
+/// (EQI / minimum rule, §IV).
+#[derive(Debug, Clone, Default)]
+pub struct CoordinatorAssignment {
+    /// Installed filter per item.
+    pub item_dabs: BTreeMap<ItemId, f64>,
+    /// The per-query assignments the minimum was taken over.
+    pub per_query: Vec<QueryAssignment>,
+}
+
+impl CoordinatorAssignment {
+    /// Combines per-query assignments with the minimum rule.
+    pub fn from_queries(per_query: Vec<QueryAssignment>) -> Self {
+        let mut item_dabs: BTreeMap<ItemId, f64> = BTreeMap::new();
+        for qa in &per_query {
+            for (&item, &b) in &qa.primary {
+                item_dabs
+                    .entry(item)
+                    .and_modify(|cur| *cur = cur.min(b))
+                    .or_insert(b);
+            }
+        }
+        CoordinatorAssignment {
+            item_dabs,
+            per_query,
+        }
+    }
+
+    /// The installed (minimum) DAB for `item`.
+    pub fn item_dab(&self, item: ItemId) -> Option<f64> {
+        self.item_dabs.get(&item).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_poly::{PTerm, Polynomial};
+
+    fn x(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    fn product_query(qab: f64) -> PolynomialQuery {
+        PolynomialQuery::new(
+            Polynomial::term(PTerm::new(1.0, [(x(0), 1), (x(1), 1)]).unwrap()),
+            qab,
+        )
+        .unwrap()
+    }
+
+    fn map(pairs: &[(u32, f64)]) -> BTreeMap<ItemId, f64> {
+        pairs.iter().map(|&(i, v)| (x(i), v)).collect()
+    }
+
+    #[test]
+    fn anchor_only_invalidates_on_any_change() {
+        let qa = QueryAssignment {
+            primary: map(&[(0, 1.0), (1, 1.0)]),
+            validity: ValidityRange::AnchorOnly,
+            anchor: map(&[(0, 2.0), (1, 2.0)]),
+            recompute_rate: 0.0,
+            refresh_rate: 0.0,
+        };
+        assert!(qa.is_valid_at(&[2.0, 2.0]));
+        assert!(!qa.is_valid_at(&[3.0, 2.0]));
+    }
+
+    #[test]
+    fn box_range_validity_matches_fig4() {
+        // Fig. 4: Q = xy : 5, anchor (2, 2), b = 0.5, c = (3.5, 2.5):
+        // valid at (3, 2) and (3.9, 2.9), invalid past (5.5, 4.5).
+        let qa = QueryAssignment {
+            primary: map(&[(0, 0.5), (1, 0.5)]),
+            validity: ValidityRange::Box(map(&[(0, 3.5), (1, 2.5)])),
+            anchor: map(&[(0, 2.0), (1, 2.0)]),
+            recompute_rate: 0.0,
+            refresh_rate: 0.0,
+        };
+        assert!(qa.is_valid_at(&[3.0, 2.0]));
+        assert!(qa.is_valid_at(&[3.9, 2.9]));
+        assert!(qa.is_valid_at(&[5.5, 4.5]));
+        assert!(!qa.is_valid_at(&[5.6, 4.5]));
+        assert!(!qa.is_valid_at(&[2.0, 4.6]));
+    }
+
+    #[test]
+    fn always_valid_never_invalidates() {
+        let qa = QueryAssignment {
+            primary: map(&[(0, 1.0)]),
+            validity: ValidityRange::Always,
+            anchor: map(&[(0, 5.0)]),
+            recompute_rate: 0.0,
+            refresh_rate: 0.0,
+        };
+        assert!(qa.is_valid_at(&[1e9]));
+    }
+
+    #[test]
+    fn respects_qab_detects_fig2_violation() {
+        // Fig. 2: b = (1, 1) at anchor (3, 2) violates Q = xy : 5
+        // (worst corner deviation 6 > 5), while at (2, 2) it is tight.
+        let q = product_query(5.0);
+        let bad = QueryAssignment {
+            primary: map(&[(0, 1.0), (1, 1.0)]),
+            validity: ValidityRange::AnchorOnly,
+            anchor: map(&[(0, 3.0), (1, 2.0)]),
+            recompute_rate: 0.0,
+            refresh_rate: 0.0,
+        };
+        assert!(!bad.respects_qab(&q, 1e-9));
+        let good = QueryAssignment {
+            anchor: map(&[(0, 2.0), (1, 2.0)]),
+            ..bad
+        };
+        assert!(good.respects_qab(&q, 1e-9));
+    }
+
+    #[test]
+    fn respects_qab_checks_whole_validity_range() {
+        // b = (0.5, 0.5) with c = (3.5, 2.5) at anchor (2, 2) is exactly
+        // the Fig. 4 assignment; at the top of the range (5.5, 4.5) the
+        // worst deviation is 0.5*4.5+0.5*5.5+0.25 = 5.25 > 5 -> invalid.
+        let q = product_query(5.0);
+        let qa = QueryAssignment {
+            primary: map(&[(0, 0.5), (1, 0.5)]),
+            validity: ValidityRange::Box(map(&[(0, 3.5), (1, 2.5)])),
+            anchor: map(&[(0, 2.0), (1, 2.0)]),
+            recompute_rate: 0.0,
+            refresh_rate: 0.0,
+        };
+        assert!(!qa.respects_qab(&q, 1e-9));
+        // Shrinking the secondary range restores validity:
+        // at (2+c) = (4.4, 3.4): dev = 0.5*(3.4+4.4)+0.25 = 4.15 <= 5.
+        let qa2 = QueryAssignment {
+            validity: ValidityRange::Box(map(&[(0, 2.4), (1, 1.4)])),
+            ..qa
+        };
+        assert!(qa2.respects_qab(&q, 1e-9));
+    }
+
+    #[test]
+    fn coordinator_assignment_takes_minimum() {
+        let qa1 = QueryAssignment {
+            primary: map(&[(0, 1.0), (1, 3.0)]),
+            validity: ValidityRange::AnchorOnly,
+            anchor: map(&[(0, 1.0), (1, 1.0)]),
+            recompute_rate: 0.0,
+            refresh_rate: 0.0,
+        };
+        let qa2 = QueryAssignment {
+            primary: map(&[(1, 2.0), (2, 5.0)]),
+            ..qa1.clone()
+        };
+        let ca = CoordinatorAssignment::from_queries(vec![qa1, qa2]);
+        assert_eq!(ca.item_dab(x(0)), Some(1.0));
+        assert_eq!(ca.item_dab(x(1)), Some(2.0));
+        assert_eq!(ca.item_dab(x(2)), Some(5.0));
+        assert_eq!(ca.item_dab(x(3)), None);
+    }
+}

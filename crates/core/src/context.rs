@@ -1,0 +1,97 @@
+//! Shared inputs to every DAB-assignment algorithm.
+
+use pq_ddm::DataDynamicsModel;
+use pq_gp::SolverOptions;
+use pq_poly::ItemId;
+
+use crate::error::DabError;
+
+/// Everything an assignment algorithm needs besides the query itself:
+/// current data values, per-item rate-of-change estimates, the assumed
+/// data-dynamics model and GP solver options.
+///
+/// `values` and `rates` are indexed by [`ItemId::index`].
+#[derive(Debug, Clone)]
+pub struct SolveContext<'a> {
+    /// Current data values `V` at the coordinator.
+    pub values: &'a [f64],
+    /// Estimated rates of change `lambda_i`.
+    pub rates: &'a [f64],
+    /// Assumed data-dynamics model (affects the refresh objective).
+    pub ddm: DataDynamicsModel,
+    /// GP solver tuning.
+    pub gp: SolverOptions,
+}
+
+impl<'a> SolveContext<'a> {
+    /// Context with default solver options and the monotonic ddm.
+    pub fn new(values: &'a [f64], rates: &'a [f64]) -> Self {
+        SolveContext {
+            values,
+            rates,
+            ddm: DataDynamicsModel::Monotonic,
+            gp: SolverOptions::default(),
+        }
+    }
+
+    /// Replaces the data-dynamics model.
+    pub fn with_ddm(mut self, ddm: DataDynamicsModel) -> Self {
+        self.ddm = ddm;
+        self
+    }
+
+    /// The rate for `item`, floored to a tiny positive value so that GP
+    /// objectives stay well-posed for (nearly) immobile items.
+    pub fn rate(&self, item: ItemId) -> Result<f64, DabError> {
+        let r = *self
+            .rates
+            .get(item.index())
+            .ok_or(DabError::MissingRate { item: item.0 })?;
+        if !r.is_finite() || r < 0.0 {
+            return Err(DabError::MissingRate { item: item.0 });
+        }
+        Ok(r.max(1e-9))
+    }
+
+    /// The current value for `item`.
+    pub fn value(&self, item: ItemId) -> Result<f64, DabError> {
+        self.values.get(item.index()).copied().ok_or(DabError::Poly(
+            pq_poly::PolyError::MissingValue { item: item.0 },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_floored_and_bounds_checked() {
+        let values = [1.0, 2.0];
+        let rates = [0.0, 3.0];
+        let ctx = SolveContext::new(&values, &rates);
+        assert_eq!(ctx.rate(ItemId(0)).unwrap(), 1e-9);
+        assert_eq!(ctx.rate(ItemId(1)).unwrap(), 3.0);
+        assert!(matches!(
+            ctx.rate(ItemId(2)),
+            Err(DabError::MissingRate { item: 2 })
+        ));
+    }
+
+    #[test]
+    fn nan_rates_are_rejected() {
+        let values = [1.0];
+        let rates = [f64::NAN];
+        let ctx = SolveContext::new(&values, &rates);
+        assert!(ctx.rate(ItemId(0)).is_err());
+    }
+
+    #[test]
+    fn value_lookup_errors_when_missing() {
+        let values = [1.0];
+        let rates = [1.0];
+        let ctx = SolveContext::new(&values, &rates);
+        assert_eq!(ctx.value(ItemId(0)).unwrap(), 1.0);
+        assert!(ctx.value(ItemId(1)).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! # pq-core — DAB assignment for polynomial queries
+//!
+//! The primary contribution of Shah & Ramamritham (ICDE 2008): given
+//! continuous polynomial queries with Query Accuracy Bounds (QABs) at a
+//! coordinator, derive per-item Data Accuracy Bounds (DABs — source-side
+//! push filters) that (1) guarantee every QAB, (2) minimize refreshes, and
+//! (3) minimize DAB *recomputations*, whose cost the paper shows can
+//! dominate for non-linear queries.
+//!
+//! * [`ppq`] — Optimal Refresh and the novel Dual-DAB geometric programs
+//!   for positive-coefficient queries (§III-A);
+//! * [`laq`] — closed forms for linear queries;
+//! * [`heuristics`] — Half-and-Half and Different Sum for mixed-sign
+//!   queries (§III-B);
+//! * [`multi`] — EQI and AAO for many queries at one coordinator (§IV);
+//! * [`baseline`] — Sharfman-style per-item split and equal-width
+//!   baselines (§II, §V-A);
+//! * [`assignment`] — the assignment/validity-range types shared by all;
+//! * [`strategy`] — a single dispatch point used by the simulator.
+//!
+//! ```
+//! use pq_core::{assign_query, AssignmentStrategy, PqHeuristic, SolveContext};
+//! use pq_poly::{ItemId, PolynomialQuery};
+//!
+//! // Fig. 2's query: Q = x*y with QAB 5, at V = (2, 2).
+//! let q = PolynomialQuery::portfolio([(1.0, ItemId(0), ItemId(1))], 5.0).unwrap();
+//! let values = [2.0, 2.0];
+//! let rates = [1.0, 1.0];
+//! let ctx = SolveContext::new(&values, &rates);
+//! let a = assign_query(&q, &ctx, AssignmentStrategy::DualDab { mu: 5.0 },
+//!                      PqHeuristic::DifferentSum).unwrap();
+//! assert!(a.respects_qab(&q, 1e-6));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod baseline;
+pub mod context;
+pub mod error;
+pub mod heuristics;
+pub mod laq;
+pub mod linearized;
+pub mod multi;
+pub mod ppq;
+pub mod strategy;
+
+pub use assignment::{CoordinatorAssignment, QueryAssignment, ValidityRange};
+pub use context::SolveContext;
+pub use error::DabError;
+pub use heuristics::{general_pq, PpqMethod, PqHeuristic};
+pub use laq::linear_closed_form;
+pub use linearized::linearized_filter;
+pub use multi::{aao, eqi};
+pub use ppq::{dual_dab, optimal_refresh};
+pub use strategy::{
+    assign_query, assign_unit, assignment_units, estimate_mu, AssignmentStrategy,
+    AssignmentUnit,
+};

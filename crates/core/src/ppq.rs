@@ -1,0 +1,453 @@
+//! Optimal DAB assignment for positive-coefficient polynomial queries.
+//!
+//! Two formulations from §III-A, both geometric programs:
+//!
+//! * [`optimal_refresh`] — Conditions 1 + 2 only (§III-A.1): minimize the
+//!   estimated refresh rate subject to the necessary-and-sufficient QAB
+//!   condition `P(V+b) − P(V) ≤ B`. Optimal in refreshes, but the
+//!   assignment is valid only at the anchor values, so *every* refresh
+//!   triggers a recomputation.
+//!
+//! * [`dual_dab`] — the paper's novel Dual-DAB approach (§III-A.2): assign
+//!   a smaller primary DAB `b` (the source filter) and a larger secondary
+//!   DAB `c` (the validity range at the coordinator), minimizing
+//!   `sum_i lambda_i/b_i + mu * R` subject to
+//!   `P(V+c+b) − P(V+c) ≤ B`, `b ≤ c`, and `rate(lambda_i, c_i) ≤ R`.
+//!   Slightly more refreshes, far fewer recomputations.
+
+use std::collections::BTreeMap;
+
+use pq_gp::{GpProblem, Monomial, Posynomial};
+use pq_poly::{deviation_posynomial, DabVarMap, PartialDabVarMap, PolynomialQuery, QueryClass};
+
+use crate::assignment::{QueryAssignment, ValidityRange};
+use crate::context::SolveContext;
+use crate::error::DabError;
+
+/// Ratio of secondary to primary DABs in the feasible starting point.
+const START_C_OVER_B: f64 = 2.0;
+
+/// Optimal-Refresh assignment for a PPQ (§III-A.1).
+///
+/// # Errors
+/// [`DabError::UnsupportedQueryClass`] if the query has negative
+/// coefficients (use the heuristics of [`crate::heuristics`] instead) or
+/// is linear (use the closed forms of [`crate::laq`]).
+pub fn optimal_refresh(
+    query: &PolynomialQuery,
+    ctx: &SolveContext<'_>,
+) -> Result<QueryAssignment, DabError> {
+    require_ppq(query)?;
+    let vmap = DabVarMap::for_polynomial(query.poly(), false);
+    let n = vmap.n_items();
+
+    let mut problem = GpProblem::new(n);
+    let mut objective = Posynomial::zero();
+    for (k, &item) in vmap.items().iter().enumerate() {
+        let lambda = ctx.rate(item)?;
+        objective.push(
+            ctx.ddm
+                .refresh_monomial(lambda, k)
+                .expect("rate is floored positive"),
+        );
+    }
+    problem.set_objective(objective)?;
+    let condition = deviation_posynomial(query.poly(), ctx.values, &vmap)?;
+    problem.add_constraint_le(condition.clone(), query.qab())?;
+
+    let start = scalar_feasible_start(&condition, query.qab(), n, |s, x| {
+        x[..n].iter_mut().for_each(|v| *v = s);
+    })?;
+    let sol = pq_gp::solve_with_start(&problem, &start, &ctx.gp)?;
+
+    let primary: BTreeMap<_, _> = vmap
+        .items()
+        .iter()
+        .enumerate()
+        .map(|(k, &item)| (item, sol.x[k]))
+        .collect();
+    let anchor = anchor_map(vmap.items(), ctx)?;
+    Ok(QueryAssignment {
+        primary,
+        validity: ValidityRange::AnchorOnly,
+        anchor,
+        recompute_rate: 0.0,
+        refresh_rate: sol.objective,
+    })
+}
+
+/// Dual-DAB assignment for a PPQ (§III-A.2–3).
+///
+/// `mu` is the recomputation cost in messages (§III-A.3); larger `mu`
+/// buys larger validity ranges (fewer recomputations) with tighter primary
+/// DABs (more refreshes).
+///
+/// # Errors
+/// [`DabError::InvalidMu`] unless `mu > 0` and finite; query-class errors
+/// as for [`optimal_refresh`].
+pub fn dual_dab(
+    query: &PolynomialQuery,
+    ctx: &SolveContext<'_>,
+    mu: f64,
+) -> Result<QueryAssignment, DabError> {
+    if !(mu.is_finite() && mu > 0.0) {
+        return Err(DabError::InvalidMu(mu));
+    }
+    require_ppq(query)?;
+    // Secondary DABs only for items whose reference value can invalidate
+    // the condition; linear-only items get `c = infinity` (they never
+    // trigger recomputation, like LAQ items).
+    let vmap = PartialDabVarMap::for_polynomial(query.poly());
+    let n = vmap.n_items();
+    let n_coupled = vmap.coupled().len();
+    let r_var = vmap.n_vars(); // b: 0..n, c: n..n+n_coupled, R last.
+
+    let mut problem = GpProblem::new(r_var + 1);
+    // Objective: sum_i refresh(lambda_i, b_i) + mu * R.
+    let mut objective = Posynomial::zero();
+    let mut lambdas = Vec::with_capacity(n);
+    for (k, &item) in vmap.items().iter().enumerate() {
+        let lambda = ctx.rate(item)?;
+        lambdas.push(lambda);
+        objective.push(
+            ctx.ddm
+                .refresh_monomial(lambda, k)
+                .expect("rate is floored positive"),
+        );
+    }
+    objective.push(Monomial::new(mu, [(r_var, 1.0)])?);
+    problem.set_objective(objective)?;
+
+    // QAB condition over the validity range (Eq. 2).
+    let condition = deviation_posynomial(query.poly(), ctx.values, &vmap)?;
+    problem.add_constraint_le(condition.clone(), query.qab())?;
+
+    // For coupled items: b_i <= c_i and recompute-rate coupling
+    // rate(lambda_i, c_i) <= R.
+    let mut coupled_lambdas = Vec::with_capacity(n_coupled);
+    for (j, &item) in vmap.coupled().iter().enumerate() {
+        let b_var = vmap
+            .items()
+            .binary_search(&item)
+            .expect("coupled is subset");
+        let c_var = n + j;
+        let lambda = lambdas[b_var];
+        coupled_lambdas.push(lambda);
+        problem.add_var_le_var(b_var, c_var)?;
+        let escape = ctx
+            .ddm
+            .refresh_monomial(lambda, c_var)
+            .expect("rate is floored positive");
+        let coupled = escape.mul(&Monomial::new(1.0, [(r_var, -1.0)])?);
+        problem.add_constraint(Posynomial::monomial(coupled))?;
+    }
+
+    // Strictly feasible start: b = s, c = 2s, R comfortably above the
+    // implied escape rates.
+    let ddm = ctx.ddm;
+    let lambdas_for_start = coupled_lambdas.clone();
+    let start = scalar_feasible_start(&condition, query.qab(), r_var + 1, move |s, x| {
+        for v in x[..n].iter_mut() {
+            *v = s;
+        }
+        for v in x[n..n + n_coupled].iter_mut() {
+            *v = START_C_OVER_B * s;
+        }
+        let worst = lambdas_for_start
+            .iter()
+            .map(|&l| ddm.refresh_rate(l, START_C_OVER_B * s))
+            .fold(0.0_f64, f64::max);
+        x[r_var] = 2.0 * worst + 1.0;
+    })?;
+    let sol = pq_gp::solve_with_start(&problem, &start, &ctx.gp)?;
+
+    let primary: BTreeMap<_, _> = vmap
+        .items()
+        .iter()
+        .enumerate()
+        .map(|(k, &item)| (item, sol.x[k]))
+        .collect();
+    let mut secondary: BTreeMap<_, _> = vmap
+        .items()
+        .iter()
+        .map(|&item| (item, f64::INFINITY))
+        .collect();
+    for (j, &item) in vmap.coupled().iter().enumerate() {
+        secondary.insert(item, sol.x[n + j]);
+    }
+    let refresh_rate = lambdas
+        .iter()
+        .zip(&sol.x[..n])
+        .map(|(&l, &b)| ctx.ddm.refresh_rate(l, b))
+        .sum();
+    let anchor = anchor_map(vmap.items(), ctx)?;
+    Ok(QueryAssignment {
+        primary,
+        validity: ValidityRange::Box(secondary),
+        anchor,
+        recompute_rate: sol.x[r_var],
+        refresh_rate,
+    })
+}
+
+fn require_ppq(query: &PolynomialQuery) -> Result<(), DabError> {
+    match query.class() {
+        QueryClass::PositiveCoefficient => Ok(()),
+        QueryClass::LinearAggregate => Err(DabError::UnsupportedQueryClass {
+            detail: "linear query: use the closed forms in pq_core::laq",
+        }),
+        QueryClass::General => Err(DabError::UnsupportedQueryClass {
+            detail: "mixed-sign query: use pq_core::heuristics (Half-and-Half / Different Sum)",
+        }),
+    }
+}
+
+fn anchor_map(
+    items: &[pq_poly::ItemId],
+    ctx: &SolveContext<'_>,
+) -> Result<BTreeMap<pq_poly::ItemId, f64>, DabError> {
+    items
+        .iter()
+        .map(|&item| Ok((item, ctx.value(item)?)))
+        .collect()
+}
+
+/// Finds a scalar `s` such that the point produced by `fill(s, ..)` is
+/// strictly feasible for `condition <= qab` (the only coupling
+/// constraint): the condition is increasing in every variable, so halving
+/// `s` always makes progress.
+fn scalar_feasible_start(
+    condition: &Posynomial,
+    qab: f64,
+    n_vars: usize,
+    fill: impl Fn(f64, &mut [f64]),
+) -> Result<Vec<f64>, DabError> {
+    let target = 0.5 * qab;
+    let mut s = 1.0_f64;
+    let mut x = vec![1.0; n_vars];
+    for _ in 0..400 {
+        fill(s, &mut x);
+        let g = condition.eval(&x);
+        if g.is_finite() && g <= target {
+            // Grow back toward the target for a better-centred start.
+            for _ in 0..100 {
+                let mut trial = x.clone();
+                fill(s * 2.0, &mut trial);
+                let g2 = condition.eval(&trial);
+                if g2.is_finite() && g2 <= target {
+                    s *= 2.0;
+                    x = trial;
+                } else {
+                    break;
+                }
+            }
+            return Ok(x);
+        }
+        s *= 0.5;
+    }
+    Err(DabError::NoFeasibleStart)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_ddm::DataDynamicsModel;
+    use pq_poly::{ItemId, PTerm, Polynomial};
+
+    fn x(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    fn product_query(qab: f64) -> PolynomialQuery {
+        PolynomialQuery::new(
+            Polynomial::term(PTerm::new(1.0, [(x(0), 1), (x(1), 1)]).unwrap()),
+            qab,
+        )
+        .unwrap()
+    }
+
+    /// Brute-force reference for optimal refresh on Q = xy : B with the
+    /// monotonic ddm: minimize l0/bx + l1/by s.t. Vx by + Vy bx + bx by <= B.
+    fn grid_optimal(v: [f64; 2], l: [f64; 2], qab: f64) -> f64 {
+        let mut best = f64::INFINITY;
+        let steps = 2000;
+        let hi = qab / v[1].min(v[0]) * 2.0;
+        for i in 1..steps {
+            let bx = hi * i as f64 / steps as f64;
+            // Given bx, the best by saturates the constraint.
+            let by = (qab - v[1] * bx) / (v[0] + bx);
+            if by <= 0.0 {
+                continue;
+            }
+            best = best.min(l[0] / bx + l[1] / by);
+        }
+        best
+    }
+
+    #[test]
+    fn optimal_refresh_matches_grid_on_product_query() {
+        let q = product_query(5.0);
+        let values = [40.0, 20.0];
+        let rates = [1.0, 1.0];
+        let ctx = SolveContext::new(&values, &rates);
+        let a = optimal_refresh(&q, &ctx).unwrap();
+        let got = a.refresh_rate;
+        let want = grid_optimal([40.0, 20.0], [1.0, 1.0], 5.0);
+        assert!(
+            (got - want).abs() < 1e-3 * want,
+            "solver {got} vs grid {want}"
+        );
+        assert!(a.respects_qab(&q, 1e-6));
+        assert_eq!(a.validity, ValidityRange::AnchorOnly);
+    }
+
+    #[test]
+    fn optimal_refresh_favours_fast_items_with_wide_dabs() {
+        // Item 0 changes 100x faster; its DAB should be wider than item 1's
+        // (wider filter = fewer refreshes for the fast mover).
+        let q = product_query(5.0);
+        let values = [20.0, 20.0];
+        let rates = [100.0, 1.0];
+        let ctx = SolveContext::new(&values, &rates);
+        let a = optimal_refresh(&q, &ctx).unwrap();
+        let b0 = a.primary_dab(x(0)).unwrap();
+        let b1 = a.primary_dab(x(1)).unwrap();
+        assert!(b0 > b1, "b0 = {b0}, b1 = {b1}");
+    }
+
+    #[test]
+    fn dual_dab_is_valid_over_its_whole_range() {
+        let q = product_query(5.0);
+        let values = [2.0, 2.0];
+        let rates = [1.0, 1.0];
+        let ctx = SolveContext::new(&values, &rates);
+        let a = dual_dab(&q, &ctx, 5.0).unwrap();
+        assert!(a.respects_qab(&q, 1e-6));
+        match &a.validity {
+            ValidityRange::Box(c) => {
+                for (&item, &cx) in c {
+                    assert!(
+                        cx >= a.primary_dab(item).unwrap() - 1e-9,
+                        "secondary must dominate primary"
+                    );
+                }
+            }
+            other => panic!("expected Box validity, got {other:?}"),
+        }
+        assert!(a.recompute_rate > 0.0);
+    }
+
+    #[test]
+    fn dual_dab_trades_refreshes_for_recomputations() {
+        // Versus Optimal Refresh: more refreshes, but a real validity
+        // range; and larger mu widens the range further (fewer recomputes).
+        let q = product_query(5.0);
+        let values = [20.0, 30.0];
+        let rates = [2.0, 1.0];
+        let ctx = SolveContext::new(&values, &rates);
+        let opt = optimal_refresh(&q, &ctx).unwrap();
+        let d1 = dual_dab(&q, &ctx, 1.0).unwrap();
+        let d10 = dual_dab(&q, &ctx, 10.0).unwrap();
+        assert!(d1.refresh_rate >= opt.refresh_rate - 1e-6);
+        assert!(d10.refresh_rate >= d1.refresh_rate - 1e-6);
+        assert!(
+            d10.recompute_rate <= d1.recompute_rate + 1e-9,
+            "larger mu must not increase the recompute rate: {} vs {}",
+            d10.recompute_rate,
+            d1.recompute_rate
+        );
+        // Secondary ranges grow with mu.
+        let c1: f64 = d1.secondary_dab(x(0)).unwrap();
+        let c10: f64 = d10.secondary_dab(x(0)).unwrap();
+        assert!(c10 >= c1 - 1e-9, "c grew {c1} -> {c10}");
+    }
+
+    #[test]
+    fn dual_dab_total_cost_beats_optimal_refresh_with_recompute_costs() {
+        // The whole point of §III-A.2: once recomputations cost mu messages
+        // (and Optimal Refresh recomputes on *every* refresh), Dual-DAB's
+        // modelled total cost wins.
+        let q = product_query(5.0);
+        let values = [20.0, 30.0];
+        let rates = [2.0, 1.0];
+        let ctx = SolveContext::new(&values, &rates);
+        for mu in [1.0, 5.0, 10.0] {
+            let opt = optimal_refresh(&q, &ctx).unwrap();
+            let dual = dual_dab(&q, &ctx, mu).unwrap();
+            let opt_cost = opt.refresh_rate * (1.0 + mu); // every refresh recomputes
+            let dual_cost = dual.refresh_rate + mu * dual.recompute_rate;
+            assert!(
+                dual_cost < opt_cost,
+                "mu={mu}: dual {dual_cost} vs optimal-refresh {opt_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_walk_model_gives_less_stringent_dabs() {
+        // §V-B.1: the (lambda/b)^2 objective pushes toward larger b.
+        let q = product_query(5.0);
+        let values = [20.0, 30.0];
+        let rates = [0.05, 0.02];
+        let mono = SolveContext::new(&values, &rates);
+        let walk = SolveContext::new(&values, &rates).with_ddm(DataDynamicsModel::RandomWalk);
+        let am = dual_dab(&q, &mono, 5.0).unwrap();
+        let aw = dual_dab(&q, &walk, 5.0).unwrap();
+        let sum_m: f64 = am.primary.values().sum();
+        let sum_w: f64 = aw.primary.values().sum();
+        assert!(
+            sum_w > sum_m,
+            "random-walk DABs should be wider: {sum_w} vs {sum_m}"
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_classes_and_bad_mu() {
+        let laq = PolynomialQuery::linear_aggregate([(1.0, x(0))], 1.0).unwrap();
+        let values = [1.0];
+        let rates = [1.0];
+        let ctx = SolveContext::new(&values, &rates);
+        assert!(matches!(
+            optimal_refresh(&laq, &ctx),
+            Err(DabError::UnsupportedQueryClass { .. })
+        ));
+        let q = product_query(5.0);
+        let values = [2.0, 2.0];
+        let rates = [1.0, 1.0];
+        let ctx = SolveContext::new(&values, &rates);
+        assert!(matches!(
+            dual_dab(&q, &ctx, 0.0),
+            Err(DabError::InvalidMu(_))
+        ));
+        assert!(matches!(
+            dual_dab(&q, &ctx, f64::NAN),
+            Err(DabError::InvalidMu(_))
+        ));
+    }
+
+    #[test]
+    fn portfolio_query_with_shared_items_solves() {
+        // sum of products sharing item x1: w1 x0 x1 + w2 x1 x2 : B.
+        let p = Polynomial::from_terms([
+            PTerm::new(2.0, [(x(0), 1), (x(1), 1)]).unwrap(),
+            PTerm::new(3.0, [(x(1), 1), (x(2), 1)]).unwrap(),
+        ]);
+        let q = PolynomialQuery::new(p, 10.0).unwrap();
+        let values = [50.0, 2.0, 30.0];
+        let rates = [0.5, 0.01, 0.3];
+        let ctx = SolveContext::new(&values, &rates);
+        let a = dual_dab(&q, &ctx, 5.0).unwrap();
+        assert_eq!(a.primary.len(), 3);
+        assert!(a.respects_qab(&q, 1e-6));
+    }
+
+    #[test]
+    fn tight_qab_still_finds_feasible_start() {
+        let q = product_query(1e-6);
+        let values = [1000.0, 1000.0];
+        let rates = [1.0, 1.0];
+        let ctx = SolveContext::new(&values, &rates);
+        let a = optimal_refresh(&q, &ctx).unwrap();
+        assert!(a.respects_qab(&q, 1e-9));
+    }
+}

@@ -1,0 +1,17 @@
+//! # pq-ddm — dynamic data: traces, rates and data-dynamics models
+//!
+//! Substrate for the polynomial-query monitoring system: synthetic
+//! replacements for the paper's Yahoo! Finance traces ([`trace`]), the
+//! rate-of-change estimators of §V-A ([`rate`]), and the monotonic /
+//! random-walk refresh-rate models that feed the GP objectives
+//! ([`model`]).
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod rate;
+pub mod trace;
+
+pub use model::DataDynamicsModel;
+pub use rate::RateEstimator;
+pub use trace::{Trace, TraceSet};

@@ -1,0 +1,188 @@
+//! A posteriori optimality verification via KKT residuals.
+//!
+//! Given a claimed solution of a GP, this module reconstructs Lagrange
+//! multipliers for the log-transformed convex program and reports the KKT
+//! residuals. Tests (and sceptical users) can thereby *verify* optimality
+//! independently of the solver's own convergence claims.
+//!
+//! In log variables the program is `min F0(y) s.t. Fi(y) <= 0`; at an
+//! optimum there exist `nu_i >= 0` with
+//!
+//! ```text
+//! grad F0(y) + sum_i nu_i grad Fi(y) = 0      (stationarity)
+//! nu_i * Fi(y) = 0                            (complementary slackness)
+//! ```
+//!
+//! We find the `nu >= 0` minimizing the stationarity residual by
+//! non-negative least squares (projected coordinate descent — problems
+//! here have few constraints) and report both residuals.
+
+use crate::linalg::{dot, norm2};
+use crate::logsumexp::LogPosynomial;
+use crate::problem::GpProblem;
+
+/// KKT residuals of a claimed solution.
+#[derive(Debug, Clone)]
+pub struct KktReport {
+    /// Euclidean norm of the stationarity residual
+    /// `grad F0 + sum nu_i grad Fi` (should be ~0 at an optimum).
+    pub stationarity: f64,
+    /// Largest `nu_i * |Fi(y)|` (complementary slackness; ~0).
+    pub complementarity: f64,
+    /// Largest constraint violation `max_i Fi(y)` (<= 0 when feasible).
+    pub feasibility: f64,
+    /// The recovered multipliers.
+    pub multipliers: Vec<f64>,
+}
+
+impl KktReport {
+    /// True if all residuals are within `tol` (feasibility within `tol`
+    /// above zero).
+    pub fn is_optimal(&self, tol: f64) -> bool {
+        self.stationarity <= tol && self.complementarity <= tol && self.feasibility <= tol
+    }
+}
+
+/// Computes KKT residuals for `x` on `problem`.
+///
+/// # Panics
+/// Panics if the problem has no objective or `x` has the wrong length or
+/// non-positive entries (callers verify solutions, which are positive).
+pub fn kkt_report(problem: &GpProblem, x: &[f64]) -> KktReport {
+    let (objective, constraints) = problem
+        .validated()
+        .expect("problem must have an objective");
+    assert_eq!(x.len(), problem.n_vars());
+    assert!(x.iter().all(|&v| v > 0.0), "point must be positive");
+    let n = problem.n_vars();
+    let y: Vec<f64> = x.iter().map(|&v| v.ln()).collect();
+
+    let f0 = LogPosynomial::compile(objective, n);
+    let (_, g0) = f0.value_grad(&y);
+
+    let mut values = Vec::with_capacity(constraints.len());
+    let mut grads = Vec::with_capacity(constraints.len());
+    for c in constraints {
+        let lc = LogPosynomial::compile(c, n);
+        let (v, g) = lc.value_grad(&y);
+        values.push(v);
+        grads.push(g);
+    }
+    let feasibility = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+    // Non-negative least squares: min || g0 + G^T nu ||^2, nu >= 0, via
+    // projected coordinate descent (m is small).
+    let m = grads.len();
+    let mut nu = vec![0.0; m];
+    let mut residual: Vec<f64> = g0.clone();
+    // residual = g0 + sum nu_i grads_i; start nu = 0.
+    let diag: Vec<f64> = grads.iter().map(|g| dot(g, g).max(1e-300)).collect();
+    for _ in 0..400 {
+        let mut moved = 0.0_f64;
+        for i in 0..m {
+            let step = -dot(&grads[i], &residual) / diag[i];
+            let new = (nu[i] + step).max(0.0);
+            let delta = new - nu[i];
+            if delta != 0.0 {
+                for (r, g) in residual.iter_mut().zip(&grads[i]) {
+                    *r += delta * g;
+                }
+                nu[i] = new;
+                moved = moved.max(delta.abs());
+            }
+        }
+        if moved < 1e-14 {
+            break;
+        }
+    }
+
+    let stationarity = norm2(&residual);
+    let complementarity = nu
+        .iter()
+        .zip(&values)
+        .map(|(&ni, &vi)| ni * vi.abs())
+        .fold(0.0_f64, f64::max);
+    KktReport {
+        stationarity,
+        complementarity,
+        feasibility,
+        multipliers: nu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posynomial::{Monomial, Posynomial};
+    use crate::solver::{solve_with_start, SolverOptions};
+
+    fn mono(c: f64, e: &[(usize, f64)]) -> Posynomial {
+        Posynomial::monomial(Monomial::new(c, e.iter().copied()).unwrap())
+    }
+
+    fn sample_problem() -> GpProblem {
+        // min 2/x + 3/y s.t. x y <= 4, x + y <= 5.
+        let mut p = GpProblem::new(2);
+        let mut obj = mono(2.0, &[(0, -1.0)]);
+        obj.add(&mono(3.0, &[(1, -1.0)]));
+        p.set_objective(obj).unwrap();
+        p.add_constraint_le(mono(1.0, &[(0, 1.0), (1, 1.0)]), 4.0)
+            .unwrap();
+        let mut c2 = mono(1.0, &[(0, 1.0)]);
+        c2.add(&mono(1.0, &[(1, 1.0)]));
+        p.add_constraint_le(c2, 5.0).unwrap();
+        p
+    }
+
+    #[test]
+    fn solver_output_passes_kkt() {
+        let p = sample_problem();
+        let s = solve_with_start(&p, &[0.5, 0.5], &SolverOptions::default()).unwrap();
+        let report = kkt_report(&p, &s.x);
+        assert!(
+            report.is_optimal(1e-4),
+            "stationarity {} complementarity {} feasibility {}",
+            report.stationarity,
+            report.complementarity,
+            report.feasibility
+        );
+        assert!(report.multipliers.iter().all(|&nu| nu >= 0.0));
+    }
+
+    #[test]
+    fn non_optimal_point_fails_kkt() {
+        let p = sample_problem();
+        // Interior, feasible, clearly not optimal.
+        let report = kkt_report(&p, &[0.5, 0.5]);
+        assert!(report.feasibility < 0.0, "point should be feasible");
+        assert!(
+            report.stationarity > 1e-2,
+            "stationarity should be large away from the optimum, got {}",
+            report.stationarity
+        );
+    }
+
+    #[test]
+    fn unconstrained_interior_minimum_has_zero_gradient() {
+        // min x + 1/x: optimum x = 1, no constraints -> stationarity is
+        // just the objective gradient.
+        let mut p = GpProblem::new(1);
+        let mut obj = mono(1.0, &[(0, 1.0)]);
+        obj.add(&mono(1.0, &[(0, -1.0)]));
+        p.set_objective(obj).unwrap();
+        let report = kkt_report(&p, &[1.0]);
+        assert!(report.stationarity < 1e-12);
+        assert!(report.multipliers.is_empty());
+    }
+
+    #[test]
+    fn active_constraint_receives_positive_multiplier() {
+        // min 1/x s.t. x <= 2: optimum at x = 2 with active bound.
+        let mut p = GpProblem::new(1);
+        p.set_objective(mono(1.0, &[(0, -1.0)])).unwrap();
+        p.add_upper_bound(0, 2.0).unwrap();
+        let report = kkt_report(&p, &[2.0]);
+        assert!(report.is_optimal(1e-9));
+        assert!(report.multipliers[0] > 0.5, "bound must be active");
+    }
+}

@@ -1,0 +1,342 @@
+//! Minimal dense linear algebra used by the interior-point solver.
+//!
+//! Geometric programs arising from DAB assignment are small (tens to a few
+//! hundred variables), so a dense, row-major symmetric solve via Cholesky
+//! factorization is both simpler and faster than pulling in a sparse solver.
+
+/// A dense, row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n_rows x n_cols` matrix of zeros.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Matrix {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Returns a view of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.n_rows);
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Returns a mutable view of row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.n_rows);
+        &mut self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.n_rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot(self.row(i), x);
+        }
+        out
+    }
+
+    /// Rank-one symmetric update `self += alpha * v * v^T`.
+    ///
+    /// Only valid for square matrices with `v.len() == n`.
+    pub fn add_outer(&mut self, alpha: f64, v: &[f64]) {
+        assert_eq!(self.n_rows, self.n_cols);
+        assert_eq!(v.len(), self.n_rows);
+        if alpha == 0.0 {
+            return;
+        }
+        let n = self.n_rows;
+        for i in 0..n {
+            let avi = alpha * v[i];
+            if avi == 0.0 {
+                continue;
+            }
+            let row = self.row_mut(i);
+            for (j, vj) in v.iter().enumerate().take(n) {
+                row[j] += avi * vj;
+            }
+        }
+    }
+
+    /// Adds `alpha` to every diagonal entry (Tikhonov regularization).
+    pub fn add_diagonal(&mut self, alpha: f64) {
+        let n = self.n_rows.min(self.n_cols);
+        for i in 0..n {
+            self[(i, i)] += alpha;
+        }
+    }
+
+    /// Adds `alpha * other` elementwise.
+    pub fn add_scaled(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.n_rows, other.n_rows);
+        assert_eq!(self.n_cols, other.n_cols);
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Largest absolute diagonal entry (used to scale regularization).
+    pub fn max_abs_diagonal(&self) -> f64 {
+        let n = self.n_rows.min(self.n_cols);
+        (0..n).fold(0.0_f64, |m, i| m.max(self[(i, i)].abs()))
+    }
+
+    /// In-place Cholesky factorization of a symmetric positive-definite
+    /// matrix; on success the lower triangle holds `L` with `L L^T = A`.
+    ///
+    /// Returns `false` if the matrix is not numerically positive definite.
+    fn cholesky_in_place(&mut self) -> bool {
+        assert_eq!(self.n_rows, self.n_cols);
+        let n = self.n_rows;
+        for j in 0..n {
+            let mut d = self[(j, j)];
+            for k in 0..j {
+                let ljk = self[(j, k)];
+                d -= ljk * ljk;
+            }
+            if !(d.is_finite() && d > 0.0) {
+                return false;
+            }
+            let d = d.sqrt();
+            self[(j, j)] = d;
+            let inv_d = 1.0 / d;
+            for i in (j + 1)..n {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= self[(i, k)] * self[(j, k)];
+                }
+                self[(i, j)] = s * inv_d;
+            }
+        }
+        true
+    }
+
+    /// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+    ///
+    /// Returns `None` if the factorization fails (matrix not PD).
+    pub fn cholesky_solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.n_rows, self.n_cols);
+        assert_eq!(b.len(), self.n_rows);
+        let mut l = self.clone();
+        if !l.cholesky_in_place() {
+            return None;
+        }
+        let n = self.n_rows;
+        // Forward substitution: L z = b.
+        let mut z = b.to_vec();
+        for i in 0..n {
+            let mut s = z[i];
+            for k in 0..i {
+                s -= l[(i, k)] * z[k];
+            }
+            z[i] = s / l[(i, i)];
+        }
+        // Back substitution: L^T x = z.
+        for i in (0..n).rev() {
+            let mut s = z[i];
+            for k in (i + 1)..n {
+                s -= l[(k, i)] * z[k];
+            }
+            z[i] = s / l[(i, i)];
+        }
+        Some(z)
+    }
+
+    /// Solves `A x = b` for a symmetric matrix that should be positive
+    /// definite, retrying with progressively larger diagonal regularization
+    /// if the plain factorization fails.
+    ///
+    /// Interior-point Hessians can lose definiteness to rounding near the
+    /// central path; a small ridge restores it while barely perturbing the
+    /// Newton direction.
+    pub fn cholesky_solve_regularized(&self, b: &[f64]) -> Option<Vec<f64>> {
+        if let Some(x) = self.cholesky_solve(b) {
+            return Some(x);
+        }
+        let scale = self.max_abs_diagonal().max(1.0);
+        let mut reg = 1e-12 * scale;
+        for _ in 0..40 {
+            let mut a = self.clone();
+            a.add_diagonal(reg);
+            if let Some(x) = a.cholesky_solve(b) {
+                return Some(x);
+            }
+            reg *= 10.0;
+        }
+        None
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.n_rows && j < self.n_cols);
+        &self.data[i * self.n_cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.n_rows && j < self.n_cols);
+        &mut self.data[i * self.n_cols + j]
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x` elementwise.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        let x = a.cholesky_solve(&b).unwrap();
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solves_known_spd_system() {
+        // A = [[4,2],[2,3]], b = [2,1] -> x = [1/2, 0].
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 4.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 3.0;
+        let x = a.cholesky_solve(&[2.0, 1.0]).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        assert!(x[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small_on_random_spd() {
+        // Build SPD as M^T M + I from a deterministic pseudo-random M.
+        let n = 12;
+        let mut m = Matrix::zeros(n, n);
+        let mut state = 0x12345678_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = next();
+            }
+        }
+        let mut a = Matrix::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += m[(k, i)] * m[(k, j)];
+                }
+                a[(i, j)] += s;
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
+        let x = a.cholesky_solve(&b).unwrap();
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-9, "residual too large");
+        }
+    }
+
+    #[test]
+    fn non_pd_matrix_is_rejected() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = -1.0;
+        assert!(a.cholesky_solve(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn regularized_solve_recovers_semidefinite() {
+        // Singular PSD matrix: ones(2,2). Regularized solve should succeed.
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 1.0;
+        let x = a.cholesky_solve_regularized(&[1.0, 1.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn add_outer_matches_manual() {
+        let mut a = Matrix::zeros(3, 3);
+        let v = [1.0, 2.0, 3.0];
+        a.add_outer(2.0, &v);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a[(i, j)], 2.0 * v[i] * v[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let mut a = Matrix::zeros(2, 3);
+        a.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        a.row_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
+        let y = a.matvec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![6.0, 15.0]);
+    }
+}

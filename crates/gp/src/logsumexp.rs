@@ -1,0 +1,248 @@
+//! Log-space transform of posynomials.
+//!
+//! Under the change of variables `y_i = ln x_i`, a posynomial
+//! `f(x) = sum_k c_k prod_i x_i^{a_ki}` becomes
+//! `F(y) = ln sum_k exp(a_k . y + ln c_k)`, a smooth convex function
+//! (log-sum-exp of affine functions). This module pre-compiles a posynomial
+//! into that form and evaluates value, gradient and Hessian stably.
+
+use crate::linalg::Matrix;
+use crate::posynomial::Posynomial;
+
+/// A posynomial compiled to log-space: rows of exponents plus log-coefficients.
+#[derive(Debug, Clone)]
+pub struct LogPosynomial {
+    /// Per-term sparse exponent rows `(var, exponent)`.
+    rows: Vec<Vec<(usize, f64)>>,
+    /// Per-term `ln c_k`.
+    log_coefs: Vec<f64>,
+    /// Number of variables in the ambient space.
+    n_vars: usize,
+}
+
+/// Value, gradient and Hessian of a `LogPosynomial` at a point.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// `F(y)`.
+    pub value: f64,
+    /// `∇F(y)`.
+    pub grad: Vec<f64>,
+    /// `∇²F(y)` (symmetric, `n_vars x n_vars`).
+    pub hess: Matrix,
+}
+
+impl LogPosynomial {
+    /// Compiles a posynomial for an ambient space of `n_vars` variables.
+    ///
+    /// # Panics
+    /// Panics if the posynomial references a variable `>= n_vars` or is
+    /// empty (callers validate through [`crate::problem::GpProblem`]).
+    pub fn compile(p: &Posynomial, n_vars: usize) -> Self {
+        assert!(!p.is_zero(), "cannot compile the zero posynomial");
+        if let Some(mv) = p.max_var() {
+            assert!(mv < n_vars, "posynomial references variable out of range");
+        }
+        let mut rows = Vec::with_capacity(p.n_terms());
+        let mut log_coefs = Vec::with_capacity(p.n_terms());
+        for t in p.terms() {
+            rows.push(t.exponents().to_vec());
+            log_coefs.push(t.coef().ln());
+        }
+        LogPosynomial {
+            rows,
+            log_coefs,
+            n_vars,
+        }
+    }
+
+    /// Number of monomial terms.
+    pub fn n_terms(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if this is a single monomial, i.e. `F` is affine in `y`.
+    pub fn is_affine(&self) -> bool {
+        self.rows.len() == 1
+    }
+
+    /// Per-term affine values `z_k = a_k . y + ln c_k`.
+    fn term_values(&self, y: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for (row, lc) in self.rows.iter().zip(&self.log_coefs) {
+            let mut z = *lc;
+            for &(v, e) in row {
+                z += e * y[v];
+            }
+            out.push(z);
+        }
+    }
+
+    /// Evaluates `F(y)` only.
+    pub fn value(&self, y: &[f64]) -> f64 {
+        debug_assert_eq!(y.len(), self.n_vars);
+        let mut z = Vec::with_capacity(self.rows.len());
+        self.term_values(y, &mut z);
+        log_sum_exp(&z)
+    }
+
+    /// Evaluates value and gradient.
+    pub fn value_grad(&self, y: &[f64]) -> (f64, Vec<f64>) {
+        let mut z = Vec::with_capacity(self.rows.len());
+        self.term_values(y, &mut z);
+        let (value, p) = softmax(&z);
+        let mut grad = vec![0.0; self.n_vars];
+        for (row, pk) in self.rows.iter().zip(&p) {
+            for &(v, e) in row {
+                grad[v] += pk * e;
+            }
+        }
+        (value, grad)
+    }
+
+    /// Evaluates value, gradient and Hessian.
+    ///
+    /// `∇F = sum_k p_k a_k`, `∇²F = sum_k p_k a_k a_kᵀ − ∇F ∇Fᵀ`, where
+    /// `p = softmax(z)`.
+    pub fn evaluate(&self, y: &[f64]) -> Evaluation {
+        let mut z = Vec::with_capacity(self.rows.len());
+        self.term_values(y, &mut z);
+        let (value, p) = softmax(&z);
+        let n = self.n_vars;
+        let mut grad = vec![0.0; n];
+        let mut hess = Matrix::zeros(n, n);
+        let mut dense_row = vec![0.0; n];
+        for (row, pk) in self.rows.iter().zip(&p) {
+            if *pk == 0.0 {
+                continue;
+            }
+            for &(v, e) in row {
+                grad[v] += pk * e;
+            }
+            if self.rows.len() > 1 {
+                // Accumulate p_k a_k a_k^T using the sparse row.
+                for d in dense_row.iter_mut() {
+                    *d = 0.0;
+                }
+                for &(v, e) in row {
+                    dense_row[v] = e;
+                }
+                hess.add_outer(*pk, &dense_row);
+            }
+        }
+        if self.rows.len() > 1 {
+            hess.add_outer(-1.0, &grad);
+        }
+        Evaluation { value, grad, hess }
+    }
+}
+
+/// Numerically stable `ln sum_k exp(z_k)`.
+pub fn log_sum_exp(z: &[f64]) -> f64 {
+    debug_assert!(!z.is_empty());
+    let m = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    let s: f64 = z.iter().map(|&zi| (zi - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Stable softmax; returns `(log_sum_exp(z), softmax(z))`.
+fn softmax(z: &[f64]) -> (f64, Vec<f64>) {
+    let m = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut p: Vec<f64> = z.iter().map(|&zi| (zi - m).exp()).collect();
+    let s: f64 = p.iter().sum();
+    for pi in &mut p {
+        *pi /= s;
+    }
+    (m + s.ln(), p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posynomial::Monomial;
+
+    fn sample() -> Posynomial {
+        // f(x) = 2 x0 x1 + 3 / x0
+        Posynomial::from_terms(vec![
+            Monomial::new(2.0, [(0, 1.0), (1, 1.0)]).unwrap(),
+            Monomial::new(3.0, [(0, -1.0)]).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn value_matches_direct_evaluation() {
+        let p = sample();
+        let lp = LogPosynomial::compile(&p, 2);
+        let x = [1.5_f64, 0.7_f64];
+        let y = [x[0].ln(), x[1].ln()];
+        assert!((lp.value(&y) - p.eval(&x).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let lp = LogPosynomial::compile(&sample(), 2);
+        let y = [0.3, -0.2];
+        let (_, g) = lp.value_grad(&y);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut yp = y;
+            yp[i] += h;
+            let mut ym = y;
+            ym[i] -= h;
+            let fd = (lp.value(&yp) - lp.value(&ym)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-6, "grad[{i}] {} vs fd {fd}", g[i]);
+        }
+    }
+
+    #[test]
+    fn hessian_matches_finite_differences() {
+        let lp = LogPosynomial::compile(&sample(), 2);
+        let y = [0.1, 0.4];
+        let ev = lp.evaluate(&y);
+        let h = 1e-5;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut ypp = y;
+                ypp[i] += h;
+                ypp[j] += h;
+                let mut ypm = y;
+                ypm[i] += h;
+                ypm[j] -= h;
+                let mut ymp = y;
+                ymp[i] -= h;
+                ymp[j] += h;
+                let mut ymm = y;
+                ymm[i] -= h;
+                ymm[j] -= h;
+                let fd = (lp.value(&ypp) - lp.value(&ypm) - lp.value(&ymp) + lp.value(&ymm))
+                    / (4.0 * h * h);
+                assert!(
+                    (ev.hess[(i, j)] - fd).abs() < 1e-4,
+                    "hess[{i}{j}] {} vs fd {fd}",
+                    ev.hess[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monomial_transform_is_affine() {
+        let p = Posynomial::monomial(Monomial::new(5.0, [(0, 2.0)]).unwrap());
+        let lp = LogPosynomial::compile(&p, 1);
+        assert!(lp.is_affine());
+        let ev = lp.evaluate(&[0.7]);
+        assert!((ev.value - (5.0_f64.ln() + 2.0 * 0.7)).abs() < 1e-12);
+        assert!((ev.grad[0] - 2.0).abs() < 1e-12);
+        assert!(ev.hess[(0, 0)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable_for_large_inputs() {
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+        let v = log_sum_exp(&[-1000.0, -1001.0]);
+        assert!(v.is_finite());
+    }
+}

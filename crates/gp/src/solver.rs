@@ -1,0 +1,678 @@
+//! Log-barrier interior-point solver for geometric programs.
+//!
+//! After the log transform (see [`crate::logsumexp`]) a GP becomes the
+//! smooth convex program
+//!
+//! ```text
+//! minimize    F0(y)
+//! subject to  Fi(y) <= 0,   i = 1..m
+//! ```
+//!
+//! which we solve with the classic barrier method (Boyd & Vandenberghe,
+//! ch. 11): for increasing `t`, minimize `t F0(y) - sum_i ln(-Fi(y))` with
+//! damped Newton steps and backtracking line search. `m/t` bounds the
+//! suboptimality at each outer iteration, so termination yields a certified
+//! duality gap.
+//!
+//! If the caller has no strictly feasible starting point, a standard
+//! phase-I problem (`minimize s  s.t.  Fi(y) <= s`) is solved first.
+
+use crate::error::GpError;
+use crate::linalg::{axpy, dot, Matrix};
+use crate::logsumexp::LogPosynomial;
+use crate::problem::{GpProblem, GpSolution};
+
+/// Tuning knobs for the barrier solver. The defaults solve every program in
+/// this workspace; they are exposed for experimentation.
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Target duality gap (`m / t` at termination). Default `1e-8`.
+    pub tolerance: f64,
+    /// Initial barrier parameter `t0`. Default `1.0`.
+    pub t0: f64,
+    /// Barrier parameter multiplier per outer iteration. Default `20.0`.
+    pub mu: f64,
+    /// Newton stopping threshold on `lambda^2 / 2`. Default `1e-8`
+    /// (tighter values grind against double-precision rounding near the
+    /// central path without improving the certified duality gap).
+    pub newton_tolerance: f64,
+    /// Maximum Newton steps per centering problem. Default `200`.
+    pub max_newton_steps: usize,
+    /// Maximum outer (barrier) iterations. Default `64`.
+    pub max_outer_iterations: usize,
+    /// Armijo parameter for backtracking line search. Default `0.05`.
+    pub armijo: f64,
+    /// Step shrink factor for backtracking. Default `0.5`.
+    pub backtrack: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            tolerance: 1e-8,
+            t0: 1.0,
+            mu: 20.0,
+            newton_tolerance: 1e-8,
+            max_newton_steps: 200,
+            max_outer_iterations: 64,
+            armijo: 0.05,
+            backtrack: 0.5,
+        }
+    }
+}
+
+/// Solves `problem` starting from a caller-supplied strictly feasible point
+/// `x0 > 0`.
+///
+/// # Errors
+/// [`GpError::InvalidStartingPoint`] if `x0` is not strictly positive, not
+/// finite, or violates a constraint; solver errors otherwise.
+pub fn solve_with_start(
+    problem: &GpProblem,
+    x0: &[f64],
+    options: &SolverOptions,
+) -> Result<GpSolution, GpError> {
+    let (objective, constraints) = problem.validated()?;
+    if x0.len() != problem.n_vars()
+        || x0.iter().any(|&v| !(v.is_finite() && v > 0.0))
+        || !problem.is_strictly_feasible(x0, 0.0)
+    {
+        return Err(GpError::InvalidStartingPoint);
+    }
+    let n = problem.n_vars();
+    let f0 = LogPosynomial::compile(objective, n);
+    let fs: Vec<LogPosynomial> = constraints
+        .iter()
+        .map(|c| LogPosynomial::compile(c, n))
+        .collect();
+    let y0: Vec<f64> = x0.iter().map(|&v| v.ln()).collect();
+    barrier_solve(&f0, &fs, y0, options)
+}
+
+/// Solves `problem`, running a phase-I feasibility search first if needed.
+///
+/// An all-ones starting point is tried first; if it is infeasible, the
+/// phase-I program `minimize s  s.t.  Fi(y) <= s` locates a strictly
+/// feasible point or certifies infeasibility.
+pub fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSolution, GpError> {
+    let (objective, constraints) = problem.validated()?;
+    let n = problem.n_vars();
+    let ones = vec![1.0; n];
+    if problem.is_strictly_feasible(&ones, 1e-9) {
+        return solve_with_start(problem, &ones, options);
+    }
+    let f0 = LogPosynomial::compile(objective, n);
+    let fs: Vec<LogPosynomial> = constraints
+        .iter()
+        .map(|c| LogPosynomial::compile(c, n))
+        .collect();
+    let y0 = phase_one(&fs, n, options)?;
+    barrier_solve(&f0, &fs, y0, options)
+}
+
+/// Barrier (phase II) iteration in log variables.
+fn barrier_solve(
+    f0: &LogPosynomial,
+    fs: &[LogPosynomial],
+    mut y: Vec<f64>,
+    options: &SolverOptions,
+) -> Result<GpSolution, GpError> {
+    let n = y.len();
+    let m = fs.len();
+    let mut t = options.t0.max(f64::MIN_POSITIVE);
+    let mut newton_steps = 0usize;
+    let mut outer = 0usize;
+
+    if m == 0 {
+        // Pure unconstrained minimization of F0.
+        newton_steps += newton_minimize(
+            |yy, want_hess| objective_only(f0, yy, want_hess),
+            &mut y,
+            options,
+        )?;
+        return Ok(finish(f0, &y, outer, newton_steps, 0.0));
+    }
+
+    loop {
+        outer += 1;
+        let tt = t;
+        newton_steps += newton_minimize(
+            |yy, want_hess| barrier_eval(f0, fs, tt, yy, want_hess),
+            &mut y,
+            options,
+        )?;
+        let gap = m as f64 / t;
+        if gap <= options.tolerance {
+            return Ok(finish(f0, &y, outer, newton_steps, gap));
+        }
+        if outer >= options.max_outer_iterations {
+            return Err(GpError::IterationLimit);
+        }
+        t *= options.mu;
+        let _ = n;
+    }
+}
+
+fn finish(
+    f0: &LogPosynomial,
+    y: &[f64],
+    outer: usize,
+    newton_steps: usize,
+    gap: f64,
+) -> GpSolution {
+    let x: Vec<f64> = y.iter().map(|&v| v.exp()).collect();
+    GpSolution {
+        objective: f0.value(y).exp(),
+        x,
+        outer_iterations: outer,
+        newton_steps,
+        duality_gap: gap,
+    }
+}
+
+/// Result of evaluating a barrier-style objective at a point.
+struct FuncEval {
+    value: f64,
+    grad: Vec<f64>,
+    /// `None` when only value (line search) was requested.
+    hess: Option<Matrix>,
+    /// `false` when the point is outside the barrier domain.
+    in_domain: bool,
+}
+
+fn objective_only(f0: &LogPosynomial, y: &[f64], want_hess: bool) -> FuncEval {
+    if want_hess {
+        let ev = f0.evaluate(y);
+        FuncEval {
+            value: ev.value,
+            grad: ev.grad,
+            hess: Some(ev.hess),
+            in_domain: true,
+        }
+    } else {
+        FuncEval {
+            value: f0.value(y),
+            grad: Vec::new(),
+            hess: None,
+            in_domain: true,
+        }
+    }
+}
+
+/// Evaluates `t F0(y) - sum ln(-Fi(y))` with optional derivatives.
+fn barrier_eval(
+    f0: &LogPosynomial,
+    fs: &[LogPosynomial],
+    t: f64,
+    y: &[f64],
+    want_hess: bool,
+) -> FuncEval {
+    let n = y.len();
+    if !want_hess {
+        let mut value = t * f0.value(y);
+        for fi in fs {
+            let v = fi.value(y);
+            if v >= 0.0 {
+                return FuncEval {
+                    value: f64::INFINITY,
+                    grad: Vec::new(),
+                    hess: None,
+                    in_domain: false,
+                };
+            }
+            value -= (-v).ln();
+        }
+        return FuncEval {
+            value,
+            grad: Vec::new(),
+            hess: None,
+            in_domain: true,
+        };
+    }
+
+    let ev0 = f0.evaluate(y);
+    let mut value = t * ev0.value;
+    let mut grad: Vec<f64> = ev0.grad.iter().map(|g| t * g).collect();
+    let mut hess = ev0.hess;
+    // Scale objective Hessian by t.
+    hess.add_scaled(t - 1.0, &hess.clone());
+    for fi in fs {
+        let ev = fi.evaluate(y);
+        if ev.value >= 0.0 {
+            return FuncEval {
+                value: f64::INFINITY,
+                grad: vec![0.0; n],
+                hess: Some(Matrix::zeros(n, n)),
+                in_domain: false,
+            };
+        }
+        let s = -ev.value; // slack, > 0
+        value -= s.ln();
+        let inv_s = 1.0 / s;
+        axpy(inv_s, &ev.grad, &mut grad);
+        hess.add_scaled(inv_s, &ev.hess);
+        hess.add_outer(inv_s * inv_s, &ev.grad);
+    }
+    FuncEval {
+        value,
+        grad,
+        hess: Some(hess),
+        in_domain: true,
+    }
+}
+
+/// Damped Newton minimization of a smooth convex function given by `eval`.
+///
+/// Returns the number of Newton steps taken. `y` is updated in place.
+fn newton_minimize<F>(mut eval: F, y: &mut [f64], options: &SolverOptions) -> Result<usize, GpError>
+where
+    F: FnMut(&[f64], bool) -> FuncEval,
+{
+    let mut prev_value = f64::INFINITY;
+    for steps in 0..options.max_newton_steps {
+        let e = eval(y, true);
+        if !e.in_domain {
+            return Err(GpError::NumericalFailure("iterate left barrier domain"));
+        }
+        let hess = e.hess.expect("hessian requested");
+        let rhs: Vec<f64> = e.grad.iter().map(|g| -g).collect();
+        let dy = hess
+            .cholesky_solve_regularized(&rhs)
+            .ok_or(GpError::NumericalFailure("newton system unsolvable"))?;
+        let decrement_sq = -dot(&e.grad, &dy);
+        if !decrement_sq.is_finite() {
+            return Err(GpError::NumericalFailure("non-finite newton decrement"));
+        }
+        if std::env::var_os("PQ_GP_TRACE").is_some() {
+            eprintln!(
+                "newton step {steps}: value {:.9e} decrement^2 {decrement_sq:.3e}",
+                e.value
+            );
+        }
+        if decrement_sq / 2.0 <= options.newton_tolerance {
+            return Ok(steps);
+        }
+        // Rounding floor: once successive values stop moving relative to
+        // their magnitude, further Newton steps cannot make progress.
+        if (prev_value - e.value).abs() <= 1e-14 * (1.0 + e.value.abs()) {
+            return Ok(steps);
+        }
+        prev_value = e.value;
+        // Backtracking line search on the barrier value.
+        let mut step = 1.0;
+        let mut accepted = false;
+        let mut trial = vec![0.0; y.len()];
+        for _ in 0..60 {
+            trial.copy_from_slice(y);
+            axpy(step, &dy, &mut trial);
+            let te = eval(&trial, false);
+            if te.in_domain
+                && te.value.is_finite()
+                && te.value <= e.value - options.armijo * step * decrement_sq
+            {
+                y.copy_from_slice(&trial);
+                accepted = true;
+                break;
+            }
+            step *= options.backtrack;
+        }
+        if !accepted {
+            // No descent at the smallest step: we are at numerical precision.
+            return Ok(steps);
+        }
+    }
+    Err(GpError::IterationLimit)
+}
+
+/// Phase I: find a strictly feasible `y` for `Fi(y) <= 0` by minimizing the
+/// auxiliary variable `s` in `Fi(y) <= s`, stopping as soon as `s < 0`.
+fn phase_one(fs: &[LogPosynomial], n: usize, options: &SolverOptions) -> Result<Vec<f64>, GpError> {
+    let m = fs.len();
+    let y0 = vec![0.0; n];
+    let worst = fs
+        .iter()
+        .map(|f| f.value(&y0))
+        .fold(f64::NEG_INFINITY, f64::max);
+    if worst < -1e-9 {
+        return Ok(y0);
+    }
+    // Extended point z = (y, s); start with comfortable slack.
+    let mut z = vec![0.0; n + 1];
+    z[n] = worst + 1.0;
+
+    let margin = 1e-6;
+    let mut t = 1.0;
+    for _ in 0..options.max_outer_iterations {
+        // Centering with early exit once strictly feasible.
+        let mut exited = false;
+        for _ in 0..options.max_newton_steps {
+            if z[n] < -margin {
+                exited = true;
+                break;
+            }
+            let e = phase_one_eval(fs, t, &z, true);
+            if !e.in_domain {
+                return Err(GpError::NumericalFailure("phase-I left domain"));
+            }
+            let hess = e.hess.expect("hessian requested");
+            let rhs: Vec<f64> = e.grad.iter().map(|g| -g).collect();
+            let dz = hess
+                .cholesky_solve_regularized(&rhs)
+                .ok_or(GpError::NumericalFailure("phase-I newton unsolvable"))?;
+            let decrement_sq = -dot(&e.grad, &dz);
+            if decrement_sq / 2.0 <= options.newton_tolerance {
+                break;
+            }
+            let mut step = 1.0;
+            let mut moved = false;
+            let mut trial = vec![0.0; n + 1];
+            for _ in 0..60 {
+                trial.copy_from_slice(&z);
+                axpy(step, &dz, &mut trial);
+                let te = phase_one_eval(fs, t, &trial, false);
+                if te.in_domain
+                    && te.value.is_finite()
+                    && te.value <= e.value - options.armijo * step * decrement_sq
+                {
+                    z.copy_from_slice(&trial);
+                    moved = true;
+                    break;
+                }
+                step *= options.backtrack;
+            }
+            if !moved {
+                break;
+            }
+        }
+        if exited || z[n] < -margin {
+            return Ok(z[..n].to_vec());
+        }
+        if (m as f64) / t < options.tolerance.max(1e-12) {
+            break;
+        }
+        t *= options.mu;
+    }
+    if z[n] < 0.0 {
+        Ok(z[..n].to_vec())
+    } else {
+        Err(GpError::Infeasible { residual: z[n] })
+    }
+}
+
+/// Evaluates the phase-I barrier `t s - sum ln(s - Fi(y))` at `z = (y, s)`.
+fn phase_one_eval(fs: &[LogPosynomial], t: f64, z: &[f64], want_hess: bool) -> FuncEval {
+    let n = z.len() - 1;
+    let (y, s) = (&z[..n], z[n]);
+    if !want_hess {
+        let mut value = t * s;
+        for fi in fs {
+            let slack = s - fi.value(y);
+            if slack <= 0.0 {
+                return FuncEval {
+                    value: f64::INFINITY,
+                    grad: Vec::new(),
+                    hess: None,
+                    in_domain: false,
+                };
+            }
+            value -= slack.ln();
+        }
+        return FuncEval {
+            value,
+            grad: Vec::new(),
+            hess: None,
+            in_domain: true,
+        };
+    }
+    let mut value = t * s;
+    let mut grad = vec![0.0; n + 1];
+    grad[n] = t;
+    let mut hess = Matrix::zeros(n + 1, n + 1);
+    let mut ext = vec![0.0; n + 1];
+    for fi in fs {
+        let ev = fi.evaluate(y);
+        let slack = s - ev.value;
+        if slack <= 0.0 {
+            return FuncEval {
+                value: f64::INFINITY,
+                grad: vec![0.0; n + 1],
+                hess: Some(Matrix::zeros(n + 1, n + 1)),
+                in_domain: false,
+            };
+        }
+        value -= slack.ln();
+        let inv = 1.0 / slack;
+        // d(-ln(s - Fi))/dy = ∇Fi / slack ; d/ds = -1/slack.
+        for (gi, gyi) in grad[..n].iter_mut().zip(&ev.grad) {
+            *gi += inv * gyi;
+        }
+        grad[n] -= inv;
+        // Hessian: ∇²Fi/slack + u u^T / slack² with u = (∇Fi, -1).
+        for i in 0..n {
+            for j in 0..n {
+                hess[(i, j)] += inv * ev.hess[(i, j)];
+            }
+        }
+        for (ei, gyi) in ext[..n].iter_mut().zip(&ev.grad) {
+            *ei = *gyi;
+        }
+        ext[n] = -1.0;
+        hess.add_outer(inv * inv, &ext);
+    }
+    FuncEval {
+        value,
+        grad,
+        hess: Some(hess),
+        in_domain: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posynomial::{Monomial, Posynomial};
+
+    fn mono(c: f64, e: &[(usize, f64)]) -> Posynomial {
+        Posynomial::monomial(Monomial::new(c, e.iter().copied()).unwrap())
+    }
+
+    fn opts() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    #[test]
+    fn minimizes_x_subject_to_lower_bound() {
+        // min x s.t. x >= 5  ->  x* = 5.
+        let mut p = GpProblem::new(1);
+        p.set_objective(mono(1.0, &[(0, 1.0)])).unwrap();
+        p.add_lower_bound(0, 5.0).unwrap();
+        let s = solve_with_start(&p, &[10.0], &opts()).unwrap();
+        assert!((s.x[0] - 5.0).abs() < 1e-5, "x = {}", s.x[0]);
+        assert!((s.objective - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn symmetric_inverse_sum_splits_budget_evenly() {
+        // min 1/x + 1/y s.t. x + y <= 1  ->  x = y = 1/2, objective 4.
+        let mut p = GpProblem::new(2);
+        let mut obj = mono(1.0, &[(0, -1.0)]);
+        obj.add(&mono(1.0, &[(1, -1.0)]));
+        p.set_objective(obj).unwrap();
+        let mut c = mono(1.0, &[(0, 1.0)]);
+        c.add(&mono(1.0, &[(1, 1.0)]));
+        p.add_constraint_le(c, 1.0).unwrap();
+        let s = solve_with_start(&p, &[0.25, 0.25], &opts()).unwrap();
+        assert!((s.x[0] - 0.5).abs() < 1e-5);
+        assert!((s.x[1] - 0.5).abs() < 1e-5);
+        assert!((s.objective - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn weighted_inverse_sum_matches_lagrange_closed_form() {
+        // min a/x + b/y s.t. p x + q y <= B.
+        // KKT: a/x^2 = nu p, b/y^2 = nu q, p x + q y = B
+        //  => x = sqrt(a/p)/k, y = sqrt(b/q)/k with
+        //     k = (sqrt(a p) + sqrt(b q)) / B.
+        let (a, b, pp, q, bb) = (3.0_f64, 5.0_f64, 2.0_f64, 7.0_f64, 11.0_f64);
+        let k = ((a * pp).sqrt() + (b * q).sqrt()) / bb;
+        let x_star = (a / pp).sqrt() / k;
+        let y_star = (b / q).sqrt() / k;
+
+        let mut p = GpProblem::new(2);
+        let mut obj = mono(a, &[(0, -1.0)]);
+        obj.add(&mono(b, &[(1, -1.0)]));
+        p.set_objective(obj).unwrap();
+        let mut c = mono(pp, &[(0, 1.0)]);
+        c.add(&mono(q, &[(1, 1.0)]));
+        p.add_constraint_le(c, bb).unwrap();
+        let s = solve_with_start(&p, &[0.1, 0.1], &opts()).unwrap();
+        assert!(
+            (s.x[0] - x_star).abs() < 1e-4 * x_star,
+            "{} vs {x_star}",
+            s.x[0]
+        );
+        assert!(
+            (s.x[1] - y_star).abs() < 1e-4 * y_star,
+            "{} vs {y_star}",
+            s.x[1]
+        );
+    }
+
+    #[test]
+    fn boyd_tutorial_box_example() {
+        // Maximize box volume hwd (minimize h^-1 w^-1 d^-1) subject to
+        // total wall area 2(hw + hd) <= Awall, floor area wd <= Aflr,
+        // aspect ratios alpha <= h/w <= beta, gamma <= d/w <= delta.
+        // (Boyd et al., "A Tutorial on Geometric Programming", §2.)
+        let (awall, aflr) = (200.0, 50.0);
+        let (alpha, beta, gamma, delta) = (0.5, 2.0, 0.5, 2.0);
+        let mut p = GpProblem::new(3); // h=0, w=1, d=2
+        p.set_objective(mono(1.0, &[(0, -1.0), (1, -1.0), (2, -1.0)]))
+            .unwrap();
+        let mut wall = mono(2.0, &[(0, 1.0), (1, 1.0)]);
+        wall.add(&mono(2.0, &[(0, 1.0), (2, 1.0)]));
+        p.add_constraint_le(wall, awall).unwrap();
+        p.add_constraint_le(mono(1.0, &[(1, 1.0), (2, 1.0)]), aflr)
+            .unwrap();
+        p.add_constraint(mono(alpha, &[(0, -1.0), (1, 1.0)]))
+            .unwrap(); // alpha w/h <= 1
+        p.add_constraint(mono(1.0 / beta, &[(0, 1.0), (1, -1.0)]))
+            .unwrap(); // h/(beta w) <= 1
+        p.add_constraint(mono(gamma, &[(1, 1.0), (2, -1.0)]))
+            .unwrap(); // gamma w/d <= 1
+        p.add_constraint(mono(1.0 / delta, &[(1, -1.0), (2, 1.0)]))
+            .unwrap(); // d/(delta w) <= 1
+        let s = solve(&p, &opts()).unwrap();
+        let vol = s.x[0] * s.x[1] * s.x[2];
+        // Closed form for these numbers: floor bound gives w = d = sqrt(50),
+        // wall bound then gives h = 100 / (w + d) = sqrt(50), so the optimal
+        // volume is 50^(3/2) ~= 353.553.
+        assert!(p.max_violation(&s.x) < 1e-6);
+        // Perturbations along feasible directions must not improve volume.
+        for i in 0..3 {
+            for sgn in [-1.0, 1.0] {
+                let mut x = s.x.clone();
+                x[i] *= 1.0 + sgn * 1e-3;
+                if p.max_violation(&x) < 0.0 {
+                    let v = x[0] * x[1] * x[2];
+                    assert!(v <= vol * (1.0 + 1e-5));
+                }
+            }
+        }
+        let expected = 50.0_f64.powf(1.5);
+        assert!((vol - expected).abs() < 1e-3 * expected, "volume {vol}");
+    }
+
+    #[test]
+    fn matches_fine_grid_search_on_2d_problem() {
+        // min 2/x + 3/y s.t. x y <= 4, x + y <= 5.
+        let mut p = GpProblem::new(2);
+        let mut obj = mono(2.0, &[(0, -1.0)]);
+        obj.add(&mono(3.0, &[(1, -1.0)]));
+        p.set_objective(obj.clone()).unwrap();
+        p.add_constraint_le(mono(1.0, &[(0, 1.0), (1, 1.0)]), 4.0)
+            .unwrap();
+        let mut c2 = mono(1.0, &[(0, 1.0)]);
+        c2.add(&mono(1.0, &[(1, 1.0)]));
+        p.add_constraint_le(c2, 5.0).unwrap();
+        let s = solve_with_start(&p, &[0.5, 0.5], &opts()).unwrap();
+
+        let mut best = f64::INFINITY;
+        let steps = 800;
+        for i in 1..steps {
+            for j in 1..steps {
+                let x = 5.0 * i as f64 / steps as f64;
+                let y = 5.0 * j as f64 / steps as f64;
+                if x * y <= 4.0 && x + y <= 5.0 {
+                    best = best.min(2.0 / x + 3.0 / y);
+                }
+            }
+        }
+        assert!(
+            (s.objective - best).abs() < 0.02 * best,
+            "solver {} vs grid {best}",
+            s.objective
+        );
+        assert!(s.objective <= best + 1e-9, "solver must beat grid");
+    }
+
+    #[test]
+    fn phase_one_finds_feasible_region_away_from_ones() {
+        // Constraint x >= 10 makes x=1 infeasible; phase I must recover.
+        let mut p = GpProblem::new(1);
+        p.set_objective(mono(1.0, &[(0, 1.0)])).unwrap();
+        p.add_lower_bound(0, 10.0).unwrap();
+        let s = solve(&p, &opts()).unwrap();
+        assert!((s.x[0] - 10.0).abs() < 1e-4, "x = {}", s.x[0]);
+    }
+
+    #[test]
+    fn detects_infeasible_program() {
+        // x <= 1 and x >= 2 cannot hold together.
+        let mut p = GpProblem::new(1);
+        p.set_objective(mono(1.0, &[(0, 1.0)])).unwrap();
+        p.add_upper_bound(0, 1.0).unwrap();
+        p.add_lower_bound(0, 2.0).unwrap();
+        match solve(&p, &opts()) {
+            Err(GpError::Infeasible { .. }) => {}
+            other => panic!("expected infeasibility, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_infeasible_start() {
+        let mut p = GpProblem::new(1);
+        p.set_objective(mono(1.0, &[(0, 1.0)])).unwrap();
+        p.add_upper_bound(0, 1.0).unwrap();
+        assert_eq!(
+            solve_with_start(&p, &[2.0], &opts()).unwrap_err(),
+            GpError::InvalidStartingPoint
+        );
+        assert_eq!(
+            solve_with_start(&p, &[-1.0], &opts()).unwrap_err(),
+            GpError::InvalidStartingPoint
+        );
+    }
+
+    #[test]
+    fn unconstrained_posynomial_with_interior_minimum() {
+        // min x + 1/x  ->  x* = 1, value 2 (no constraints).
+        let mut p = GpProblem::new(1);
+        let mut obj = mono(1.0, &[(0, 1.0)]);
+        obj.add(&mono(1.0, &[(0, -1.0)]));
+        p.set_objective(obj).unwrap();
+        let s = solve_with_start(&p, &[3.0], &opts()).unwrap();
+        assert!((s.x[0] - 1.0).abs() < 1e-5);
+        assert!((s.objective - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn duality_gap_reported_below_tolerance() {
+        let mut p = GpProblem::new(1);
+        p.set_objective(mono(1.0, &[(0, 1.0)])).unwrap();
+        p.add_lower_bound(0, 2.0).unwrap();
+        let o = opts();
+        let s = solve_with_start(&p, &[4.0], &o).unwrap();
+        assert!(s.duality_gap <= o.tolerance);
+    }
+}

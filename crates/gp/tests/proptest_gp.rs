@@ -1,0 +1,126 @@
+//! Property tests of the geometric-programming solver: feasibility,
+//! KKT optimality, closed-form agreement, and transform consistency.
+
+use proptest::prelude::*;
+
+use pq_gp::{
+    kkt_report, solve_with_start, GpProblem, Monomial, Posynomial, SolverOptions,
+};
+
+fn mono(c: f64, e: &[(usize, f64)]) -> Posynomial {
+    Posynomial::monomial(Monomial::new(c, e.iter().copied()).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Weighted inverse-sum under a weighted budget has a Lagrange closed
+    /// form; the solver must match it for arbitrary positive parameters.
+    #[test]
+    fn matches_weighted_budget_closed_form(
+        a in 0.05f64..20.0,
+        b in 0.05f64..20.0,
+        p in 0.1f64..10.0,
+        q in 0.1f64..10.0,
+        budget in 0.5f64..100.0,
+    ) {
+        // min a/x + b/y s.t. p x + q y <= budget
+        // => x* = sqrt(a/p) * budget / (sqrt(a p) + sqrt(b q)).
+        let mut prob = GpProblem::new(2);
+        let mut obj = mono(a, &[(0, -1.0)]);
+        obj.add(&mono(b, &[(1, -1.0)]));
+        prob.set_objective(obj).unwrap();
+        let mut c = mono(p, &[(0, 1.0)]);
+        c.add(&mono(q, &[(1, 1.0)]));
+        prob.add_constraint_le(c, budget).unwrap();
+
+        let start = [0.25 * budget / p.max(q) / 2.0, 0.25 * budget / p.max(q) / 2.0];
+        let sol = solve_with_start(&prob, &start, &SolverOptions::default()).unwrap();
+
+        let k = ((a * p).sqrt() + (b * q).sqrt()) / budget;
+        let x_star = (a / p).sqrt() / k;
+        let y_star = (b / q).sqrt() / k;
+        prop_assert!((sol.x[0] - x_star).abs() < 2e-4 * x_star,
+            "x {} vs {x_star}", sol.x[0]);
+        prop_assert!((sol.x[1] - y_star).abs() < 2e-4 * y_star,
+            "y {} vs {y_star}", sol.x[1]);
+    }
+
+    /// Every returned solution is feasible and KKT-optimal.
+    #[test]
+    fn solutions_are_feasible_and_kkt_optimal(
+        weights in proptest::collection::vec(0.1f64..10.0, 2..5),
+        bound in 1.0f64..50.0,
+    ) {
+        // min sum w_i / x_i s.t. sum x_i <= bound (+ per-var caps).
+        let n = weights.len();
+        let mut prob = GpProblem::new(n);
+        let mut obj = Posynomial::zero();
+        let mut con = Posynomial::zero();
+        for (i, &w) in weights.iter().enumerate() {
+            obj.add(&mono(w, &[(i, -1.0)]));
+            con.add(&mono(1.0, &[(i, 1.0)]));
+        }
+        prob.set_objective(obj).unwrap();
+        prob.add_constraint_le(con, bound).unwrap();
+        let start = vec![0.5 * bound / n as f64; n];
+        let sol = solve_with_start(&prob, &start, &SolverOptions::default()).unwrap();
+        prop_assert!(prob.max_violation(&sol.x) <= 1e-7);
+        let report = kkt_report(&prob, &sol.x);
+        prop_assert!(report.is_optimal(1e-3),
+            "stationarity {} complementarity {} feasibility {}",
+            report.stationarity, report.complementarity, report.feasibility);
+    }
+
+    /// Objective monotonicity: loosening the budget can only improve the
+    /// optimum (a sanity property linking problem and solver).
+    #[test]
+    fn looser_budgets_do_not_hurt(
+        a in 0.1f64..5.0,
+        bound in 1.0f64..20.0,
+        factor in 1.1f64..4.0,
+    ) {
+        let build = |budget: f64| {
+            let mut prob = GpProblem::new(2);
+            let mut obj = mono(a, &[(0, -1.0)]);
+            obj.add(&mono(1.0, &[(1, -1.0)]));
+            prob.set_objective(obj).unwrap();
+            let mut c = mono(1.0, &[(0, 1.0)]);
+            c.add(&mono(1.0, &[(1, 1.0)]));
+            prob.add_constraint_le(c, budget).unwrap();
+            prob
+        };
+        let opts = SolverOptions::default();
+        let tight = solve_with_start(&build(bound), &[bound / 4.0, bound / 4.0], &opts)
+            .unwrap();
+        let loose_bound = bound * factor;
+        let loose = solve_with_start(
+            &build(loose_bound),
+            &[loose_bound / 4.0, loose_bound / 4.0],
+            &opts,
+        )
+        .unwrap();
+        prop_assert!(loose.objective <= tight.objective * (1.0 + 1e-6));
+    }
+
+    /// The log transform preserves evaluation: posynomial value at x equals
+    /// exp of the transformed value at ln x.
+    #[test]
+    fn log_transform_round_trips(
+        coefs in proptest::collection::vec(0.01f64..100.0, 1..5),
+        x in proptest::collection::vec(0.05f64..20.0, 3),
+    ) {
+        use pq_gp::logsumexp::LogPosynomial;
+        let mut p = Posynomial::zero();
+        for (k, &c) in coefs.iter().enumerate() {
+            let v = k % 3;
+            let e = 1.0 + (k as f64) * 0.5 - 1.5; // mixed exponents
+            p.push(Monomial::new(c, [(v, e)]).unwrap());
+        }
+        let lp = LogPosynomial::compile(&p, 3);
+        let y: Vec<f64> = x.iter().map(|&v| v.ln()).collect();
+        let direct = p.eval(&x);
+        let transformed = lp.value(&y).exp();
+        prop_assert!((direct - transformed).abs() <= 1e-9 * direct.abs().max(1.0));
+    }
+}

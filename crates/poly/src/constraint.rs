@@ -1,0 +1,648 @@
+//! Symbolic construction of DAB constraints as GP posynomials.
+//!
+//! For a positive-coefficient polynomial `P` with current values `V`, the
+//! necessary-and-sufficient condition for primary DABs `b` to keep the query
+//! within its QAB over the validity range defined by secondary DABs `c`
+//! (§III-A.2, Eq. 2) is
+//!
+//! ```text
+//! P(V + c + b) - P(V + c)  <=  B
+//! ```
+//!
+//! (the all-upward corner is the worst case for a PPQ over positive data:
+//! every term of the deviation expansion is nonnegative and increasing in
+//! each displacement). With `c = 0` this is Eq. 1, the Optimal Refresh
+//! condition of §III-A.1.
+//!
+//! This module expands the left-hand side *exactly* by multinomial
+//! expansion — every surviving term contains at least one factor of `b`
+//! and has a positive coefficient, so the result is a posynomial in the
+//! GP variables `(b, c)` suitable for [`pq_gp`].
+
+use crate::error::PolyError;
+use crate::item::ItemId;
+use crate::polynomial::Polynomial;
+use pq_gp::{Monomial, Posynomial};
+
+/// Maps an item to the GP variable index of its primary DAB `b` and
+/// (optionally) its secondary DAB `c`.
+///
+/// Implementations decide the layout: a single-query layout packs `b`s then
+/// `c`s; the AAO multi-query layout shares `b`s across queries but gives
+/// each `<query, item>` pair its own `c` (§IV).
+pub trait DabVarIndexer {
+    /// GP variable index of `b_item`.
+    fn primary(&self, item: ItemId) -> usize;
+    /// GP variable index of `c_item`, or `None` for single-DAB
+    /// (Optimal Refresh) formulations.
+    fn secondary(&self, item: ItemId) -> Option<usize>;
+}
+
+/// The standard single-query layout: for `items[k]`, `b` is variable `k`
+/// and (if enabled) `c` is variable `n + k`; callers may append further
+/// variables (such as the recomputation rate `R`) from index
+/// [`DabVarMap::n_vars`] upward.
+#[derive(Debug, Clone)]
+pub struct DabVarMap {
+    items: Vec<ItemId>,
+    with_secondary: bool,
+}
+
+impl DabVarMap {
+    /// Builds a layout over the given items (deduplicated, sorted).
+    pub fn new(mut items: Vec<ItemId>, with_secondary: bool) -> Self {
+        items.sort();
+        items.dedup();
+        DabVarMap {
+            items,
+            with_secondary,
+        }
+    }
+
+    /// Layout over all items of a polynomial.
+    pub fn for_polynomial(poly: &Polynomial, with_secondary: bool) -> Self {
+        DabVarMap::new(poly.items(), with_secondary)
+    }
+
+    /// The items covered, in variable order.
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Number of items `n`.
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Total GP variables used by this layout (`n` or `2n`).
+    pub fn n_vars(&self) -> usize {
+        if self.with_secondary {
+            2 * self.items.len()
+        } else {
+            self.items.len()
+        }
+    }
+
+    /// True if the layout includes secondary DABs.
+    pub fn has_secondary(&self) -> bool {
+        self.with_secondary
+    }
+
+    fn position(&self, item: ItemId) -> usize {
+        self.items
+            .binary_search(&item)
+            .expect("item not covered by DabVarMap")
+    }
+}
+
+impl DabVarIndexer for DabVarMap {
+    fn primary(&self, item: ItemId) -> usize {
+        self.position(item)
+    }
+
+    fn secondary(&self, item: ItemId) -> Option<usize> {
+        self.with_secondary
+            .then(|| self.items.len() + self.position(item))
+    }
+}
+
+/// Items whose *secondary* DAB genuinely affects the deviation condition:
+/// those occurring in some term with exponent >= 2 or together with other
+/// items. An item appearing only linearly (alone, exponent 1) contributes
+/// the value-independent deviation `w * b` — its reference value can never
+/// invalidate an assignment, so it needs no secondary DAB and no
+/// recomputation coupling (the same observation that makes LAQs easy;
+/// paper footnote 2). Leaving such a `c` variable in the GP makes the
+/// barrier unbounded along it.
+pub fn coupled_items(poly: &Polynomial) -> Vec<ItemId> {
+    let mut v: Vec<ItemId> = poly
+        .terms()
+        .iter()
+        .filter(|t| t.degree() >= 2)
+        .flat_map(|t| t.vars().iter().map(|&(i, _)| i))
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// Variable layout with secondary DABs only for [`coupled_items`]:
+/// primary `b` for `items[k]` at index `k`; secondary `c` for the `j`-th
+/// coupled item at index `n + j`; callers append extra variables (such as
+/// `R`) from [`PartialDabVarMap::n_vars`] upward.
+#[derive(Debug, Clone)]
+pub struct PartialDabVarMap {
+    items: Vec<ItemId>,
+    coupled: Vec<ItemId>,
+}
+
+impl PartialDabVarMap {
+    /// Builds the layout for a polynomial.
+    pub fn for_polynomial(poly: &Polynomial) -> Self {
+        PartialDabVarMap {
+            items: poly.items(),
+            coupled: coupled_items(poly),
+        }
+    }
+
+    /// All items, in primary-variable order.
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// The coupled items, in secondary-variable order.
+    pub fn coupled(&self) -> &[ItemId] {
+        &self.coupled
+    }
+
+    /// Number of items `n`.
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Total GP variables used by this layout (`n + #coupled`).
+    pub fn n_vars(&self) -> usize {
+        self.items.len() + self.coupled.len()
+    }
+}
+
+impl DabVarIndexer for PartialDabVarMap {
+    fn primary(&self, item: ItemId) -> usize {
+        self.items
+            .binary_search(&item)
+            .expect("item not covered by PartialDabVarMap")
+    }
+
+    fn secondary(&self, item: ItemId) -> Option<usize> {
+        self.coupled
+            .binary_search(&item)
+            .ok()
+            .map(|j| self.items.len() + j)
+    }
+}
+
+/// Expands `P(V + c + b) - P(V + c)` into a posynomial over the GP
+/// variables given by `vars`.
+///
+/// When `vars.secondary` returns `None` for items, the expansion is
+/// `P(V + b) - P(V)` (Optimal Refresh, Eq. 1).
+///
+/// # Errors
+/// * [`PolyError::NotPositiveCoefficient`] if `poly` has negative weights;
+/// * [`PolyError::NegativeValue`] if any referenced current value is
+///   negative (positive data is what makes the all-up corner worst);
+/// * [`PolyError::MissingValue`] if `values` is too short;
+/// * [`PolyError::EmptyPolynomial`] for the zero polynomial.
+pub fn deviation_posynomial(
+    poly: &Polynomial,
+    values: &[f64],
+    vars: &dyn DabVarIndexer,
+) -> Result<Posynomial, PolyError> {
+    if poly.is_zero() {
+        return Err(PolyError::EmptyPolynomial);
+    }
+    if !poly.is_positive_coefficient() {
+        return Err(PolyError::NotPositiveCoefficient);
+    }
+    for item in poly.items() {
+        let v = *values
+            .get(item.index())
+            .ok_or(PolyError::MissingValue { item: item.0 })?;
+        if v < 0.0 {
+            return Err(PolyError::NegativeValue {
+                item: item.0,
+                value: v,
+            });
+        }
+    }
+
+    // Partial expansion entries: (coefficient, gp exponents, has a b factor).
+    struct Entry {
+        coef: f64,
+        exps: Vec<(usize, f64)>,
+        has_b: bool,
+    }
+
+    let mut out = Posynomial::zero();
+    for term in poly.terms() {
+        let mut partial = vec![Entry {
+            coef: term.coef(),
+            exps: Vec::new(),
+            has_b: true, // becomes "true iff any b" after first item below
+        }];
+        let mut first = true;
+        for &(item, p) in term.vars() {
+            let v = values[item.index()];
+            let b_var = vars.primary(item);
+            let c_var = vars.secondary(item);
+            let factors = expand_item_factor(v, p, b_var, c_var);
+            let mut next = Vec::with_capacity(partial.len() * factors.len());
+            for e in &partial {
+                for f in &factors {
+                    let mut exps = e.exps.clone();
+                    exps.extend_from_slice(&f.exps);
+                    next.push(Entry {
+                        coef: e.coef * f.coef,
+                        exps,
+                        has_b: (e.has_b && !first) || f.has_b,
+                    });
+                }
+            }
+            partial = next;
+            first = false;
+        }
+        // A constant term (no vars) contributes nothing to the deviation.
+        if first {
+            continue;
+        }
+        for e in partial {
+            // Entries with no b factor are exactly the expansion of
+            // P(V + c); they cancel in the subtraction.
+            if !e.has_b || e.coef == 0.0 {
+                continue;
+            }
+            let m = Monomial::new(e.coef, e.exps).expect("expansion coefficients are positive");
+            out.push(m);
+        }
+    }
+    out.simplify();
+    if out.is_zero() {
+        // All items had zero exponent / the polynomial was constant.
+        return Err(PolyError::EmptyPolynomial);
+    }
+    Ok(out)
+}
+
+/// First-order *sufficient* condition (not necessary): bounds the deviation
+/// by `sum_i b_i * max_box |dP/dx_i|`, with the partial derivatives
+/// evaluated at the all-up corner `V + c + b` and expanded exactly.
+///
+/// Strictly more conservative than [`deviation_posynomial`]; exposed for
+/// the ablation comparing optimal against gradient-style filter allocation.
+pub fn linearized_sufficient(
+    poly: &Polynomial,
+    values: &[f64],
+    vars: &dyn DabVarIndexer,
+) -> Result<Posynomial, PolyError> {
+    if poly.is_zero() {
+        return Err(PolyError::EmptyPolynomial);
+    }
+    if !poly.is_positive_coefficient() {
+        return Err(PolyError::NotPositiveCoefficient);
+    }
+    let mut out = Posynomial::zero();
+    for item in poly.items() {
+        let b_var = vars.primary(item);
+        let dp = partial_derivative(poly, item);
+        if dp.is_zero() {
+            continue;
+        }
+        // Expand dP/dx_i at (V + c + b) — all terms survive (no
+        // subtraction here), multiplied by b_i.
+        let expanded = expand_at_displaced(&dp, values, vars)?;
+        let bi = Monomial::new(1.0, [(b_var, 1.0)]).expect("unit monomial");
+        out.add(&expanded.mul_monomial(&bi));
+    }
+    out.simplify();
+    if out.is_zero() {
+        return Err(PolyError::EmptyPolynomial);
+    }
+    Ok(out)
+}
+
+/// `dP/dx_item` for integer-exponent polynomials.
+fn partial_derivative(poly: &Polynomial, item: ItemId) -> Polynomial {
+    use crate::polynomial::PTerm;
+    let mut terms = Vec::new();
+    for t in poly.terms() {
+        if let Some(&(_, e)) = t.vars().iter().find(|&&(i, _)| i == item) {
+            let coef = t.coef() * e as f64;
+            let vars: Vec<(ItemId, u32)> = t
+                .vars()
+                .iter()
+                .filter_map(|&(i, p)| {
+                    if i == item {
+                        (p > 1).then_some((i, p - 1))
+                    } else {
+                        Some((i, p))
+                    }
+                })
+                .collect();
+            if let Ok(t) = PTerm::new(coef, vars) {
+                terms.push(t);
+            }
+        }
+    }
+    Polynomial::from_terms(terms)
+}
+
+/// Expands `P(V + c + b)` fully (no subtraction) into a posynomial.
+fn expand_at_displaced(
+    poly: &Polynomial,
+    values: &[f64],
+    vars: &dyn DabVarIndexer,
+) -> Result<Posynomial, PolyError> {
+    let mut out = Posynomial::zero();
+    for term in poly.terms() {
+        let mut partial: Vec<(f64, Vec<(usize, f64)>)> = vec![(term.coef(), Vec::new())];
+        for &(item, p) in term.vars() {
+            let v = *values
+                .get(item.index())
+                .ok_or(PolyError::MissingValue { item: item.0 })?;
+            if v < 0.0 {
+                return Err(PolyError::NegativeValue {
+                    item: item.0,
+                    value: v,
+                });
+            }
+            let factors = expand_item_factor(v, p, vars.primary(item), vars.secondary(item));
+            let mut next = Vec::with_capacity(partial.len() * factors.len());
+            for (c0, e0) in &partial {
+                for f in &factors {
+                    let mut exps = e0.clone();
+                    exps.extend_from_slice(&f.exps);
+                    next.push((c0 * f.coef, exps));
+                }
+            }
+            partial = next;
+        }
+        for (c, e) in partial {
+            if c == 0.0 {
+                continue;
+            }
+            out.push(Monomial::new(c, e).expect("positive expansion coefficient"));
+        }
+    }
+    out.simplify();
+    Ok(out)
+}
+
+/// One factor of the expansion: a monomial in the GP variables.
+struct Factor {
+    coef: f64,
+    exps: Vec<(usize, f64)>,
+    has_b: bool,
+}
+
+/// Expands `(V + c + b)^p` (or `(V + b)^p` when `c_var` is `None`) into
+/// monomial factors over the GP variables.
+fn expand_item_factor(v: f64, p: u32, b_var: usize, c_var: Option<usize>) -> Vec<Factor> {
+    let mut out = Vec::new();
+    match c_var {
+        Some(cv) => {
+            // Multinomial over (V, c, b): p! / (j! k! l!) * V^j c^k b^l.
+            for l in 0..=p {
+                for k in 0..=(p - l) {
+                    let j = p - l - k;
+                    let coef = multinomial3(p, j, k, l) * pow_skip_zero(v, j);
+                    if coef == 0.0 {
+                        continue;
+                    }
+                    let mut exps = Vec::with_capacity(2);
+                    if k > 0 {
+                        exps.push((cv, k as f64));
+                    }
+                    if l > 0 {
+                        exps.push((b_var, l as f64));
+                    }
+                    out.push(Factor {
+                        coef,
+                        exps,
+                        has_b: l > 0,
+                    });
+                }
+            }
+        }
+        None => {
+            // Binomial over (V, b): C(p, l) * V^{p-l} b^l.
+            for l in 0..=p {
+                let j = p - l;
+                let coef = binomial(p, l) * pow_skip_zero(v, j);
+                if coef == 0.0 {
+                    continue;
+                }
+                let mut exps = Vec::with_capacity(1);
+                if l > 0 {
+                    exps.push((b_var, l as f64));
+                }
+                out.push(Factor {
+                    coef,
+                    exps,
+                    has_b: l > 0,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `v^j`, treating `0^0 = 1`.
+fn pow_skip_zero(v: f64, j: u32) -> f64 {
+    if j == 0 {
+        1.0
+    } else {
+        v.powi(j as i32)
+    }
+}
+
+fn binomial(n: u32, k: u32) -> f64 {
+    let mut r = 1.0;
+    for i in 0..k {
+        r = r * (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+fn multinomial3(p: u32, j: u32, k: u32, l: u32) -> f64 {
+    debug_assert_eq!(j + k + l, p);
+    binomial(p, j) * binomial(p - j, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polynomial::PTerm;
+
+    fn x(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    fn product_xy() -> Polynomial {
+        Polynomial::term(PTerm::new(1.0, [(x(0), 1), (x(1), 1)]).unwrap())
+    }
+
+    #[test]
+    fn eq1_for_product_query() {
+        // P = xy at V = (Vx, Vy), single DAB:
+        //   P(V+b) - P(V) = Vx*by + Vy*bx + bx*by  (Eq. 1).
+        let vmap = DabVarMap::for_polynomial(&product_xy(), false);
+        let g = deviation_posynomial(&product_xy(), &[3.0, 2.0], &vmap).unwrap();
+        assert_eq!(g.n_terms(), 3);
+        // Evaluate at b = (bx, by) and compare against the closed form.
+        for (bx, by) in [(0.5, 0.5), (1.0, 2.0), (0.1, 3.0)] {
+            let lhs = g.eval(&[bx, by]);
+            let rhs = 3.0 * by + 2.0 * bx + bx * by;
+            assert!((lhs - rhs).abs() < 1e-12, "{lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn eq2_for_product_query_with_secondary() {
+        // P = xy, dual DAB:
+        //   (Vx + cx) by + (Vy + cy) bx + bx by   (Eq. 2).
+        let p = product_xy();
+        let vmap = DabVarMap::for_polynomial(&p, true);
+        let g = deviation_posynomial(&p, &[3.0, 2.0], &vmap).unwrap();
+        // Vars: bx=0, by=1, cx=2, cy=3.
+        for (bx, by, cx, cy) in [(0.5, 0.5, 1.0, 1.5), (0.2, 0.7, 0.3, 0.9)] {
+            let lhs = g.eval(&[bx, by, cx, cy]);
+            let rhs = (3.0 + cx) * by + (2.0 + cy) * bx + bx * by;
+            assert!((lhs - rhs).abs() < 1e-12, "{lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn expansion_matches_numeric_difference_for_squares() {
+        // P = 2 x^2 y + y^3: check the expansion numerically against
+        // P(V+c+b) - P(V+c) at random-ish points.
+        let p = Polynomial::from_terms([
+            PTerm::new(2.0, [(x(0), 2), (x(1), 1)]).unwrap(),
+            PTerm::new(1.0, [(x(1), 3)]).unwrap(),
+        ]);
+        let vmap = DabVarMap::for_polynomial(&p, true);
+        let v = [1.5, 2.5];
+        let g = deviation_posynomial(&p, &v, &vmap).unwrap();
+        for (bx, by, cx, cy) in [(0.3, 0.1, 0.2, 0.4), (1.0, 1.0, 1.0, 1.0)] {
+            let up = p.eval(&[v[0] + cx + bx, v[1] + cy + by]);
+            let mid = p.eval(&[v[0] + cx, v[1] + cy]);
+            let lhs = g.eval(&[bx, by, cx, cy]);
+            assert!((lhs - (up - mid)).abs() < 1e-9, "{lhs} vs {}", up - mid);
+        }
+    }
+
+    #[test]
+    fn expansion_is_exact_worst_case_over_box() {
+        // For a PPQ the posynomial at (b, c=0) equals the exact worst-case
+        // deviation over the box |x - V| <= b.
+        let p = Polynomial::from_terms([
+            PTerm::new(1.0, [(x(0), 1), (x(1), 1)]).unwrap(),
+            PTerm::new(0.5, [(x(0), 2)]).unwrap(),
+        ]);
+        let vmap = DabVarMap::for_polynomial(&p, false);
+        let v = [3.0, 2.0];
+        let b = [0.4, 0.7];
+        let g = deviation_posynomial(&p, &v, &vmap).unwrap();
+        let exact = p.max_abs_deviation_over_box(&v, &[0.4, 0.7]);
+        assert!((g.eval(&b) - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_negative_coefficients_and_values() {
+        let p = product_xy().sub(&Polynomial::term(PTerm::new(1.0, [(x(2), 1)]).unwrap()));
+        let vmap = DabVarMap::for_polynomial(&p, false);
+        assert_eq!(
+            deviation_posynomial(&p, &[1.0, 1.0, 1.0], &vmap),
+            Err(PolyError::NotPositiveCoefficient)
+        );
+        let q = product_xy();
+        let vmap = DabVarMap::for_polynomial(&q, false);
+        assert!(matches!(
+            deviation_posynomial(&q, &[1.0, -1.0], &vmap),
+            Err(PolyError::NegativeValue { item: 1, .. })
+        ));
+        assert!(matches!(
+            deviation_posynomial(&q, &[1.0], &vmap),
+            Err(PolyError::MissingValue { item: 1 })
+        ));
+    }
+
+    #[test]
+    fn zero_values_drop_terms_but_keep_b_products() {
+        // P = xy at V = (0, 0): deviation is exactly bx * by.
+        let p = product_xy();
+        let vmap = DabVarMap::for_polynomial(&p, false);
+        let g = deviation_posynomial(&p, &[0.0, 0.0], &vmap).unwrap();
+        assert_eq!(g.n_terms(), 1);
+        assert!((g.eval(&[2.0, 3.0]) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linearized_is_sufficient_but_conservative() {
+        let p = product_xy();
+        let vmap = DabVarMap::for_polynomial(&p, false);
+        let v = [3.0, 2.0];
+        let exact = deviation_posynomial(&p, &v, &vmap).unwrap();
+        let lin = linearized_sufficient(&p, &v, &vmap).unwrap();
+        for b in [[0.5, 0.5], [1.0, 0.2], [2.0, 2.0]] {
+            assert!(
+                lin.eval(&b) >= exact.eval(&b) - 1e-12,
+                "linearized must dominate the exact deviation"
+            );
+        }
+        // lin = bx*(Vy + by) + by*(Vx + bx) has the cross term twice.
+        let b = [1.0, 1.0];
+        assert!((lin.eval(&b) - (1.0 * 3.0 + 1.0 * 2.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn var_map_layout_is_stable() {
+        let p = Polynomial::from_terms([PTerm::new(1.0, [(x(7), 1), (x(2), 1)]).unwrap()]);
+        let vmap = DabVarMap::for_polynomial(&p, true);
+        assert_eq!(vmap.items(), &[x(2), x(7)]);
+        assert_eq!(vmap.primary(x(2)), 0);
+        assert_eq!(vmap.primary(x(7)), 1);
+        assert_eq!(vmap.secondary(x(2)), Some(2));
+        assert_eq!(vmap.secondary(x(7)), Some(3));
+        assert_eq!(vmap.n_vars(), 4);
+    }
+
+    #[test]
+    fn coupled_items_excludes_linear_only_items() {
+        // P = x0 + x1 x2 + x3^2: x0 is linear-only; x1, x2, x3 coupled.
+        let p = Polynomial::from_terms([
+            PTerm::new(1.0, [(x(0), 1)]).unwrap(),
+            PTerm::new(1.0, [(x(1), 1), (x(2), 1)]).unwrap(),
+            PTerm::new(2.0, [(x(3), 2)]).unwrap(),
+        ]);
+        assert_eq!(coupled_items(&p), vec![x(1), x(2), x(3)]);
+        let vmap = PartialDabVarMap::for_polynomial(&p);
+        assert_eq!(vmap.n_items(), 4);
+        assert_eq!(vmap.n_vars(), 7);
+        assert_eq!(vmap.primary(x(0)), 0);
+        assert_eq!(vmap.secondary(x(0)), None);
+        assert_eq!(vmap.secondary(x(1)), Some(4));
+        assert_eq!(vmap.secondary(x(3)), Some(6));
+    }
+
+    #[test]
+    fn partial_map_expansion_has_no_uncoupled_secondary() {
+        // With the partial layout, the deviation of x0 + x1 x2 uses b0 but
+        // never any c for x0 — and matches the numeric difference.
+        let p = Polynomial::from_terms([
+            PTerm::new(1.0, [(x(0), 1)]).unwrap(),
+            PTerm::new(1.0, [(x(1), 1), (x(2), 1)]).unwrap(),
+        ]);
+        let vmap = PartialDabVarMap::for_polynomial(&p);
+        let v = [100.0, 10.0, 9.0];
+        let g = deviation_posynomial(&p, &v, &vmap).unwrap();
+        // vars: b0 b1 b2 c1 c2.
+        let xpt = [0.5, 0.1, 0.2, 0.4, 0.3];
+        let up = p.eval(&[
+            v[0] + xpt[0],
+            v[1] + xpt[3] + xpt[1],
+            v[2] + xpt[4] + xpt[2],
+        ]);
+        let mid = p.eval(&[v[0], v[1] + xpt[3], v[2] + xpt[4]]);
+        assert!((g.eval(&xpt) - (up - mid)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_polynomial_yields_empty_deviation() {
+        let p = Polynomial::term(PTerm::constant(5.0).unwrap());
+        let vmap = DabVarMap::new(vec![], false);
+        assert_eq!(
+            deviation_posynomial(&p, &[], &vmap),
+            Err(PolyError::EmptyPolynomial)
+        );
+    }
+}

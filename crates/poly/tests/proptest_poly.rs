@@ -1,0 +1,167 @@
+//! Property tests for polynomial algebra and constraint construction.
+
+use proptest::prelude::*;
+
+use pq_poly::{
+    coupled_items, deviation_posynomial, parse_polynomial, DabVarMap, ItemCatalog, ItemId,
+    PTerm, PartialDabVarMap, Polynomial,
+};
+
+fn x(i: u32) -> ItemId {
+    ItemId(i)
+}
+
+/// Arbitrary polynomial over 4 items with degrees <= 3, mixed signs.
+fn arb_poly() -> impl Strategy<Value = Polynomial> {
+    proptest::collection::vec(
+        (
+            (-20.0f64..20.0).prop_filter("nonzero", |c| c.abs() > 1e-3),
+            0u32..4,
+            1u32..3,
+            proptest::option::of((0u32..4, 1u32..2)),
+        ),
+        1..5,
+    )
+    .prop_map(|terms| {
+        Polynomial::from_terms(terms.into_iter().map(|(c, v, e, second)| {
+            let mut vars = vec![(x(v), e)];
+            if let Some((v2, e2)) = second {
+                vars.push((x(v2), e2));
+            }
+            PTerm::new(c, vars).unwrap()
+        }))
+    })
+    .prop_filter("non-zero polynomial", |p| !p.is_zero())
+}
+
+fn arb_positive_poly() -> impl Strategy<Value = Polynomial> {
+    arb_poly().prop_map(|p| {
+        let (p1, p2) = p.split_pos_neg();
+        let q = p1.add(&p2);
+        if q.is_zero() {
+            Polynomial::term(PTerm::new(1.0, [(x(0), 1)]).unwrap())
+        } else {
+            q
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Addition/subtraction/scaling agree with pointwise evaluation.
+    #[test]
+    fn ring_operations_commute_with_eval(
+        a in arb_poly(),
+        b in arb_poly(),
+        alpha in -5.0f64..5.0,
+        v in proptest::collection::vec(0.1f64..10.0, 4),
+    ) {
+        let scale = |r: f64| r.abs().max(1.0);
+        let sum = a.add(&b);
+        prop_assert!((sum.eval(&v) - (a.eval(&v) + b.eval(&v))).abs()
+            <= 1e-9 * scale(sum.eval(&v)));
+        let diff = a.sub(&b);
+        prop_assert!((diff.eval(&v) - (a.eval(&v) - b.eval(&v))).abs()
+            <= 1e-9 * scale(diff.eval(&v)));
+        let prod = a.mul(&b);
+        prop_assert!((prod.eval(&v) - a.eval(&v) * b.eval(&v)).abs()
+            <= 1e-6 * scale(prod.eval(&v)));
+        let scaled = a.scale(alpha);
+        prop_assert!((scaled.eval(&v) - alpha * a.eval(&v)).abs()
+            <= 1e-9 * scale(scaled.eval(&v)));
+    }
+
+    /// split_pos_neg always produces positive-coefficient halves that
+    /// recombine exactly.
+    #[test]
+    fn split_halves_are_positive_and_recombine(
+        p in arb_poly(),
+        v in proptest::collection::vec(0.1f64..10.0, 4),
+    ) {
+        let (p1, p2) = p.split_pos_neg();
+        prop_assert!(p1.is_positive_coefficient());
+        prop_assert!(p2.is_positive_coefficient());
+        prop_assert!(p1.sub(&p2).sub(&p).is_zero());
+        let lhs = p1.eval(&v) - p2.eval(&v);
+        prop_assert!((lhs - p.eval(&v)).abs() <= 1e-9 * lhs.abs().max(1.0));
+    }
+
+    /// The single-DAB deviation posynomial equals the exact corner-search
+    /// worst case for positive polynomials.
+    #[test]
+    fn deviation_equals_corner_search(
+        p in arb_positive_poly(),
+        v in proptest::collection::vec(0.1f64..10.0, 4),
+        widths in proptest::collection::vec(0.01f64..2.0, 4),
+    ) {
+        let vmap = DabVarMap::for_polynomial(&p, false);
+        let g = deviation_posynomial(&p, &v, &vmap).unwrap();
+        let bvec: Vec<f64> = vmap.items().iter().map(|i| widths[i.index()]).collect();
+        let mut dabs = [0.0; 4];
+        for &i in vmap.items() {
+            dabs[i.index()] = widths[i.index()];
+        }
+        let exact = p.max_abs_deviation_over_box(&v, &dabs);
+        let symbolic = g.eval(&bvec);
+        prop_assert!((exact - symbolic).abs() <= 1e-7 * exact.abs().max(1.0),
+            "corner {exact} vs symbolic {symbolic}");
+    }
+
+    /// With secondary DABs, the expansion evaluates exactly to
+    /// `P(V + c + b) - P(V + c)` for any positive widths.
+    #[test]
+    fn dual_deviation_matches_direct_difference(
+        p in arb_positive_poly(),
+        v in proptest::collection::vec(0.5f64..10.0, 4),
+        b in proptest::collection::vec(0.01f64..1.0, 4),
+        c in proptest::collection::vec(0.01f64..2.0, 4),
+    ) {
+        let vmap = PartialDabVarMap::for_polynomial(&p);
+        let g = deviation_posynomial(&p, &v, &vmap).unwrap();
+        let n = vmap.n_items();
+        let mut point = vec![0.0; vmap.n_vars()];
+        for (k, &item) in vmap.items().iter().enumerate() {
+            point[k] = b[item.index()];
+        }
+        for (j, &item) in vmap.coupled().iter().enumerate() {
+            point[n + j] = c[item.index()];
+        }
+        // Direct difference: uncoupled items shift only by b; coupled by
+        // b + c in the "up" state and by c in the reference state.
+        let coupled = coupled_items(&p);
+        let mut up = v.clone();
+        let mut mid = v.clone();
+        for &item in vmap.items() {
+            let i = item.index();
+            let is_coupled = coupled.binary_search(&item).is_ok();
+            let ci = if is_coupled { c[i] } else { 0.0 };
+            up[i] = v[i] + ci + b[i];
+            mid[i] = v[i] + ci;
+        }
+        let direct = p.eval(&up) - p.eval(&mid);
+        let symbolic = g.eval(&point);
+        prop_assert!((direct - symbolic).abs() <= 1e-7 * direct.abs().max(1.0),
+            "direct {direct} vs symbolic {symbolic}");
+    }
+
+    /// Display -> parse round-trips polynomials (structure-preserving up to
+    /// evaluation).
+    #[test]
+    fn display_parse_round_trip(
+        p in arb_poly(),
+        v in proptest::collection::vec(0.1f64..10.0, 4),
+    ) {
+        let rendered = format!("{p}");
+        let mut cat = ItemCatalog::new();
+        // Pre-intern x0..x3 so ids line up with the originals.
+        for i in 0..4 {
+            cat.intern(&format!("x{i}"));
+        }
+        let reparsed = parse_polynomial(&rendered, &mut cat).unwrap();
+        let a = p.eval(&v);
+        let b = reparsed.eval(&v);
+        prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0),
+            "rendered {rendered}: {a} vs {b}");
+    }
+}

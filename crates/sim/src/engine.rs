@@ -1,0 +1,731 @@
+//! The single-coordinator discrete-event simulation (§V-A methodology).
+//!
+//! Sources replay per-item traces at 1 s ticks and push a refresh whenever
+//! their value drifts past the installed primary DAB. Refreshes reach the
+//! coordinator after a heavy-tailed network + processing delay; the
+//! coordinator updates its cached value, notifies users of QAB-violating
+//! changes, and — when the arriving value invalidates a query's DAB
+//! assignment — recomputes that query's DABs and sends DAB-change messages
+//! back to the sources (which apply them after another network delay).
+//!
+//! Fidelity is sampled at tick instants: a query is in violation when the
+//! coordinator's cached query value deviates from the true source value by
+//! more than the QAB. With [`crate::delay::DelayConfig::zero`] delays,
+//! Condition 1 guarantees zero loss; delayed modes reproduce the loss
+//! trends of Fig. 5(c). Sub-second violation windows between ticks are
+//! invisible to the sampler, so absolute loss numbers are conservative —
+//! trends across strategies and delays are what this reproduces (the
+//! paper makes the same caveat for its PlanetLab runs).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pq_core::{
+    aao, assign_unit, assignment_units, AssignmentStrategy, AssignmentUnit, DabError, PqHeuristic,
+    QueryAssignment, SolveContext,
+};
+use pq_ddm::{DataDynamicsModel, RateEstimator, TraceSet};
+use pq_gp::SolverOptions;
+use pq_poly::PolynomialQuery;
+
+use crate::delay::DelayConfig;
+use crate::event::{Event, EventQueue};
+use crate::metrics::SimMetrics;
+
+/// How the coordinator manages DABs across its queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimStrategy {
+    /// EQI: per-query assignments with the given strategy; installed
+    /// filters are per-item minima (§IV).
+    PerQuery {
+        /// Per-query assignment policy.
+        strategy: AssignmentStrategy,
+        /// Heuristic for mixed-sign queries.
+        heuristic: PqHeuristic,
+    },
+    /// AAO-T: a joint AAO recomputation every `period_ticks`; between
+    /// periods, secondary-DAB violations trigger per-query Dual-DAB
+    /// recomputations (§V-B.1, curves AAO-30 .. AAO-1500).
+    AaoPeriodic {
+        /// Joint recomputation period in ticks.
+        period_ticks: usize,
+        /// Recomputation cost parameter.
+        mu: f64,
+    },
+}
+
+/// Full configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Per-item data traces (item `i` follows trace `i`).
+    pub traces: TraceSet,
+    /// The continuous queries registered at the coordinator.
+    pub queries: Vec<PolynomialQuery>,
+    /// DAB management strategy.
+    pub strategy: SimStrategy,
+    /// Assumed data-dynamics model for the optimizers.
+    pub ddm: DataDynamicsModel,
+    /// Rate-of-change estimator (the paper samples at 60 s).
+    pub rate_estimator: RateEstimator,
+    /// Delay model.
+    pub delays: DelayConfig,
+    /// Accounting cost of one recomputation, in messages (metric 4).
+    pub mu_cost: f64,
+    /// RNG seed for delays.
+    pub seed: u64,
+    /// Sample fidelity every this many ticks (0 disables sampling).
+    pub fidelity_sample_every: usize,
+    /// Probability that any message (refresh or DAB-change) is silently
+    /// dropped in transit — failure injection for resilience experiments.
+    /// The push protocol has no acknowledgements (as in the paper), so a
+    /// lost refresh stays lost until the source's value escapes its filter
+    /// again.
+    pub loss_probability: f64,
+    /// GP solver options for all recomputations.
+    pub gp: SolverOptions,
+}
+
+impl SimConfig {
+    /// A reasonable default configuration over the given traces and
+    /// queries: Dual-DAB with `mu = 5`, monotonic ddm, 60-tick rate
+    /// sampling, PlanetLab-like delays.
+    pub fn new(traces: TraceSet, queries: Vec<PolynomialQuery>) -> Self {
+        SimConfig {
+            traces,
+            queries,
+            strategy: SimStrategy::PerQuery {
+                strategy: AssignmentStrategy::DualDab { mu: 5.0 },
+                heuristic: PqHeuristic::DifferentSum,
+            },
+            ddm: DataDynamicsModel::Monotonic,
+            rate_estimator: RateEstimator::SampledAverage { interval_ticks: 60 },
+            delays: DelayConfig::planetlab_like(),
+            mu_cost: 5.0,
+            seed: 42,
+            fidelity_sample_every: 1,
+            loss_probability: 0.0,
+            gp: SolverOptions::default(),
+        }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug)]
+pub enum SimError {
+    /// A DAB solve failed for the given query index.
+    Dab {
+        /// Index into `SimConfig::queries`.
+        query: usize,
+        /// Underlying error.
+        source: DabError,
+    },
+    /// A query references an item with no trace.
+    MissingTrace {
+        /// The missing item index.
+        item: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Dab { query, source } => {
+                write!(f, "DAB assignment failed for query {query}: {source}")
+            }
+            SimError::MissingTrace { item } => {
+                write!(f, "query references item x{item} with no trace")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Runs the simulation to completion and returns the collected metrics.
+pub fn run(config: &SimConfig) -> Result<SimMetrics, SimError> {
+    Engine::new(config)?.run()
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    n_items: usize,
+    rates: Vec<f64>,
+    /// True values at the sources (current tick).
+    source_values: Vec<f64>,
+    /// Value each source last pushed.
+    last_pushed: Vec<f64>,
+    /// Filter width currently installed at each source.
+    installed_dab: Vec<f64>,
+    /// Values cached at the coordinator.
+    coord_values: Vec<f64>,
+    /// The coordinator's target filter per item (min across queries).
+    coord_dabs: Vec<f64>,
+    /// Independently maintained assignment units per query (one for most
+    /// strategies, two for Half-and-Half on mixed-sign queries).
+    units: Vec<Vec<AssignmentUnit>>,
+    assignments: Vec<Vec<QueryAssignment>>,
+    /// item -> indices of queries referencing it.
+    item_queries: Vec<Vec<u32>>,
+    /// Last query value pushed to each user.
+    last_user_value: Vec<f64>,
+    queue: EventQueue,
+    rng: StdRng,
+    metrics: SimMetrics,
+    /// The coordinator is busy (checking queries / re-solving DABs) until
+    /// this time; refreshes arriving earlier wait in its queue.
+    coordinator_busy_until: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a SimConfig) -> Result<Self, SimError> {
+        let n_items = cfg.traces.n_items();
+        for q in &cfg.queries {
+            if let Some(mx) = q.poly().max_item() {
+                if mx.index() >= n_items {
+                    return Err(SimError::MissingTrace { item: mx.index() });
+                }
+            }
+        }
+        let rates = cfg.rate_estimator.estimate_all(&cfg.traces);
+        let source_values = cfg.traces.initial_values();
+        let mut item_queries = vec![Vec::new(); n_items];
+        for (qi, q) in cfg.queries.iter().enumerate() {
+            for item in q.items() {
+                item_queries[item.index()].push(qi as u32);
+            }
+        }
+        let last_user_value = cfg.queries.iter().map(|q| q.eval(&source_values)).collect();
+        let mut engine = Engine {
+            cfg,
+            n_items,
+            rates,
+            last_pushed: source_values.clone(),
+            coord_values: source_values.clone(),
+            coord_dabs: vec![f64::INFINITY; n_items],
+            installed_dab: vec![f64::INFINITY; n_items],
+            source_values,
+            units: Vec::new(),
+            assignments: Vec::new(),
+            item_queries,
+            last_user_value,
+            queue: EventQueue::new(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            metrics: SimMetrics::new(cfg.queries.len()),
+            coordinator_busy_until: 0.0,
+        };
+        engine.initial_assignments()?;
+        Ok(engine)
+    }
+
+    fn solve_context(&self) -> SolveContext<'_> {
+        SolveContext {
+            values: &self.coord_values,
+            rates: &self.rates,
+            ddm: self.cfg.ddm,
+            gp: self.cfg.gp.clone(),
+        }
+    }
+
+    fn initial_assignments(&mut self) -> Result<(), SimError> {
+        let started = Instant::now();
+        match &self.cfg.strategy {
+            SimStrategy::PerQuery {
+                strategy,
+                heuristic,
+            } => {
+                self.units = self
+                    .cfg
+                    .queries
+                    .iter()
+                    .map(|q| assignment_units(q, *strategy, *heuristic))
+                    .collect();
+                let ctx = self.solve_context();
+                let mut assignments = Vec::with_capacity(self.units.len());
+                for (qi, units) in self.units.iter().enumerate() {
+                    let per_unit = units
+                        .iter()
+                        .map(|u| {
+                            assign_unit(u, &ctx, *strategy)
+                                .map_err(|source| SimError::Dab { query: qi, source })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    assignments.push(per_unit);
+                }
+                self.assignments = assignments;
+            }
+            SimStrategy::AaoPeriodic { mu, .. } => {
+                self.units = self
+                    .cfg
+                    .queries
+                    .iter()
+                    .map(|q| {
+                        assignment_units(
+                            q,
+                            AssignmentStrategy::DualDab { mu: *mu },
+                            PqHeuristic::DifferentSum,
+                        )
+                    })
+                    .collect();
+                let ctx = self.solve_context();
+                self.assignments = aao(&self.cfg.queries, &ctx, *mu)
+                    .map_err(|source| SimError::Dab { query: 0, source })?
+                    .per_query
+                    .into_iter()
+                    .map(|a| vec![a])
+                    .collect();
+            }
+        }
+        self.metrics.solver_seconds += started.elapsed().as_secs_f64();
+        // Synchronous installation at t = 0 (steady-state start, §V-A).
+        self.recompute_coord_dabs_all();
+        self.installed_dab = self.coord_dabs.clone();
+        Ok(())
+    }
+
+    fn recompute_coord_dabs_all(&mut self) {
+        self.coord_dabs = vec![f64::INFINITY; self.n_items];
+        for per_query in &self.assignments {
+            for qa in per_query {
+                for (&item, &b) in &qa.primary {
+                    let d = &mut self.coord_dabs[item.index()];
+                    *d = d.min(b);
+                }
+            }
+        }
+    }
+
+    /// Recomputes the min filter for one item across all units of the
+    /// queries referencing it.
+    fn min_dab_for_item(&self, item: usize) -> f64 {
+        let mut m = f64::INFINITY;
+        for &qi in &self.item_queries[item] {
+            for qa in &self.assignments[qi as usize] {
+                if let Some(b) = qa.primary_dab(pq_poly::ItemId(item as u32)) {
+                    m = m.min(b);
+                }
+            }
+        }
+        m
+    }
+
+    fn run(mut self) -> Result<SimMetrics, SimError> {
+        self.installed_dab = self.coord_dabs.clone();
+        let n_ticks = self.cfg.traces.n_ticks();
+        for tick in 1..n_ticks {
+            let now = tick as f64;
+            // AAO-T periodic joint recomputation.
+            if let SimStrategy::AaoPeriodic { period_ticks, mu } = &self.cfg.strategy {
+                if *period_ticks > 0 && tick % period_ticks == 0 {
+                    self.periodic_aao(now, *mu)?;
+                }
+            }
+            // Sources observe the tick's values and push filtered changes.
+            for item in 0..self.n_items {
+                let v = self.cfg.traces.trace(item).at(tick);
+                self.source_values[item] = v;
+                self.maybe_push(item, now);
+            }
+            // Deliver everything due by this tick.
+            while let Some((t, event)) = self.queue.pop_until(now) {
+                match event {
+                    Event::RefreshArrive { item, value } => {
+                        // Queueing at the coordinator: wait until it is
+                        // free, then occupy it for the processing time.
+                        if self.coordinator_busy_until > t {
+                            self.queue.push(
+                                self.coordinator_busy_until,
+                                Event::RefreshArrive { item, value },
+                            );
+                            continue;
+                        }
+                        self.on_refresh(item, value, t)?;
+                    }
+                    Event::DabChangeArrive { item, dab } => {
+                        self.installed_dab[item] = dab;
+                        self.maybe_push(item, t);
+                    }
+                }
+            }
+            // Fidelity sample.
+            if self.cfg.fidelity_sample_every > 0 && tick % self.cfg.fidelity_sample_every == 0 {
+                self.metrics.fidelity_samples += 1;
+                for (qi, q) in self.cfg.queries.iter().enumerate() {
+                    let truth = q.eval(&self.source_values);
+                    let cached = q.eval(&self.coord_values);
+                    if (truth - cached).abs() > q.qab() {
+                        self.metrics.per_query_violations[qi] += 1;
+                    }
+                }
+            }
+        }
+        Ok(self.metrics)
+    }
+
+    /// Source-side filter: push when the value escapes the installed DAB.
+    fn maybe_push(&mut self, item: usize, now: f64) {
+        let v = self.source_values[item];
+        let dab = self.installed_dab[item];
+        if dab.is_finite() && (v - self.last_pushed[item]).abs() > dab {
+            self.last_pushed[item] = v;
+            if self.drop_message() {
+                return;
+            }
+            let delay = self.cfg.delays.node_to_node.sample(&mut self.rng);
+            self.queue
+                .push(now + delay, Event::RefreshArrive { item, value: v });
+        }
+    }
+
+    /// Failure injection: true if this message is lost in transit.
+    fn drop_message(&mut self) -> bool {
+        use rand::Rng;
+        if self.cfg.loss_probability > 0.0
+            && self.rng.gen::<f64>() < self.cfg.loss_probability
+        {
+            self.metrics.lost_messages += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_refresh(&mut self, item: usize, value: f64, now: f64) -> Result<(), SimError> {
+        self.metrics.refreshes += 1;
+        self.coord_values[item] = value;
+        // One query-check service charge per refresh (the paper's 4 ms
+        // mean covers processing an arriving refresh, §V-A).
+        let mut service = self.cfg.delays.coordinator_check.sample(&mut self.rng);
+        let recomputes_before = self.metrics.recomputations;
+
+        let affected: Vec<u32> = self.item_queries[item].clone();
+        for &qi in &affected {
+            let qi = qi as usize;
+            let q = &self.cfg.queries[qi];
+            // Notify the user if the cached query value moved past the QAB.
+            let qv = q.eval(&self.coord_values);
+            if (qv - self.last_user_value[qi]).abs() > q.qab() {
+                self.last_user_value[qi] = qv;
+                self.metrics.user_notifications += 1;
+            }
+            // Recompute the DABs of any unit the refresh invalidated.
+            let stale: Vec<usize> = self.assignments[qi]
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !a.is_valid_at(&self.coord_values))
+                .map(|(ui, _)| ui)
+                .collect();
+            for ui in stale {
+                self.recompute_unit(qi, ui, now)?;
+            }
+        }
+        // Occupy the coordinator: per-query checks plus one solver run per
+        // recomputation. (DAB-change messages were scheduled from the
+        // processing start — a slight idealization.)
+        let recomputes = self.metrics.recomputations - recomputes_before;
+        for _ in 0..recomputes {
+            service += self.cfg.delays.recompute_service.sample(&mut self.rng);
+        }
+        self.coordinator_busy_until = now + service;
+        Ok(())
+    }
+
+    fn recompute_unit(&mut self, qi: usize, ui: usize, now: f64) -> Result<(), SimError> {
+        let unit = &self.units[qi][ui];
+        let strategy = match &self.cfg.strategy {
+            SimStrategy::PerQuery { strategy, .. } => *strategy,
+            // Between AAO periods, stale queries are re-solved individually
+            // with Dual-DAB (§V-B.1).
+            SimStrategy::AaoPeriodic { mu, .. } => AssignmentStrategy::DualDab { mu: *mu },
+        };
+        let started = Instant::now();
+        let new_assignment = assign_unit(unit, &self.solve_context(), strategy)
+            .map_err(|source| SimError::Dab { query: qi, source })?;
+        self.metrics.solver_seconds += started.elapsed().as_secs_f64();
+        self.metrics.recomputations += 1;
+
+        let items: Vec<usize> = new_assignment.primary.keys().map(|i| i.index()).collect();
+        self.assignments[qi][ui] = new_assignment;
+        self.propagate_dab_changes(&items, now);
+        Ok(())
+    }
+
+    /// Re-derives installed filters for `items` and ships changes to the
+    /// sources.
+    fn propagate_dab_changes(&mut self, items: &[usize], now: f64) {
+        for &item in items {
+            let new_min = self.min_dab_for_item(item);
+            let old = self.coord_dabs[item];
+            let changed = if old.is_finite() {
+                (new_min - old).abs() > 1e-12 * old.abs()
+            } else {
+                new_min.is_finite()
+            };
+            if changed {
+                self.coord_dabs[item] = new_min;
+                self.metrics.dab_change_messages += 1;
+                if self.drop_message() {
+                    continue;
+                }
+                let delay = self.cfg.delays.node_to_node.sample(&mut self.rng);
+                self.queue
+                    .push(now + delay, Event::DabChangeArrive { item, dab: new_min });
+            }
+        }
+    }
+
+    fn periodic_aao(&mut self, now: f64, mu: f64) -> Result<(), SimError> {
+        let started = Instant::now();
+        let ca = aao(&self.cfg.queries, &self.solve_context(), mu)
+            .map_err(|source| SimError::Dab { query: 0, source })?;
+        self.metrics.solver_seconds += started.elapsed().as_secs_f64();
+        // Every query's DABs were recomputed (counted per query, as the
+        // paper does for the AAO-T curves).
+        self.metrics.recomputations += self.cfg.queries.len() as u64;
+        self.assignments = ca.per_query.into_iter().map(|a| vec![a]).collect();
+        let items: Vec<usize> = (0..self.n_items).collect();
+        self.propagate_dab_changes(&items, now);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::Pareto;
+    use pq_ddm::Trace;
+    use pq_poly::ItemId;
+
+    fn x(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    /// Two items moving as slow sinusoids, one product query.
+    fn small_config(delays: DelayConfig, strategy: SimStrategy) -> SimConfig {
+        let traces = TraceSet::new(vec![
+            Trace::sinusoid(20.0, 3.0, 400.0, 1200),
+            Trace::sinusoid(10.0, 2.0, 300.0, 1200),
+        ]);
+        let queries = vec![PolynomialQuery::portfolio([(1.0, x(0), x(1))], 8.0).unwrap()];
+        let mut cfg = SimConfig::new(traces, queries);
+        cfg.delays = delays;
+        cfg.strategy = strategy;
+        cfg
+    }
+
+    fn dual(mu: f64) -> SimStrategy {
+        SimStrategy::PerQuery {
+            strategy: AssignmentStrategy::DualDab { mu },
+            heuristic: PqHeuristic::DifferentSum,
+        }
+    }
+
+    fn optimal() -> SimStrategy {
+        SimStrategy::PerQuery {
+            strategy: AssignmentStrategy::OptimalRefresh,
+            heuristic: PqHeuristic::DifferentSum,
+        }
+    }
+
+    #[test]
+    fn zero_delay_never_violates_qab() {
+        // Condition 1 + zero delays => fidelity loss must be exactly 0.
+        for strategy in [dual(5.0), optimal()] {
+            let cfg = small_config(DelayConfig::zero(), strategy.clone());
+            let m = run(&cfg).unwrap();
+            assert_eq!(
+                m.loss_in_fidelity_percent(),
+                0.0,
+                "{strategy:?}: violations {:?}",
+                m.per_query_violations
+            );
+            assert!(m.refreshes > 0, "the traces do move");
+        }
+    }
+
+    #[test]
+    fn optimal_refresh_recomputes_on_every_refresh() {
+        let cfg = small_config(DelayConfig::zero(), optimal());
+        let m = run(&cfg).unwrap();
+        // Single query referencing both items: every arriving refresh
+        // invalidates the anchor-only assignment.
+        assert_eq!(m.recomputations, m.refreshes);
+    }
+
+    #[test]
+    fn dual_dab_recomputes_less_but_refreshes_more() {
+        let opt = run(&small_config(DelayConfig::zero(), optimal())).unwrap();
+        let dd = run(&small_config(DelayConfig::zero(), dual(5.0))).unwrap();
+        assert!(
+            dd.recomputations * 2 < opt.recomputations,
+            "dual {} vs optimal {}",
+            dd.recomputations,
+            opt.recomputations
+        );
+        assert!(
+            dd.refreshes >= opt.refreshes,
+            "{} vs {}",
+            dd.refreshes,
+            opt.refreshes
+        );
+        // And the total cost with mu = 5 favours Dual-DAB.
+        assert!(dd.total_cost(5.0) < opt.total_cost(5.0));
+    }
+
+    #[test]
+    fn larger_mu_means_fewer_recomputations() {
+        let m1 = run(&small_config(DelayConfig::zero(), dual(1.0))).unwrap();
+        let m10 = run(&small_config(DelayConfig::zero(), dual(10.0))).unwrap();
+        assert!(
+            m10.recomputations <= m1.recomputations,
+            "mu=10 {} vs mu=1 {}",
+            m10.recomputations,
+            m1.recomputations
+        );
+    }
+
+    #[test]
+    fn delays_cause_some_fidelity_loss() {
+        let cfg = small_config(DelayConfig::with_node_mean(2.0), dual(5.0));
+        let m = run(&cfg).unwrap();
+        // With 2 s mean network delay, some violation windows must be
+        // visible at 1 s sampling.
+        assert!(
+            m.loss_in_fidelity_percent() > 0.0,
+            "violations {:?}",
+            m.per_query_violations
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = small_config(DelayConfig::planetlab_like(), dual(5.0));
+        let mut a = run(&cfg).unwrap();
+        let mut b = run(&cfg).unwrap();
+        // Wall-clock solver time is the only nondeterministic field.
+        a.solver_seconds = 0.0;
+        b.solver_seconds = 0.0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn aao_periodic_runs_and_counts_recomputations() {
+        let traces = TraceSet::new(vec![
+            Trace::sinusoid(20.0, 3.0, 400.0, 600),
+            Trace::sinusoid(10.0, 2.0, 300.0, 600),
+            Trace::sinusoid(15.0, 2.0, 350.0, 600),
+        ]);
+        let queries = vec![
+            PolynomialQuery::portfolio([(1.0, x(0), x(1))], 8.0).unwrap(),
+            PolynomialQuery::portfolio([(1.0, x(1), x(2))], 8.0).unwrap(),
+        ];
+        let mut cfg = SimConfig::new(traces, queries);
+        cfg.delays = DelayConfig::zero();
+        cfg.strategy = SimStrategy::AaoPeriodic {
+            period_ticks: 100,
+            mu: 5.0,
+        };
+        let m = run(&cfg).unwrap();
+        // 5 periodic runs (ticks 100..500) x 2 queries at minimum.
+        assert!(
+            m.recomputations >= 10,
+            "recomputations {}",
+            m.recomputations
+        );
+        assert_eq!(m.loss_in_fidelity_percent(), 0.0);
+    }
+
+    #[test]
+    fn queries_over_missing_items_are_rejected() {
+        let traces = TraceSet::new(vec![Trace::constant(1.0, 10)]);
+        let queries = vec![PolynomialQuery::portfolio([(1.0, x(0), x(5))], 1.0).unwrap()];
+        let cfg = SimConfig::new(traces, queries);
+        assert!(matches!(run(&cfg), Err(SimError::MissingTrace { item: 5 })));
+    }
+
+    #[test]
+    fn constant_traces_generate_no_traffic() {
+        let traces = TraceSet::new(vec![Trace::constant(5.0, 300), Trace::constant(7.0, 300)]);
+        let queries = vec![PolynomialQuery::portfolio([(1.0, x(0), x(1))], 5.0).unwrap()];
+        let mut cfg = SimConfig::new(traces, queries);
+        cfg.delays = DelayConfig::zero();
+        let m = run(&cfg).unwrap();
+        assert_eq!(m.refreshes, 0);
+        assert_eq!(m.recomputations, 0);
+        assert_eq!(m.loss_in_fidelity_percent(), 0.0);
+    }
+
+    #[test]
+    fn busy_coordinator_queues_refreshes() {
+        // A large recompute service under Optimal Refresh (which
+        // recomputes per refresh) must visibly degrade fidelity compared
+        // to a free coordinator, with identical message counts at the
+        // sources.
+        let mut slow = small_config(DelayConfig::zero(), optimal());
+        slow.delays.recompute_service = Pareto::with_mean(3.0);
+        let m_slow = run(&slow).unwrap();
+        let m_fast = run(&small_config(DelayConfig::zero(), optimal())).unwrap();
+        assert!(
+            m_slow.loss_in_fidelity_percent() > m_fast.loss_in_fidelity_percent(),
+            "slow {} vs fast {}",
+            m_slow.loss_in_fidelity_percent(),
+            m_fast.loss_in_fidelity_percent()
+        );
+        assert!(m_slow.loss_in_fidelity_percent() > 0.0);
+    }
+
+    #[test]
+    fn dual_dab_suffers_less_under_coordinator_load() {
+        // The motivation for minimizing recomputations: with a costly
+        // solver in the loop, Dual-DAB's rare recomputations keep the
+        // coordinator responsive while Optimal Refresh backs up.
+        let mut o = small_config(DelayConfig::zero(), optimal());
+        o.delays.recompute_service = Pareto::with_mean(3.0);
+        let mut d = small_config(DelayConfig::zero(), dual(5.0));
+        d.delays.recompute_service = Pareto::with_mean(3.0);
+        let mo = run(&o).unwrap();
+        let md = run(&d).unwrap();
+        assert!(
+            md.loss_in_fidelity_percent() < mo.loss_in_fidelity_percent(),
+            "dual {} vs optimal {}",
+            md.loss_in_fidelity_percent(),
+            mo.loss_in_fidelity_percent()
+        );
+    }
+
+    #[test]
+    fn message_loss_degrades_fidelity() {
+        let lossless = run(&small_config(DelayConfig::zero(), dual(5.0))).unwrap();
+        assert_eq!(lossless.lost_messages, 0);
+        assert_eq!(lossless.loss_in_fidelity_percent(), 0.0);
+
+        let mut cfg = small_config(DelayConfig::zero(), dual(5.0));
+        cfg.loss_probability = 0.4;
+        let lossy = run(&cfg).unwrap();
+        assert!(lossy.lost_messages > 0);
+        assert!(
+            lossy.loss_in_fidelity_percent() > 0.0,
+            "dropped refreshes must show up as staleness"
+        );
+        // Fewer refreshes arrive than were pushed.
+        assert!(lossy.refreshes < lossless.refreshes + lossy.lost_messages);
+    }
+
+    #[test]
+    fn loss_probability_scales_monotonically() {
+        let mut last = -1.0;
+        for p in [0.0, 0.2, 0.6] {
+            let mut cfg = small_config(DelayConfig::zero(), dual(5.0));
+            cfg.loss_probability = p;
+            let m = run(&cfg).unwrap();
+            let loss = m.loss_in_fidelity_percent();
+            assert!(
+                loss >= last,
+                "fidelity loss should not improve with more message loss: \
+                 p={p} gave {loss} after {last}"
+            );
+            last = loss;
+        }
+    }
+}

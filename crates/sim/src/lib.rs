@@ -1,0 +1,26 @@
+//! # pq-sim — discrete-event simulation of accuracy-bounded dissemination
+//!
+//! Substrate replacing the paper's emulation / PlanetLab test-bed (§V-A):
+//!
+//! * [`delay`] — heavy-tailed Pareto communication & computation delays;
+//! * [`event`] — deterministic discrete-event queue;
+//! * [`engine`] — the single-coordinator push-protocol simulation
+//!   (sources with DAB filters, refresh delivery, user notification,
+//!   validity-triggered DAB recomputation, fidelity sampling);
+//! * [`network`] — a dissemination tree of cooperating coordinators for
+//!   the Fig. 8(c) experiment;
+//! * [`metrics`] — the paper's four metrics (fidelity loss, refreshes,
+//!   recomputations, total cost).
+
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod engine;
+pub mod event;
+pub mod metrics;
+pub mod network;
+
+pub use delay::{DelayConfig, Pareto};
+pub use engine::{run, SimConfig, SimError, SimStrategy};
+pub use metrics::SimMetrics;
+pub use network::{run_network, NetworkConfig, NetworkMetrics};

@@ -1,0 +1,82 @@
+//! Metrics collected by a simulation run (§V-A, "Metrics").
+
+/// Counters and derived measures from one simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimMetrics {
+    /// Refresh messages arriving at the coordinator (metric 2).
+    pub refreshes: u64,
+    /// Total DAB recomputations across all queries (metric 3).
+    pub recomputations: u64,
+    /// DAB-change messages sent from the coordinator to sources after
+    /// recomputations (informational; the paper folds these into `mu`).
+    pub dab_change_messages: u64,
+    /// Query values pushed to users after QAB-violating refreshes.
+    pub user_notifications: u64,
+    /// Per-query count of fidelity samples that violated the QAB.
+    pub per_query_violations: Vec<u64>,
+    /// Number of fidelity samples taken (per query).
+    pub fidelity_samples: u64,
+    /// Messages dropped by failure injection (refreshes and DAB changes).
+    pub lost_messages: u64,
+    /// Wall-clock seconds spent inside DAB solvers (solver-cost proxy).
+    pub solver_seconds: f64,
+}
+
+impl SimMetrics {
+    /// Creates zeroed metrics for `n_queries` queries.
+    pub fn new(n_queries: usize) -> Self {
+        SimMetrics {
+            per_query_violations: vec![0; n_queries],
+            ..Default::default()
+        }
+    }
+
+    /// Total cost in messages: `refreshes + mu * recomputations`
+    /// (metric 4).
+    pub fn total_cost(&self, mu: f64) -> f64 {
+        self.refreshes as f64 + mu * self.recomputations as f64
+    }
+
+    /// Mean loss in fidelity across queries, in percent (metric 1):
+    /// the fraction of observed time a query's QAB was violated.
+    pub fn loss_in_fidelity_percent(&self) -> f64 {
+        if self.fidelity_samples == 0 || self.per_query_violations.is_empty() {
+            return 0.0;
+        }
+        let mean_violation: f64 = self
+            .per_query_violations
+            .iter()
+            .map(|&v| v as f64 / self.fidelity_samples as f64)
+            .sum::<f64>()
+            / self.per_query_violations.len() as f64;
+        100.0 * mean_violation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cost_combines_refreshes_and_recomputations() {
+        let mut m = SimMetrics::new(1);
+        m.refreshes = 100;
+        m.recomputations = 10;
+        assert_eq!(m.total_cost(5.0), 150.0);
+        assert_eq!(m.total_cost(0.0), 100.0);
+    }
+
+    #[test]
+    fn fidelity_loss_is_mean_over_queries() {
+        let mut m = SimMetrics::new(2);
+        m.fidelity_samples = 100;
+        m.per_query_violations = vec![10, 30];
+        assert!((m.loss_in_fidelity_percent() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_loss_with_no_samples_is_zero() {
+        let m = SimMetrics::new(3);
+        assert_eq!(m.loss_in_fidelity_percent(), 0.0);
+    }
+}

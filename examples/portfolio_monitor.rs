@@ -1,0 +1,101 @@
+//! Global portfolio monitoring (Query 1(a) of the paper).
+//!
+//! A fund tracks `sum_i (shares_i * price_i * fx_j)` across exchanges.
+//! Both prices and FX rates move continuously; the user tolerates $500 of
+//! imprecision. We generate stock-like traces, estimate rates of change
+//! the way the paper does, install Dual-DAB filters, and replay the traces
+//! through the `Monitor`, reporting the message economics at the end.
+//!
+//! Run with: `cargo run --release --example portfolio_monitor`
+
+use polyquery::core::AssignmentStrategy;
+use polyquery::{Monitor, PolynomialQuery, RateEstimator, Trace};
+
+fn main() {
+    // --- Market data: 6 stocks on 2 exchanges + 2 FX rates ---------------
+    let names = [
+        "aapl", "msft", "goog", "tsmc", "sony", "asml", "usd_eur", "usd_jpy",
+    ];
+    let n_ticks = 3600; // one hour at 1 s ticks
+    let traces: Vec<Trace> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let initial = if name.starts_with("usd") {
+                1.0
+            } else {
+                80.0 + 30.0 * i as f64
+            };
+            let sigma = if name.starts_with("usd") {
+                0.00005
+            } else {
+                0.0006
+            };
+            Trace::gbm(initial, 0.0, sigma, n_ticks, 0xF00D + i as u64)
+        })
+        .collect();
+
+    // Rate estimation exactly as §V-A: sample every 60 s, average.
+    let estimator = RateEstimator::SampledAverage { interval_ticks: 60 };
+
+    let mut monitor = Monitor::new().with_strategy(AssignmentStrategy::DualDab { mu: 5.0 });
+    let ids: Vec<_> = names
+        .iter()
+        .zip(&traces)
+        .map(|(name, tr)| monitor.add_item(name, tr.initial(), estimator.estimate(tr)))
+        .collect();
+
+    // Portfolio: US leg in EUR terms, Asia leg in JPY terms.
+    let shares = [120.0, 80.0, 20.0, 300.0, 150.0, 40.0];
+    let legs: Vec<(f64, _, _)> = (0..6)
+        .map(|i| {
+            let fx = if i < 3 { ids[6] } else { ids[7] };
+            (shares[i], ids[i], fx)
+        })
+        .collect();
+    let q = monitor.add_query(PolynomialQuery::portfolio(legs, 500.0).unwrap());
+
+    let filters = monitor.install().unwrap();
+    println!("Installed source filters:");
+    for (item, b) in &filters {
+        let name = names[item.index()];
+        println!("  {name:<8} +/- {b:.5}");
+    }
+    println!(
+        "\nInitial portfolio value: ${:.2} (accuracy +/- $500)\n",
+        monitor.query_value(q).unwrap()
+    );
+
+    // --- Replay: sources push only when their filter is exceeded ---------
+    let mut last_pushed: Vec<f64> = traces.iter().map(Trace::initial).collect();
+    let mut filters_now: Vec<f64> = ids.iter().map(|&id| monitor.filter(id).unwrap()).collect();
+    let (mut refreshes, mut notifications, mut recomputations) = (0u64, 0u64, 0u64);
+    for tick in 1..n_ticks {
+        for (i, tr) in traces.iter().enumerate() {
+            let v = tr.at(tick);
+            if (v - last_pushed[i]).abs() > filters_now[i] {
+                last_pushed[i] = v;
+                refreshes += 1;
+                let out = monitor.on_refresh(ids[i], v).unwrap();
+                notifications += out.notify.len() as u64;
+                recomputations += out.recomputed.len() as u64;
+                for (item, b) in out.filter_changes {
+                    filters_now[item.index()] = b;
+                }
+            }
+        }
+    }
+
+    println!("After {n_ticks} seconds of trading:");
+    println!("  refreshes pushed to coordinator : {refreshes}");
+    println!("  user notifications              : {notifications}");
+    println!("  DAB recomputations              : {recomputations}");
+    println!(
+        "  final portfolio value           : ${:.2}",
+        monitor.query_value(q).unwrap()
+    );
+    println!(
+        "\nWithout filters every tick of every item would be shipped: {} messages.",
+        (n_ticks - 1) * names.len()
+    );
+}

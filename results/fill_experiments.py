@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Splices measured harness outputs into EXPERIMENTS.md placeholders."""
+import pathlib, re
+
+root = pathlib.Path(__file__).resolve().parent.parent
+quick = root / "results" / "quick"
+
+def tables(fname, keep=None):
+    text = (quick / fname).read_text()
+    # Drop CSV blocks; keep the aligned tables.
+    out, skip = [], False
+    for line in text.splitlines():
+        if line.startswith("# CSV"):
+            skip = True
+            continue
+        if line.startswith("== "):
+            skip = False
+        if not skip:
+            out.append(line)
+    body = "\n".join(out).strip()
+    return "```text\n" + body + "\n```"
+
+md = (root / "EXPERIMENTS.md").read_text()
+subs = {
+    "<!-- FIG5_TABLES -->": tables("fig5.txt"),
+    "<!-- FIG6_TABLES -->": tables("fig6.txt"),
+    "<!-- FIG7_TABLES -->": tables("fig7.txt"),
+    "<!-- FIG8AB_TABLES -->": tables("fig8a.txt") + "\n\n" + tables("fig8b.txt"),
+    "<!-- FIG8C_TABLE -->": tables("fig8c.txt"),
+    "<!-- COMPARE_TABLE -->": tables("compare_related.txt"),
+    "<!-- DELAY_TABLE -->": tables("delay_sweep.txt"),
+    "<!-- ABLATION_TABLES -->": tables("ablations.txt"),
+}
+for marker, table in subs.items():
+    if marker in md:
+        md = md.replace(marker, table)
+    else:
+        print("missing marker", marker)
+(root / "EXPERIMENTS.md").write_text(md)
+print("EXPERIMENTS.md filled")

@@ -1,0 +1,379 @@
+//! A coordinator runtime for embedding accuracy-bounded monitoring.
+//!
+//! [`Monitor`] is the high-level API a downstream application uses: register
+//! data items and polynomial queries, install DAB filters, then feed it
+//! refreshes as they arrive. It maintains Condition 1 (every query within
+//! its QAB whenever every item is within its filter), recomputes stale
+//! assignments automatically, and reports exactly which filters must be
+//! re-shipped to which sources.
+//!
+//! The discrete-event simulator in [`pq_sim`] exists to *evaluate* the
+//! algorithms; `Monitor` is the piece you would deploy.
+
+use pq_core::{
+    assign_unit, assignment_units, AssignmentStrategy, AssignmentUnit, DabError, PqHeuristic,
+    QueryAssignment, SolveContext,
+};
+use pq_ddm::DataDynamicsModel;
+use pq_gp::SolverOptions;
+use pq_poly::{ItemCatalog, ItemId, PolyError, Polynomial, PolynomialQuery, QueryId};
+
+/// What happened when a refresh was applied.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RefreshOutcome {
+    /// Queries whose value moved past their QAB, with the new values —
+    /// push these to the interested users.
+    pub notify: Vec<(QueryId, f64)>,
+    /// Queries whose DABs were recomputed because the refresh invalidated
+    /// their assignment.
+    pub recomputed: Vec<QueryId>,
+    /// Items whose installed filters changed — ship these to the sources.
+    pub filter_changes: Vec<(ItemId, f64)>,
+}
+
+/// Builder-style configuration + runtime state for one coordinator.
+#[derive(Debug)]
+pub struct Monitor {
+    catalog: ItemCatalog,
+    values: Vec<f64>,
+    rates: Vec<f64>,
+    queries: Vec<PolynomialQuery>,
+    last_notified: Vec<f64>,
+    strategy: AssignmentStrategy,
+    heuristic: PqHeuristic,
+    ddm: DataDynamicsModel,
+    gp: SolverOptions,
+    /// Per-query maintenance units (two under Half-and-Half, else one).
+    units: Vec<Vec<AssignmentUnit>>,
+    assignments: Vec<Vec<QueryAssignment>>,
+    item_dabs: Vec<f64>,
+    installed: bool,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Monitor {
+    /// A monitor with the paper's recommended defaults: Dual-DAB with
+    /// `mu = 5`, Different-Sum for mixed signs, monotonic ddm.
+    pub fn new() -> Self {
+        Monitor {
+            catalog: ItemCatalog::new(),
+            values: Vec::new(),
+            rates: Vec::new(),
+            queries: Vec::new(),
+            last_notified: Vec::new(),
+            strategy: AssignmentStrategy::DualDab { mu: 5.0 },
+            heuristic: PqHeuristic::DifferentSum,
+            ddm: DataDynamicsModel::Monotonic,
+            gp: SolverOptions::default(),
+            units: Vec::new(),
+            assignments: Vec::new(),
+            item_dabs: Vec::new(),
+            installed: false,
+        }
+    }
+
+    /// Replaces the assignment strategy (before or after `install`).
+    pub fn with_strategy(mut self, strategy: AssignmentStrategy) -> Self {
+        self.strategy = strategy;
+        self.installed = false;
+        self
+    }
+
+    /// Replaces the mixed-sign heuristic.
+    pub fn with_heuristic(mut self, heuristic: PqHeuristic) -> Self {
+        self.heuristic = heuristic;
+        self.installed = false;
+        self
+    }
+
+    /// Replaces the data-dynamics model.
+    pub fn with_ddm(mut self, ddm: DataDynamicsModel) -> Self {
+        self.ddm = ddm;
+        self.installed = false;
+        self
+    }
+
+    /// Registers a data item with its current value and estimated rate of
+    /// change (per unit time). Re-registering a name updates it.
+    pub fn add_item(&mut self, name: &str, value: f64, rate: f64) -> ItemId {
+        let id = self.catalog.intern(name);
+        if id.index() >= self.values.len() {
+            self.values.resize(id.index() + 1, 0.0);
+            self.rates.resize(id.index() + 1, 0.0);
+        }
+        self.values[id.index()] = value;
+        self.rates[id.index()] = rate;
+        self.installed = false;
+        id
+    }
+
+    /// Looks up a registered item by name.
+    pub fn item(&self, name: &str) -> Option<ItemId> {
+        self.catalog.get(name)
+    }
+
+    /// Registers a query built from a [`PolynomialQuery`].
+    pub fn add_query(&mut self, query: PolynomialQuery) -> QueryId {
+        let id = QueryId(self.queries.len() as u32);
+        self.last_notified.push(query.eval(&self.values));
+        self.queries.push(query);
+        self.installed = false;
+        id
+    }
+
+    /// Registers a query from an expression string (item names are
+    /// resolved/created in the monitor's catalog), e.g.
+    /// `"3 ibm usd + 2 tcs inr"`.
+    pub fn add_query_str(&mut self, expr: &str, qab: f64) -> Result<QueryId, PolyError> {
+        let poly: Polynomial = pq_poly::parse_polynomial(expr, &mut self.catalog)?;
+        if self.catalog.len() > self.values.len() {
+            // Items first mentioned in the expression default to value 0 /
+            // rate 0 until `add_item` updates them.
+            self.values.resize(self.catalog.len(), 0.0);
+            self.rates.resize(self.catalog.len(), 0.0);
+        }
+        Ok(self.add_query(PolynomialQuery::new(poly, qab)?))
+    }
+
+    /// The registered queries.
+    pub fn queries(&self) -> &[PolynomialQuery] {
+        &self.queries
+    }
+
+    /// Computes DAB assignments for every query and derives the installed
+    /// per-item filters (EQI minimum rule). Returns the filters to ship.
+    pub fn install(&mut self) -> Result<Vec<(ItemId, f64)>, DabError> {
+        let ctx = SolveContext {
+            values: &self.values,
+            rates: &self.rates,
+            ddm: self.ddm,
+            gp: self.gp.clone(),
+        };
+        self.units = self
+            .queries
+            .iter()
+            .map(|q| assignment_units(q, self.strategy, self.heuristic))
+            .collect();
+        let mut assignments = Vec::with_capacity(self.units.len());
+        for units in &self.units {
+            assignments.push(
+                units
+                    .iter()
+                    .map(|u| assign_unit(u, &ctx, self.strategy))
+                    .collect::<Result<Vec<_>, _>>()?,
+            );
+        }
+        self.assignments = assignments;
+        self.item_dabs = vec![f64::INFINITY; self.values.len()];
+        for per_query in &self.assignments {
+            for qa in per_query {
+                for (&item, &b) in &qa.primary {
+                    let d = &mut self.item_dabs[item.index()];
+                    *d = d.min(b);
+                }
+            }
+        }
+        self.installed = true;
+        Ok(self
+            .item_dabs
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_finite())
+            .map(|(i, &b)| (ItemId(i as u32), b))
+            .collect())
+    }
+
+    /// True once `install` has run and no registration changed since.
+    pub fn is_installed(&self) -> bool {
+        self.installed
+    }
+
+    /// The filter currently installed for `item` (None if the item is not
+    /// referenced by any query).
+    pub fn filter(&self, item: ItemId) -> Option<f64> {
+        self.item_dabs
+            .get(item.index())
+            .copied()
+            .filter(|b| b.is_finite())
+    }
+
+    /// The coordinator's cached value of `item`.
+    pub fn value(&self, item: ItemId) -> Option<f64> {
+        self.values.get(item.index()).copied()
+    }
+
+    /// The cached value of query `q`.
+    pub fn query_value(&self, q: QueryId) -> Option<f64> {
+        self.queries.get(q.index()).map(|qq| qq.eval(&self.values))
+    }
+
+    /// Applies an arriving refresh: updates the cached value, determines
+    /// user notifications, recomputes any invalidated assignments, and
+    /// reports filter changes to ship back to sources.
+    ///
+    /// # Errors
+    /// Solver errors if a recomputation fails; [`Monitor::install`] must
+    /// have been called first (panics otherwise — a programming error).
+    pub fn on_refresh(&mut self, item: ItemId, value: f64) -> Result<RefreshOutcome, DabError> {
+        assert!(self.installed, "call install() before feeding refreshes");
+        assert!(item.index() < self.values.len(), "unknown item");
+        self.values[item.index()] = value;
+        let mut outcome = RefreshOutcome::default();
+
+        for qi in 0..self.queries.len() {
+            let q = &self.queries[qi];
+            if !q.items().contains(&item) {
+                continue;
+            }
+            let qv = q.eval(&self.values);
+            if (qv - self.last_notified[qi]).abs() > q.qab() {
+                self.last_notified[qi] = qv;
+                outcome.notify.push((QueryId(qi as u32), qv));
+            }
+            let stale: Vec<usize> = self.assignments[qi]
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !a.is_valid_at(&self.values))
+                .map(|(ui, _)| ui)
+                .collect();
+            if !stale.is_empty() {
+                let ctx = SolveContext {
+                    values: &self.values,
+                    rates: &self.rates,
+                    ddm: self.ddm,
+                    gp: self.gp.clone(),
+                };
+                for ui in stale {
+                    self.assignments[qi][ui] =
+                        assign_unit(&self.units[qi][ui], &ctx, self.strategy)?;
+                }
+                outcome.recomputed.push(QueryId(qi as u32));
+            }
+        }
+
+        // Re-derive installed filters for items touched by recomputed
+        // queries.
+        if !outcome.recomputed.is_empty() {
+            let mut touched: Vec<usize> = outcome
+                .recomputed
+                .iter()
+                .flat_map(|q| self.queries[q.index()].items())
+                .map(|i| i.index())
+                .collect();
+            touched.sort_unstable();
+            touched.dedup();
+            for i in touched {
+                let mut m = f64::INFINITY;
+                for qa in self.assignments.iter().flatten() {
+                    if let Some(b) = qa.primary_dab(ItemId(i as u32)) {
+                        m = m.min(b);
+                    }
+                }
+                let old = self.item_dabs[i];
+                let changed = if old.is_finite() {
+                    (m - old).abs() > 1e-12 * old.abs()
+                } else {
+                    m.is_finite()
+                };
+                if changed {
+                    self.item_dabs[i] = m;
+                    outcome.filter_changes.push((ItemId(i as u32), m));
+                }
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_item_monitor() -> (Monitor, ItemId, ItemId, QueryId) {
+        let mut m = Monitor::new();
+        let x = m.add_item("x", 2.0, 1.0);
+        let y = m.add_item("y", 2.0, 1.0);
+        let q = m.add_query(PolynomialQuery::portfolio([(1.0, x, y)], 5.0).unwrap());
+        m.install().unwrap();
+        (m, x, y, q)
+    }
+
+    #[test]
+    fn install_ships_finite_filters() {
+        let (m, x, y, _) = two_item_monitor();
+        assert!(m.is_installed());
+        assert!(m.filter(x).unwrap() > 0.0);
+        assert!(m.filter(y).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn refresh_within_range_neither_notifies_nor_recomputes() {
+        let (mut m, x, _, _) = two_item_monitor();
+        // A tiny change: inside the QAB and inside the validity range.
+        let out = m.on_refresh(x, 2.01).unwrap();
+        assert!(out.notify.is_empty());
+        assert!(out.recomputed.is_empty());
+        assert!(out.filter_changes.is_empty());
+    }
+
+    #[test]
+    fn large_move_notifies_and_eventually_recomputes() {
+        let (mut m, x, _, q) = two_item_monitor();
+        // Jump x from 2 to 30: query value 4 -> 60, way past QAB 5, and far
+        // outside any secondary range.
+        let out = m.on_refresh(x, 30.0).unwrap();
+        assert_eq!(out.notify, vec![(q, 60.0)]);
+        assert_eq!(out.recomputed, vec![q]);
+        assert!(!out.filter_changes.is_empty());
+        assert_eq!(m.query_value(q), Some(60.0));
+    }
+
+    #[test]
+    fn query_strings_parse_against_the_catalog() {
+        let mut m = Monitor::new();
+        m.add_item("ibm", 100.0, 0.5);
+        m.add_item("usd", 80.0, 0.1);
+        let q = m.add_query_str("2 ibm usd", 100.0).unwrap();
+        m.install().unwrap();
+        assert_eq!(m.query_value(q), Some(16000.0));
+    }
+
+    #[test]
+    fn reinstall_required_after_new_query() {
+        let (mut m, x, y, _) = two_item_monitor();
+        m.add_query(PolynomialQuery::portfolio([(2.0, x, y)], 3.0).unwrap());
+        assert!(!m.is_installed());
+        m.install().unwrap();
+        // The tighter second query shrinks the installed filters.
+        assert!(m.filter(x).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn condition1_holds_through_a_run() {
+        // Feed a drifting series of refreshes; after each, every query
+        // assignment must still respect its QAB at the new anchor.
+        let (mut m, x, y, _) = two_item_monitor();
+        let mut vx = 2.0;
+        let mut vy = 2.0;
+        for step in 0..50 {
+            if step % 2 == 0 {
+                vx += 0.4;
+                m.on_refresh(x, vx).unwrap();
+            } else {
+                vy += 0.3;
+                m.on_refresh(y, vy).unwrap();
+            }
+            for (per_query, units) in m.assignments.iter().zip(&m.units) {
+                for (qa, u) in per_query.iter().zip(units) {
+                    let uq = PolynomialQuery::new(u.body.clone(), u.qab).unwrap();
+                    assert!(qa.respects_qab(&uq, 1e-6), "step {step}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the system's core invariants.
+
+use proptest::prelude::*;
+
+use polyquery::core::{
+    assign_query, dual_dab, optimal_refresh, AssignmentStrategy, PqHeuristic, SolveContext,
+};
+use polyquery::gp::{GpProblem, Monomial, Posynomial, SolverOptions};
+use polyquery::poly::{PTerm, Polynomial};
+use polyquery::{ItemId, PolynomialQuery};
+
+fn x(i: u32) -> ItemId {
+    ItemId(i)
+}
+
+/// Strategy for a 2-4 item positive-coefficient degree-2 polynomial.
+fn ppq_body() -> impl Strategy<Value = Polynomial> {
+    // Legs as (weight, item a, item b) with items in 0..4.
+    proptest::collection::vec((0.5f64..50.0, 0u32..4, 0u32..4), 1..4)
+        .prop_map(|legs| {
+            Polynomial::from_terms(
+                legs.into_iter()
+                    .map(|(w, a, b)| PTerm::new(w, [(x(a), 1), (x(b), 1)]).unwrap()),
+            )
+        })
+        .prop_filter("degree 2 required", |p| p.degree() >= 2)
+}
+
+fn values4() -> impl Strategy<Value = [f64; 4]> {
+    [0.5f64..100.0, 0.5f64..100.0, 0.5f64..100.0, 0.5f64..100.0]
+}
+
+fn rates4() -> impl Strategy<Value = [f64; 4]> {
+    [0.01f64..5.0, 0.01f64..5.0, 0.01f64..5.0, 0.01f64..5.0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Condition 1: every optimal-refresh assignment keeps the worst-case
+    /// deviation within the QAB at its anchor.
+    #[test]
+    fn optimal_refresh_respects_qab(
+        body in ppq_body(),
+        values in values4(),
+        rates in rates4(),
+        qab_frac in 0.001f64..0.2,
+    ) {
+        let initial = body.eval(&values);
+        prop_assume!(initial > 1e-6);
+        let q = PolynomialQuery::new(body, qab_frac * initial).unwrap();
+        let ctx = SolveContext::new(&values, &rates);
+        let a = optimal_refresh(&q, &ctx).unwrap();
+        prop_assert!(a.respects_qab(&q, 1e-5 * q.qab() + 1e-9));
+        prop_assert!(a.primary.values().all(|&b| b > 0.0 && b.is_finite()));
+    }
+
+    /// Dual-DAB keeps the QAB over its *entire* validity range, and the
+    /// secondary DABs dominate the primary ones.
+    #[test]
+    fn dual_dab_valid_over_whole_range(
+        body in ppq_body(),
+        values in values4(),
+        rates in rates4(),
+        mu in 0.5f64..20.0,
+    ) {
+        let initial = body.eval(&values);
+        prop_assume!(initial > 1e-6);
+        let q = PolynomialQuery::new(body, 0.02 * initial).unwrap();
+        let ctx = SolveContext::new(&values, &rates);
+        let a = dual_dab(&q, &ctx, mu).unwrap();
+        prop_assert!(a.respects_qab(&q, 1e-5 * q.qab() + 1e-9));
+        for (&item, &b) in &a.primary {
+            let c = a.secondary_dab(item).unwrap();
+            prop_assert!(c >= b - 1e-9, "c_{item} = {c} < b = {b}");
+        }
+        prop_assert!(a.recompute_rate >= 0.0);
+    }
+
+    /// Claim 1: DABs derived from `P1 + P2 : B` (Different Sum) always
+    /// satisfy the general query `P1 - P2 : B` over the whole box.
+    #[test]
+    fn different_sum_claim1(
+        pos in ppq_body(),
+        neg in ppq_body(),
+        values in values4(),
+        rates in rates4(),
+    ) {
+        let body = pos.sub(&neg);
+        prop_assume!(!body.is_zero());
+        let (p1, p2) = body.split_pos_neg();
+        prop_assume!(!p1.is_zero() && !p2.is_zero());
+        let magnitude = p1.eval(&values) + p2.eval(&values);
+        prop_assume!(magnitude > 1e-6);
+        let q = PolynomialQuery::new(body, 0.02 * magnitude).unwrap();
+        let ctx = SolveContext::new(&values, &rates);
+        let a = assign_query(
+            &q,
+            &ctx,
+            AssignmentStrategy::DualDab { mu: 5.0 },
+            PqHeuristic::DifferentSum,
+        ).unwrap();
+        prop_assert!(a.respects_qab(&q, 1e-5 * q.qab() + 1e-9));
+    }
+
+    /// The GP solver returns feasible points whose objective cannot be
+    /// beaten by scaled perturbations of themselves.
+    #[test]
+    fn gp_solutions_are_feasible_and_locally_optimal(
+        a in 0.1f64..10.0,
+        b in 0.1f64..10.0,
+        bound in 1.0f64..50.0,
+    ) {
+        // min a/x + b/y s.t. x + y <= bound.
+        let mut p = GpProblem::new(2);
+        let mut obj = Posynomial::monomial(Monomial::new(a, [(0, -1.0)]).unwrap());
+        obj.add(&Posynomial::monomial(Monomial::new(b, [(1, -1.0)]).unwrap()));
+        p.set_objective(obj.clone()).unwrap();
+        let mut c = Posynomial::monomial(Monomial::new(1.0, [(0, 1.0)]).unwrap());
+        c.add(&Posynomial::monomial(Monomial::new(1.0, [(1, 1.0)]).unwrap()));
+        p.add_constraint_le(c, bound).unwrap();
+        let start = [bound / 4.0, bound / 4.0];
+        let sol = polyquery::gp::solve_with_start(&p, &start, &SolverOptions::default()).unwrap();
+        prop_assert!(p.max_violation(&sol.x) <= 1e-7);
+        // Compare against the closed form:
+        // x* = sqrt(a) * bound / (sqrt(a) + sqrt(b)).
+        let xs = a.sqrt() * bound / (a.sqrt() + b.sqrt());
+        let ys = bound - xs;
+        let best = a / xs + b / ys;
+        prop_assert!(sol.objective <= best * (1.0 + 1e-5),
+            "solver {} vs closed form {best}", sol.objective);
+    }
+
+    /// Polynomial algebra: split/recombine and evaluation consistency.
+    #[test]
+    fn split_recombine_identity(
+        pos in ppq_body(),
+        neg in ppq_body(),
+        values in values4(),
+    ) {
+        let p = pos.sub(&neg);
+        let (p1, p2) = p.split_pos_neg();
+        let direct = p.eval(&values);
+        let split = p1.eval(&values) - p2.eval(&values);
+        prop_assert!((direct - split).abs() <= 1e-9 * (1.0 + direct.abs()));
+        prop_assert!(p1.is_positive_coefficient());
+        prop_assert!(p2.is_positive_coefficient());
+    }
+
+    /// The deviation posynomial is exact: evaluating it at any box widths
+    /// equals the worst-case deviation over that box for PPQs.
+    #[test]
+    fn deviation_posynomial_matches_corner_search(
+        body in ppq_body(),
+        values in values4(),
+        widths in [0.01f64..5.0, 0.01f64..5.0, 0.01f64..5.0, 0.01f64..5.0],
+    ) {
+        use polyquery::poly::{deviation_posynomial, DabVarMap};
+        let vmap = DabVarMap::for_polynomial(&body, false);
+        let g = deviation_posynomial(&body, &values, &vmap).unwrap();
+        let bvec: Vec<f64> = vmap.items().iter().map(|i| widths[i.index()]).collect();
+        let mut dabs = [0.0; 4];
+        for &i in vmap.items() {
+            dabs[i.index()] = widths[i.index()];
+        }
+        let exact = body.max_abs_deviation_over_box(&values, &dabs);
+        let symbolic = g.eval(&bvec);
+        prop_assert!((exact - symbolic).abs() <= 1e-7 * (1.0 + exact.abs()),
+            "corner {exact} vs symbolic {symbolic}");
+    }
+}
