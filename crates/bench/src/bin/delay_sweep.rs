@@ -6,12 +6,13 @@
 //! protocol's message economics are delay-independent; only staleness
 //! windows grow).
 
-use pq_bench::{fmt, print_table, Scale};
+use pq_bench::{emit_sim_run, fmt, obs_from_env, print_table, Scale};
 use pq_core::{AssignmentStrategy, PqHeuristic};
-use pq_sim::{run, DelayConfig, Pareto, SimConfig, SimStrategy};
+use pq_sim::{run_observed, DelayConfig, Pareto, SimConfig, SimStrategy};
 
 fn main() {
     let scale = Scale::from_env();
+    let obs = obs_from_env();
     let traces = scale.universe();
     let n = *scale.query_counts.first().unwrap_or(&50);
     let queries = scale
@@ -42,13 +43,9 @@ fn main() {
             heuristic: PqHeuristic::DifferentSum,
         };
         cfg.delays = delays;
-        let m = run(&cfg).unwrap_or_else(|e| panic!("{label}: {e}"));
-        eprintln!(
-            "[delay] {label:<18} loss={:.4}% refresh={} recomp={}",
-            m.loss_in_fidelity_percent(),
-            m.refreshes,
-            m.recomputations
-        );
+        let started = std::time::Instant::now();
+        let m = run_observed(&cfg, &obs).unwrap_or_else(|e| panic!("{label}: {e}"));
+        emit_sim_run(&obs, "delay_sweep", label, n, &m, started);
         rows.push(vec![
             label.to_string(),
             fmt(m.loss_in_fidelity_percent()),
@@ -79,7 +76,9 @@ fn main() {
         };
         cfg.delays = DelayConfig::planetlab_like();
         cfg.loss_probability = loss_p;
-        let m = run(&cfg).unwrap_or_else(|e| panic!("loss {loss_p}: {e}"));
+        let started = std::time::Instant::now();
+        let m = run_observed(&cfg, &obs).unwrap_or_else(|e| panic!("loss {loss_p}: {e}"));
+        emit_sim_run(&obs, "loss_sweep", &format!("p={loss_p}"), n, &m, started);
         rows.push(vec![
             format!("{:.0}%", loss_p * 100.0),
             fmt(m.loss_in_fidelity_percent()),
@@ -97,4 +96,5 @@ fn main() {
         ],
         &rows,
     );
+    obs.flush();
 }

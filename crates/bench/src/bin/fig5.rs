@@ -8,12 +8,13 @@
 //! mu = 1 (more at larger mu) for a small increase in refreshes, and its
 //! fidelity loss is substantially lower.
 
-use pq_bench::{fmt, print_table, Scale};
+use pq_bench::{emit_sim_run, fmt, obs_from_env, print_table, Scale};
 use pq_core::{AssignmentStrategy, PqHeuristic};
-use pq_sim::{run, DelayConfig, SimConfig, SimStrategy};
+use pq_sim::{run_observed, DelayConfig, SimConfig, SimStrategy};
 
 fn main() {
     let scale = Scale::from_env();
+    let obs = obs_from_env();
     let traces = scale.universe();
     let strategies: Vec<(String, AssignmentStrategy)> = vec![
         ("optimal-refresh".into(), AssignmentStrategy::OptimalRefresh),
@@ -52,15 +53,8 @@ fn main() {
             cfg.delays = DelayConfig::planetlab_like();
             cfg.mu_cost = mu_cost;
             let started = std::time::Instant::now();
-            let m = run(&cfg).unwrap_or_else(|e| panic!("{name} x {n}: {e}"));
-            eprintln!(
-                "[fig5] {name:<16} n={n:<5} recomp={:<8} refresh={:<8} loss={:.3}% ({:.1}s, solver {:.1}s)",
-                m.recomputations,
-                m.refreshes,
-                m.loss_in_fidelity_percent(),
-                started.elapsed().as_secs_f64(),
-                m.solver_seconds,
-            );
+            let m = run_observed(&cfg, &obs).unwrap_or_else(|e| panic!("{name} x {n}: {e}"));
+            emit_sim_run(&obs, "fig5", name, n, &m, started);
             recomp.push(m.recomputations.to_string());
             refresh.push(m.refreshes.to_string());
             fidelity.push(fmt(m.loss_in_fidelity_percent()));
@@ -76,4 +70,5 @@ fn main() {
     print_table("Fig 5(a): total recomputations", &header, &rows_recomp);
     print_table("Fig 5(b): refreshes at coordinator", &header, &rows_refresh);
     print_table("Fig 5(c): loss in fidelity (%)", &header, &rows_fidelity);
+    obs.flush();
 }

@@ -11,13 +11,14 @@
 //! Dual-DAB variant has a far lower total cost than Optimal Refresh —
 //! reliance on the ddm is low.
 
-use pq_bench::{fmt, print_table, Scale};
+use pq_bench::{emit_sim_run, fmt, obs_from_env, print_table, Scale};
 use pq_core::{AssignmentStrategy, PqHeuristic};
 use pq_ddm::{DataDynamicsModel, RateEstimator};
-use pq_sim::{run, DelayConfig, SimConfig, SimStrategy};
+use pq_sim::{run_observed, DelayConfig, SimConfig, SimStrategy};
 
 fn main() {
     let scale = Scale::from_env();
+    let obs = obs_from_env();
     let traces = scale.universe();
     struct Variant {
         name: &'static str,
@@ -79,14 +80,9 @@ fn main() {
             cfg.rate_estimator = v.estimator;
             cfg.delays = DelayConfig::planetlab_like();
             cfg.mu_cost = v.mu;
-            let m = run(&cfg).unwrap_or_else(|e| panic!("{} x {n}: {e}", v.name));
-            eprintln!(
-                "[fig6] {:<12} n={n:<5} recomp={:<7} refresh={:<7} cost={}",
-                v.name,
-                m.recomputations,
-                m.refreshes,
-                fmt(m.total_cost(v.mu))
-            );
+            let started = std::time::Instant::now();
+            let m = run_observed(&cfg, &obs).unwrap_or_else(|e| panic!("{} x {n}: {e}", v.name));
+            emit_sim_run(&obs, "fig6", v.name, n, &m, started);
             recomp.push(m.recomputations.to_string());
             refresh.push(m.refreshes.to_string());
             cost.push(fmt(m.total_cost(v.mu)));
@@ -106,4 +102,5 @@ fn main() {
         &header,
         &rows_cost,
     );
+    obs.flush();
 }

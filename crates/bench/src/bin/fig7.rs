@@ -10,12 +10,13 @@
 //! is the worst (frequent recomputation hurts); EQI is comparable to the
 //! best AAO-T, which is why EQI is the practical choice.
 
-use pq_bench::{fmt, print_table, Scale};
+use pq_bench::{emit_sim_run, fmt, obs_from_env, print_table, Scale};
 use pq_core::{AssignmentStrategy, PqHeuristic};
-use pq_sim::{run, DelayConfig, SimConfig, SimStrategy};
+use pq_sim::{run_observed, DelayConfig, SimConfig, SimStrategy};
 
 fn main() {
     let scale = Scale::from_env();
+    let obs = obs_from_env();
     let traces = scale.universe();
     let n_queries = 10;
     let queries = scale
@@ -57,12 +58,15 @@ fn main() {
             cfg.strategy = strategy;
             cfg.delays = DelayConfig::planetlab_like();
             cfg.mu_cost = mu;
-            let m = run(&cfg).unwrap_or_else(|e| panic!("{name} mu={mu}: {e}"));
-            eprintln!(
-                "[fig7] {name:<9} mu={mu:<4} refresh={:<7} recomp={:<7} cost={}",
-                m.refreshes,
-                m.recomputations,
-                fmt(m.total_cost(mu))
+            let started = std::time::Instant::now();
+            let m = run_observed(&cfg, &obs).unwrap_or_else(|e| panic!("{name} mu={mu}: {e}"));
+            emit_sim_run(
+                &obs,
+                "fig7",
+                &format!("{name},mu={mu}"),
+                n_queries,
+                &m,
+                started,
             );
             refresh.push(m.refreshes.to_string());
             recomp.push(m.recomputations.to_string());
@@ -91,4 +95,5 @@ fn main() {
         &header,
         &rows_cost,
     );
+    obs.flush();
 }

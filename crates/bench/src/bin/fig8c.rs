@@ -11,12 +11,14 @@
 //! paper) — at large query counts an approach that reduces recomputations
 //! is essential.
 
-use pq_bench::{print_table, Scale};
+use pq_bench::{obs_from_env, print_table, Scale};
 use pq_core::AssignmentStrategy;
+use pq_obs::{names, EventKind};
 use pq_sim::{run_network, NetworkConfig};
 
 fn main() {
     let scale = Scale::from_env();
+    let obs = obs_from_env();
     let full = std::env::var_os("PQ_BENCH_FULL").is_some_and(|v| v != "0");
     let n_coordinators = if full { 10 } else { 4 };
     let query_counts: Vec<usize> = if full {
@@ -56,12 +58,16 @@ fn main() {
             cfg.gp = scale.sim_gp_options();
             let started = std::time::Instant::now();
             let m = run_network(&cfg).unwrap_or_else(|e| panic!("{name} x {n}: {e}"));
-            eprintln!(
-                "[fig8c] {name:<12} n={n:<6} recomp={:<9} refresh={:<8} ({:.1}s)",
-                m.recomputations(),
-                m.refreshes(),
-                started.elapsed().as_secs_f64()
-            );
+            let series = name.clone();
+            obs.emit_with(names::BENCH_RUN, EventKind::Point, |e| {
+                e.with("figure", "fig8c")
+                    .with("series", series)
+                    .with("n_queries", n)
+                    .with("recomputations", m.recomputations())
+                    .with("refreshes", m.refreshes())
+                    .with("solver_s", m.solver_seconds)
+                    .with("wall_s", started.elapsed().as_secs_f64())
+            });
             row.push(m.recomputations().to_string());
         }
         rows.push(row);
@@ -75,4 +81,5 @@ fn main() {
         &header,
         &rows,
     );
+    obs.flush();
 }

@@ -1,9 +1,9 @@
 //! Shared driver for the Fig. 8(a)/(b) heuristic comparisons.
 
 use pq_core::{AssignmentStrategy, PqHeuristic};
-use pq_sim::{run, DelayConfig, SimConfig, SimStrategy};
+use pq_sim::{run_observed, DelayConfig, SimConfig, SimStrategy};
 
-use crate::{print_table, Scale};
+use crate::{emit_sim_run, obs_from_env, print_table, Scale};
 
 /// Runs HH vs DS over arbitrage workloads and prints the Fig. 8 series.
 ///
@@ -11,6 +11,7 @@ use crate::{print_table, Scale};
 /// freely overlapping ones (Fig. 8(b)).
 pub fn run_heuristic_figure(independent: bool, title: &str) {
     let scale = Scale::from_env();
+    let obs = obs_from_env();
     // Drift-dominated traces: Fig. 8 is evaluated under the paper's
     // monotonic data-dynamics regime, where validity-range escapes
     // synchronize across items after each recomputation. (Under strongly
@@ -44,10 +45,16 @@ pub fn run_heuristic_figure(independent: bool, title: &str) {
                 };
                 cfg.delays = DelayConfig::planetlab_like();
                 cfg.mu_cost = mu;
-                let m = run(&cfg).unwrap_or_else(|e| panic!("{heuristic:?} mu={mu} n={n}: {e}"));
-                eprintln!(
-                    "[fig8] {heuristic:?} mu={mu} n={n}: recomp={} refresh={}",
-                    m.recomputations, m.refreshes
+                let started = std::time::Instant::now();
+                let m = run_observed(&cfg, &obs)
+                    .unwrap_or_else(|e| panic!("{heuristic:?} mu={mu} n={n}: {e}"));
+                emit_sim_run(
+                    &obs,
+                    "fig8",
+                    &format!("{heuristic:?},mu={mu}"),
+                    n,
+                    &m,
+                    started,
                 );
                 recomp.push(m.recomputations.to_string());
                 refresh.push(m.refreshes.to_string());
@@ -62,4 +69,5 @@ pub fn run_heuristic_figure(independent: bool, title: &str) {
         .collect();
     print_table(&format!("{title}: recomputations"), &header, &rows_recomp);
     print_table(&format!("{title}: refreshes"), &header, &rows_refresh);
+    obs.flush();
 }

@@ -17,10 +17,20 @@
 //! block for plotting. `PQ_BENCH_FULL=1` switches from the quick default
 //! scale to the paper's scale (100 items, 200–1000 queries, 4000 s
 //! PlanetLab-length traces); `PQ_BENCH_SEED=n` changes the seed.
+//!
+//! Telemetry (see [`obs_from_env`]): per-run progress renders on stderr
+//! as `bench.run` events; `PQ_OBS_JSONL=<path>` additionally records the
+//! full event trace — every simulated refresh, DAB recomputation, and GP
+//! solve timing — as JSON Lines.
 
 pub mod heuristics;
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use pq_ddm::TraceSet;
+use pq_obs::{names, EventKind, Obs};
+use pq_sim::SimMetrics;
 use pq_workload::{WorkloadConfig, WorkloadGen};
 
 /// Scale knobs shared by all harness binaries.
@@ -94,6 +104,59 @@ impl Scale {
             self.seed ^ 0x517A_11AD,
         )
     }
+}
+
+/// Harness telemetry configured from the environment:
+///
+/// * progress lines (only `bench.*` events) render to stderr, keeping
+///   stdout clean for result tables; set `PQ_OBS_STDERR=0` to silence
+///   them;
+/// * `PQ_OBS_JSONL=<path>` records the **full** event trace (simulator,
+///   DAB and GP-solver events) as JSON Lines at `<path>`.
+///
+/// Panics if the JSONL path cannot be created — a harness run asked to
+/// trace must not silently produce nothing.
+pub fn obs_from_env() -> Obs {
+    let mut sinks: Vec<Arc<dyn pq_obs::Subscriber>> = Vec::new();
+    if std::env::var_os("PQ_OBS_STDERR").is_none_or(|v| v != "0") {
+        sinks.push(Arc::new(pq_obs::PrefixFilter::new(
+            Arc::new(pq_obs::StderrSubscriber),
+            vec!["bench."],
+        )));
+    }
+    if let Some(path) = std::env::var_os("PQ_OBS_JSONL") {
+        let writer = pq_obs::JsonlWriter::create(&path)
+            .unwrap_or_else(|e| panic!("PQ_OBS_JSONL={}: {e}", path.to_string_lossy()));
+        sinks.push(Arc::new(writer));
+    }
+    match sinks.len() {
+        0 => Obs::null(),
+        1 => Obs::with_subscriber(sinks.pop().expect("one sink")),
+        _ => Obs::with_subscriber(Arc::new(pq_obs::Fanout::new(sinks))),
+    }
+}
+
+/// Emits the `bench.run` data point for one finished simulation run.
+pub fn emit_sim_run(
+    obs: &Obs,
+    figure: &'static str,
+    series: &str,
+    n_queries: usize,
+    m: &SimMetrics,
+    started: Instant,
+) {
+    let series = series.to_string();
+    obs.emit_with(names::BENCH_RUN, EventKind::Point, |e| {
+        e.with("figure", figure)
+            .with("series", series)
+            .with("n_queries", n_queries)
+            .with("recomputations", m.recomputations)
+            .with("refreshes", m.refreshes)
+            .with("loss_percent", m.loss_in_fidelity_percent())
+            .with("lost_messages", m.lost_messages)
+            .with("solver_s", m.solver_seconds)
+            .with("wall_s", started.elapsed().as_secs_f64())
+    });
 }
 
 /// Prints an aligned ASCII table followed by a machine-readable CSV block.

@@ -54,6 +54,5 @@ pub use linearized::linearized_filter;
 pub use multi::{aao, eqi};
 pub use ppq::{dual_dab, optimal_refresh};
 pub use strategy::{
-    assign_query, assign_unit, assignment_units, estimate_mu, AssignmentStrategy,
-    AssignmentUnit,
+    assign_query, assign_unit, assignment_units, estimate_mu, AssignmentStrategy, AssignmentUnit,
 };

@@ -175,11 +175,21 @@ pub fn dual_dab(
     for (j, &item) in vmap.coupled().iter().enumerate() {
         secondary.insert(item, sol.x[n + j]);
     }
-    let refresh_rate = lambdas
+    let refresh_rate: f64 = lambdas
         .iter()
         .zip(&sol.x[..n])
         .map(|(&l, &b)| ctx.ddm.refresh_rate(l, b))
         .sum();
+    ctx.gp
+        .obs
+        .emit_with(pq_obs::names::DAB_SOLVE, pq_obs::EventKind::Point, |e| {
+            e.with("kind", "dual-dab")
+                .with("items", n)
+                .with("coupled", n_coupled)
+                .with("mu", mu)
+                .with("refresh_rate", refresh_rate)
+                .with("recompute_rate", sol.x[r_var])
+        });
     let anchor = anchor_map(vmap.items(), ctx)?;
     Ok(QueryAssignment {
         primary,

@@ -66,6 +66,14 @@ pub fn assign_query(
     strategy: AssignmentStrategy,
     heuristic: PqHeuristic,
 ) -> Result<QueryAssignment, DabError> {
+    let _span = ctx.gp.obs.timed(pq_obs::names::DAB_SOLVE);
+    ctx.gp
+        .obs
+        .emit_with(pq_obs::names::CORE_ASSIGN, pq_obs::EventKind::Point, |e| {
+            e.with("strategy", strategy.to_string())
+                .with("heuristic", heuristic.name())
+                .with("class", format!("{:?}", query.class()))
+        });
     match strategy {
         AssignmentStrategy::PerItemSplit => per_item_split(query, ctx),
         AssignmentStrategy::EqualDab => equal_dab(query, ctx),
@@ -182,6 +190,7 @@ pub fn assign_unit(
     ctx: &SolveContext<'_>,
     strategy: AssignmentStrategy,
 ) -> Result<QueryAssignment, DabError> {
+    let _span = ctx.gp.obs.timed(pq_obs::names::DAB_SOLVE);
     match strategy {
         AssignmentStrategy::PerItemSplit => {
             per_item_split(&PolynomialQuery::new(unit.body.clone(), unit.qab)?, ctx)

@@ -49,9 +49,7 @@ impl KktReport {
 /// Panics if the problem has no objective or `x` has the wrong length or
 /// non-positive entries (callers verify solutions, which are positive).
 pub fn kkt_report(problem: &GpProblem, x: &[f64]) -> KktReport {
-    let (objective, constraints) = problem
-        .validated()
-        .expect("problem must have an objective");
+    let (objective, constraints) = problem.validated().expect("problem must have an objective");
     assert_eq!(x.len(), problem.n_vars());
     assert!(x.iter().all(|&v| v > 0.0), "point must be positive");
     let n = problem.n_vars();

@@ -21,6 +21,7 @@ use crate::error::GpError;
 use crate::linalg::{axpy, dot, Matrix};
 use crate::logsumexp::LogPosynomial;
 use crate::problem::{GpProblem, GpSolution};
+use pq_obs::{names, EventKind, Obs};
 
 /// Tuning knobs for the barrier solver. The defaults solve every program in
 /// this workspace; they are exposed for experimentation.
@@ -44,6 +45,9 @@ pub struct SolverOptions {
     pub armijo: f64,
     /// Step shrink factor for backtracking. Default `0.5`.
     pub backtrack: f64,
+    /// Telemetry handle. Defaults to the null handle (no events, but
+    /// `gp.solve_ns` timings still accumulate in its private registry).
+    pub obs: Obs,
 }
 
 impl Default for SolverOptions {
@@ -57,6 +61,7 @@ impl Default for SolverOptions {
             max_outer_iterations: 64,
             armijo: 0.05,
             backtrack: 0.5,
+            obs: Obs::null(),
         }
     }
 }
@@ -79,6 +84,7 @@ pub fn solve_with_start(
     {
         return Err(GpError::InvalidStartingPoint);
     }
+    let _span = options.obs.timed(names::GP_SOLVE);
     let n = problem.n_vars();
     let f0 = LogPosynomial::compile(objective, n);
     let fs: Vec<LogPosynomial> = constraints
@@ -101,6 +107,7 @@ pub fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSolution,
     if problem.is_strictly_feasible(&ones, 1e-9) {
         return solve_with_start(problem, &ones, options);
     }
+    let _span = options.obs.timed(names::GP_SOLVE);
     let f0 = LogPosynomial::compile(objective, n);
     let fs: Vec<LogPosynomial> = constraints
         .iter()
@@ -129,8 +136,11 @@ fn barrier_solve(
             |yy, want_hess| objective_only(f0, yy, want_hess),
             &mut y,
             options,
+            "unconstrained",
         )?;
-        return Ok(finish(f0, &y, outer, newton_steps, 0.0));
+        let solution = finish(f0, &y, outer, newton_steps, 0.0);
+        emit_solved(options, &solution);
+        return Ok(solution);
     }
 
     loop {
@@ -140,10 +150,21 @@ fn barrier_solve(
             |yy, want_hess| barrier_eval(f0, fs, tt, yy, want_hess),
             &mut y,
             options,
+            "center",
         )?;
         let gap = m as f64 / t;
+        options
+            .obs
+            .emit_with(names::GP_OUTER, EventKind::Point, |e| {
+                e.with("outer", outer)
+                    .with("t", tt)
+                    .with("gap", gap)
+                    .with("newton_steps", newton_steps)
+            });
         if gap <= options.tolerance {
-            return Ok(finish(f0, &y, outer, newton_steps, gap));
+            let solution = finish(f0, &y, outer, newton_steps, gap);
+            emit_solved(options, &solution);
+            return Ok(solution);
         }
         if outer >= options.max_outer_iterations {
             return Err(GpError::IterationLimit);
@@ -151,6 +172,18 @@ fn barrier_solve(
         t *= options.mu;
         let _ = n;
     }
+}
+
+/// One structured summary event per successful solve.
+fn emit_solved(options: &SolverOptions, solution: &GpSolution) {
+    options
+        .obs
+        .emit_with(names::GP_SOLVE, EventKind::Point, |e| {
+            e.with("outer", solution.outer_iterations)
+                .with("newton_steps", solution.newton_steps)
+                .with("gap", solution.duality_gap)
+                .with("objective", solution.objective)
+        });
 }
 
 fn finish(
@@ -264,7 +297,14 @@ fn barrier_eval(
 /// Damped Newton minimization of a smooth convex function given by `eval`.
 ///
 /// Returns the number of Newton steps taken. `y` is updated in place.
-fn newton_minimize<F>(mut eval: F, y: &mut [f64], options: &SolverOptions) -> Result<usize, GpError>
+/// `phase` labels the emitted `gp.newton` events ("center",
+/// "unconstrained", or "phase1").
+fn newton_minimize<F>(
+    mut eval: F,
+    y: &mut [f64],
+    options: &SolverOptions,
+    phase: &'static str,
+) -> Result<usize, GpError>
 where
     F: FnMut(&[f64], bool) -> FuncEval,
 {
@@ -283,12 +323,17 @@ where
         if !decrement_sq.is_finite() {
             return Err(GpError::NumericalFailure("non-finite newton decrement"));
         }
-        if std::env::var_os("PQ_GP_TRACE").is_some() {
-            eprintln!(
-                "newton step {steps}: value {:.9e} decrement^2 {decrement_sq:.3e}",
-                e.value
-            );
-        }
+        // The Newton decrement is the KKT residual in the Hessian norm;
+        // one event per step replaces the old PQ_GP_TRACE stderr dump
+        // (attach a `StderrSubscriber` for the same output).
+        options
+            .obs
+            .emit_with(names::GP_NEWTON, EventKind::Point, |ev| {
+                ev.with("phase", phase)
+                    .with("step", steps)
+                    .with("value", e.value)
+                    .with("decrement_sq", decrement_sq)
+            });
         if decrement_sq / 2.0 <= options.newton_tolerance {
             return Ok(steps);
         }
@@ -360,6 +405,14 @@ fn phase_one(fs: &[LogPosynomial], n: usize, options: &SolverOptions) -> Result<
                 .cholesky_solve_regularized(&rhs)
                 .ok_or(GpError::NumericalFailure("phase-I newton unsolvable"))?;
             let decrement_sq = -dot(&e.grad, &dz);
+            options
+                .obs
+                .emit_with(names::GP_NEWTON, EventKind::Point, |ev| {
+                    ev.with("phase", "phase1")
+                        .with("value", e.value)
+                        .with("decrement_sq", decrement_sq)
+                        .with("slack", z[n])
+                });
             if decrement_sq / 2.0 <= options.newton_tolerance {
                 break;
             }

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use pq_gp::{
-    kkt_report, solve_with_start, GpProblem, Monomial, Posynomial, SolverOptions,
-};
+use pq_gp::{kkt_report, solve_with_start, GpProblem, Monomial, Posynomial, SolverOptions};
 
 fn mono(c: f64, e: &[(usize, f64)]) -> Posynomial {
     Posynomial::monomial(Monomial::new(c, e.iter().copied()).unwrap())

@@ -1,0 +1,182 @@
+//! Structured telemetry events.
+//!
+//! An [`Event`] is a timestamped, named record with a flat list of
+//! key/value fields. Events are cheap to build (static strings borrow,
+//! field vectors are small) and are only constructed when a subscriber
+//! is interested in the target — see [`crate::Obs::emit_with`].
+
+use std::borrow::Cow;
+
+/// Event/field names: static in the common case, owned when formatted.
+pub type Str = Cow<'static, str>;
+
+/// A single telemetry field value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A boolean flag, e.g. `converged=true`.
+    Bool(bool),
+    /// A non-negative integer, e.g. counts and durations in ns.
+    U64(u64),
+    /// A float, e.g. residuals and objective values.
+    F64(f64),
+    /// A short string, e.g. a strategy name.
+    Str(Str),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::U64(a), Value::U64(b)) => a == b,
+            // Bitwise float comparison so NaN == NaN and round-trip
+            // tests can compare events structurally.
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Cow::Owned(v))
+    }
+}
+
+/// What an event represents; lets consumers filter without parsing
+/// field contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A state observation or decision at a moment in time.
+    Point,
+    /// An occurrence that a consumer may want to tally.
+    Count,
+    /// A completed span with a `dur_ns` field.
+    Timing,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Point => "point",
+            EventKind::Count => "count",
+            EventKind::Timing => "timing",
+        }
+    }
+
+    /// Inverse of [`EventKind::as_str`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "point" => Some(EventKind::Point),
+            "count" => Some(EventKind::Count),
+            "timing" => Some(EventKind::Timing),
+            _ => None,
+        }
+    }
+}
+
+/// A timestamped structured telemetry record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since process start (monotonic; see [`crate::now_ns`]).
+    pub ts_ns: u64,
+    /// Dotted event name, e.g. `gp.solve` or `sim.refresh`.
+    pub target: Str,
+    /// The event's kind.
+    pub kind: EventKind,
+    /// Ordered key/value payload.
+    pub fields: Vec<(Str, Value)>,
+}
+
+impl Event {
+    /// A new event stamped with the current monotonic time.
+    pub fn new(target: impl Into<Str>, kind: EventKind) -> Self {
+        Event {
+            ts_ns: crate::now_ns(),
+            target: target.into(),
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    pub fn with(mut self, key: impl Into<Str>, value: impl Into<Value>) -> Self {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// First field with the given key, if any.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_appends_fields_in_order() {
+        let e = Event::new("gp.solve", EventKind::Timing)
+            .with("iters", 7u64)
+            .with("gap", 1e-7)
+            .with("phase", "newton");
+        assert_eq!(e.target, "gp.solve");
+        assert_eq!(e.fields.len(), 3);
+        assert_eq!(e.field("iters"), Some(&Value::U64(7)));
+        assert_eq!(e.field("phase"), Some(&Value::Str("newton".into())));
+        assert_eq!(e.field("missing"), None);
+    }
+
+    #[test]
+    fn nan_values_compare_equal() {
+        assert_eq!(Value::F64(f64::NAN), Value::F64(f64::NAN));
+        assert_ne!(Value::F64(1.0), Value::F64(2.0));
+        assert_ne!(Value::F64(1.0), Value::U64(1));
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [EventKind::Point, EventKind::Count, EventKind::Timing] {
+            assert_eq!(EventKind::from_name(kind.as_str()), Some(kind));
+        }
+        assert_eq!(EventKind::from_name("bogus"), None);
+    }
+}

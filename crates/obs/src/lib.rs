@@ -1,0 +1,375 @@
+//! `pq-obs`: zero-dependency telemetry for polyquery.
+//!
+//! The crate provides three coordinated pieces:
+//!
+//! 1. **Structured events** ([`Event`]) delivered to a pluggable
+//!    [`Subscriber`] — a bounded in-memory ring
+//!    ([`RingBufferSubscriber`]), a JSONL file ([`JsonlWriter`]),
+//!    human-readable stderr lines ([`StderrSubscriber`]), or nothing
+//!    at all ([`NullSubscriber`], the default, which compiles down to
+//!    one virtual `enabled()` call per site).
+//! 2. **Metrics** — named monotonic [`Counter`]s and power-of-two
+//!    bucket [`Histogram`]s with p50/p95/p99 summaries, held in a
+//!    per-[`Obs`] [`Registry`] (no global state, so parallel tests
+//!    never share metrics).
+//! 3. **Timing spans** — [`Obs::timed`] returns a guard that records
+//!    the elapsed nanoseconds into a `<name>_ns` histogram and emits a
+//!    `<name>_ns` timing event when dropped.
+//!
+//! An [`Obs`] handle is a cheap `Arc` clone; the solver, monitor, and
+//! simulator each accept one and default to the null handle.
+//!
+//! ```
+//! let (obs, ring) = pq_obs::Obs::ring(256);
+//! {
+//!     let _span = obs.timed(pq_obs::names::GP_SOLVE);
+//!     // ... solve ...
+//! }
+//! obs.counter(pq_obs::names::DAB_RECOMPUTE).inc();
+//! assert_eq!(ring.events().len(), 1); // the gp.solve_ns timing event
+//! assert_eq!(obs.snapshot().counters["dab.recompute"], 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod jsonl;
+pub mod registry;
+pub mod subscriber;
+
+pub use event::{Event, EventKind, Value};
+pub use jsonl::{parse, to_json, JsonError, JsonlWriter};
+pub use registry::{Counter, Histogram, HistogramSummary, Registry, Snapshot};
+pub use subscriber::{
+    Fanout, NullSubscriber, PrefixFilter, RingBufferSubscriber, StderrSubscriber, Subscriber,
+};
+
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Nanoseconds since the first telemetry call in this process
+/// (monotonic, saturating at `u64::MAX`).
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The well-known metric and event names used across polyquery, so
+/// instrumentation sites and consumers agree on spelling.
+pub mod names {
+    /// GP solve span (histogram `gp.solve_ns`).
+    pub const GP_SOLVE: &str = "gp.solve";
+    /// One outer barrier iteration of the GP solver.
+    pub const GP_OUTER: &str = "gp.outer";
+    /// One Newton step inside the GP solver.
+    pub const GP_NEWTON: &str = "gp.newton";
+    /// DAB assignment solve span (histogram `dab.solve_ns`).
+    pub const DAB_SOLVE: &str = "dab.solve";
+    /// A DAB recomputation was triggered (one event per query solved).
+    pub const DAB_RECOMPUTE: &str = "dab.recompute";
+    /// Strategy/heuristic selection for one assignment unit.
+    pub const CORE_ASSIGN: &str = "core.assign";
+    /// A monitor was installed over the current data snapshot.
+    pub const MONITOR_INSTALL: &str = "monitor.install";
+    /// Outcome of one `Monitor::on_refresh` call.
+    pub const MONITOR_REFRESH: &str = "monitor.refresh";
+    /// A source refresh arrived at the simulated coordinator.
+    pub const SIM_REFRESH: &str = "sim.refresh";
+    /// A DAB change message was sent to a source.
+    pub const SIM_DAB_CHANGE: &str = "sim.dab_change";
+    /// A message was dropped by failure injection.
+    pub const SIM_LOST_MESSAGE: &str = "sim.lost_message";
+    /// A user notification fired.
+    pub const SIM_USER_NOTIFY: &str = "sim.user_notification";
+    /// A fidelity sample found a query outside its QAB.
+    pub const SIM_QAB_VIOLATION: &str = "sim.qab_violation";
+    /// One fidelity sample was taken across all queries.
+    pub const SIM_FIDELITY_SAMPLE: &str = "sim.fidelity_sample";
+    /// Wall-clock nanoseconds the simulated coordinator spent in DAB
+    /// solvers (histogram; the `_ns` suffix is already included).
+    pub const SIM_SOLVE_NS: &str = "sim.solve_ns";
+    /// A simulation run started (carries configuration fields).
+    pub const SIM_RUN_START: &str = "sim.run_start";
+    /// A simulation run finished (carries summary metrics).
+    pub const SIM_RUN_END: &str = "sim.run_end";
+    /// One benchmark harness data point.
+    pub const BENCH_RUN: &str = "bench.run";
+}
+
+/// How a component should expose telemetry. `Default` is fully off.
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Write a JSONL event trace to this path.
+    pub jsonl: Option<PathBuf>,
+    /// Append to the JSONL file instead of truncating it.
+    pub append: bool,
+    /// Keep the last N events in an in-memory ring.
+    pub ring: Option<usize>,
+    /// Render events as human-readable stderr lines.
+    pub stderr: bool,
+}
+
+impl ObsConfig {
+    /// Whether this config produces any subscriber at all.
+    pub fn is_off(&self) -> bool {
+        self.jsonl.is_none() && self.ring.is_none() && !self.stderr
+    }
+}
+
+struct Inner {
+    subscriber: Arc<dyn Subscriber>,
+    registry: Registry,
+}
+
+/// The telemetry handle: an `Arc` around a subscriber and a metrics
+/// registry. Cloning is cheap; clones share both.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Arc<Inner>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::null()
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled("debug"))
+            .finish()
+    }
+}
+
+impl Obs {
+    /// A handle that emits nothing. Metrics still accumulate (they are
+    /// how `SimMetrics` is populated), but no events are constructed.
+    pub fn null() -> Self {
+        Obs::with_subscriber(Arc::new(NullSubscriber))
+    }
+
+    /// A handle delivering events to the given subscriber.
+    pub fn with_subscriber(subscriber: Arc<dyn Subscriber>) -> Self {
+        Obs {
+            inner: Arc::new(Inner {
+                subscriber,
+                registry: Registry::default(),
+            }),
+        }
+    }
+
+    /// A handle backed by an in-memory ring of `capacity` events,
+    /// returned alongside the ring so callers can inspect it.
+    pub fn ring(capacity: usize) -> (Self, Arc<RingBufferSubscriber>) {
+        let ring = Arc::new(RingBufferSubscriber::new(capacity));
+        (Obs::with_subscriber(ring.clone()), ring)
+    }
+
+    /// Builds a handle from a declarative config. Fails only if the
+    /// JSONL file cannot be opened.
+    pub fn from_config(config: &ObsConfig) -> std::io::Result<Self> {
+        if config.is_off() {
+            return Ok(Obs::null());
+        }
+        let mut sinks: Vec<Arc<dyn Subscriber>> = Vec::new();
+        if let Some(path) = &config.jsonl {
+            let writer = if config.append {
+                JsonlWriter::append(path)?
+            } else {
+                JsonlWriter::create(path)?
+            };
+            sinks.push(Arc::new(writer));
+        }
+        if let Some(capacity) = config.ring {
+            sinks.push(Arc::new(RingBufferSubscriber::new(capacity)));
+        }
+        if config.stderr {
+            sinks.push(Arc::new(StderrSubscriber));
+        }
+        if sinks.len() == 1 {
+            Ok(Obs::with_subscriber(sinks.pop().unwrap()))
+        } else {
+            Ok(Obs::with_subscriber(Arc::new(Fanout::new(sinks))))
+        }
+    }
+
+    /// Whether any subscriber wants events for `target`.
+    pub fn enabled(&self, target: &str) -> bool {
+        self.inner.subscriber.enabled(target)
+    }
+
+    /// Delivers a pre-built event.
+    pub fn emit(&self, event: &Event) {
+        if self.inner.subscriber.enabled(&event.target) {
+            self.inner.subscriber.on_event(event);
+        }
+    }
+
+    /// Builds and delivers an event only if `target` is enabled — the
+    /// closure (and thus all field formatting) is skipped under the
+    /// null subscriber.
+    pub fn emit_with(
+        &self,
+        target: &'static str,
+        kind: EventKind,
+        build: impl FnOnce(Event) -> Event,
+    ) {
+        if self.inner.subscriber.enabled(target) {
+            let event = build(Event::new(target, kind));
+            self.inner.subscriber.on_event(&event);
+        }
+    }
+
+    /// The counter named `name` in this handle's registry.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.inner.registry.counter(name)
+    }
+
+    /// The histogram named `name` in this handle's registry.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.inner.registry.histogram(name)
+    }
+
+    /// Starts a timing span for `name` (e.g. [`names::GP_SOLVE`]).
+    /// When the guard drops, the elapsed nanoseconds are recorded in
+    /// the `<name>_ns` histogram and — if a subscriber is listening —
+    /// emitted as a `<name>_ns` timing event with a `dur_ns` field.
+    pub fn timed(&self, name: &str) -> TimedGuard {
+        TimedGuard {
+            obs: self.clone(),
+            metric: format!("{name}_ns"),
+            start: Instant::now(),
+        }
+    }
+
+    /// A point-in-time copy of every metric in this handle's registry.
+    pub fn snapshot(&self) -> Snapshot {
+        self.inner.registry.snapshot()
+    }
+
+    /// Flushes buffered subscriber output (e.g. the JSONL file).
+    pub fn flush(&self) {
+        self.inner.subscriber.flush();
+    }
+}
+
+/// Span guard returned by [`Obs::timed`]; records on drop.
+#[derive(Debug)]
+pub struct TimedGuard {
+    obs: Obs,
+    metric: String,
+    start: Instant,
+}
+
+impl Drop for TimedGuard {
+    fn drop(&mut self) {
+        let dur_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.obs.histogram(&self.metric).record(dur_ns);
+        if self.obs.enabled(&self.metric) {
+            let event = Event::new(self.metric.clone(), EventKind::Timing).with("dur_ns", dur_ns);
+            self.obs.emit(&event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handle_emits_nothing_but_counts_metrics() {
+        let obs = Obs::null();
+        assert!(!obs.enabled(names::GP_SOLVE));
+        // The build closure must never run under the null subscriber.
+        obs.emit_with(names::GP_SOLVE, EventKind::Point, |_| {
+            panic!("event built despite null subscriber")
+        });
+        obs.counter(names::DAB_RECOMPUTE).inc();
+        assert_eq!(obs.snapshot().counters["dab.recompute"], 1);
+    }
+
+    #[test]
+    fn ring_handle_captures_emitted_events() {
+        let (obs, ring) = Obs::ring(16);
+        assert!(obs.enabled(names::SIM_REFRESH));
+        obs.emit_with(names::SIM_REFRESH, EventKind::Point, |e| {
+            e.with("item", 3u64)
+        });
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].target, names::SIM_REFRESH);
+        assert_eq!(events[0].field("item"), Some(&Value::U64(3)));
+    }
+
+    #[test]
+    fn timed_guard_records_histogram_and_event() {
+        let (obs, ring) = Obs::ring(16);
+        {
+            let _span = obs.timed(names::GP_SOLVE);
+            std::hint::black_box(0u64);
+        }
+        let snap = obs.snapshot();
+        let hist = &snap.histograms["gp.solve_ns"];
+        assert_eq!(hist.count, 1);
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].target, "gp.solve_ns");
+        assert_eq!(events[0].kind, EventKind::Timing);
+        assert!(matches!(events[0].field("dur_ns"), Some(Value::U64(_))));
+    }
+
+    #[test]
+    fn clones_share_subscriber_and_registry() {
+        let (obs, ring) = Obs::ring(16);
+        let clone = obs.clone();
+        clone.counter("shared").inc();
+        clone.emit_with("x", EventKind::Count, |e| e);
+        assert_eq!(obs.snapshot().counters["shared"], 1);
+        assert_eq!(ring.events().len(), 1);
+    }
+
+    #[test]
+    fn config_roundtrip_through_jsonl_file() {
+        let dir = std::env::temp_dir().join("pq-obs-test-config");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let config = ObsConfig {
+            jsonl: Some(path.clone()),
+            ..ObsConfig::default()
+        };
+        assert!(!config.is_off());
+        let obs = Obs::from_config(&config).unwrap();
+        obs.emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
+            e.with("query", 0u64).with("reason", "refresh")
+        });
+        {
+            let _span = obs.timed(names::GP_SOLVE);
+        }
+        obs.flush();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<Event> = contents
+            .lines()
+            .map(|l| crate::jsonl::parse(l).unwrap())
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].target, names::DAB_RECOMPUTE);
+        assert_eq!(events[1].target, "gp.solve_ns");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn off_config_yields_null_handle() {
+        let obs = Obs::from_config(&ObsConfig::default()).unwrap();
+        assert!(!obs.enabled("anything"));
+    }
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,322 @@
+//! Metrics: monotonic counters and fixed-bucket latency histograms.
+//!
+//! Handles ([`Counter`], [`Histogram`]) are `Arc`s of atomics, so the
+//! hot path is a relaxed fetch-add — no lock is held while recording.
+//! The [`Registry`] map itself is only locked at handle-creation and
+//! snapshot time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing event tally.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets: bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`, bucket 0 holds zero. Covers the full `u64` range.
+const BUCKETS: usize = 65;
+
+/// A histogram over `u64` samples (typically durations in ns) with
+/// power-of-two buckets, exact count/sum/min/max, and quantile
+/// estimates accurate to within a factor of two.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("summary", &self.summary())
+            .finish()
+    }
+}
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (used as the quantile estimate).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimate of the `q`-quantile (`q` in `[0, 1]`): the upper bound
+    /// of the bucket containing the rank-`ceil(q * count)` sample,
+    /// clamped to the exact observed min/max. Zero if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let lo = self.min.load(Ordering::Relaxed);
+                let hi = self.max.load(Ordering::Relaxed);
+                return bucket_upper(i).clamp(lo, hi);
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary of this histogram.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        HistogramSummary {
+            count,
+            sum: self.sum(),
+            mean: if count == 0 {
+                0.0
+            } else {
+                self.sum() as f64 / count as f64
+            },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time statistics for one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Mean sample (0 when empty).
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Exact smallest sample (0 when empty).
+    pub min: u64,
+    /// Exact largest sample.
+    pub max: u64,
+}
+
+/// Get-or-create storage for named counters and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        let h = Arc::new(Histogram::default());
+        map.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// Values of all metrics at this moment, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let registry = Registry::default();
+        let c = registry.counter("dab.recompute");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same underlying counter.
+        assert_eq!(registry.counter("dab.recompute").get(), 5);
+        assert_eq!(registry.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_exact_count_sum_min_max() {
+        let h = Histogram::default();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 100);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 40);
+        assert!((s.mean - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_within_their_bucket() {
+        let h = Histogram::default();
+        // 1..=1000: true p50 = 500, p95 = 950, p99 = 990.
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        // Power-of-two buckets: the estimate is the bucket upper bound,
+        // so it is >= the true quantile and < 2x the true quantile.
+        assert!((500..1000).contains(&s.p50), "p50 = {}", s.p50);
+        assert!((950..=1000).contains(&s.p95), "p95 = {}", s.p95);
+        assert!((990..=1000).contains(&s.p99), "p99 = {}", s.p99);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        let h = Histogram::default();
+        h.record(700);
+        let s = h.summary();
+        // A single sample: every quantile is exactly that sample, not
+        // the bucket bound 1023.
+        assert_eq!((s.p50, s.p95, s.p99), (700, 700, 700));
+        assert_eq!((s.min, s.max), (700, 700));
+
+        let empty = Histogram::default();
+        let s = empty.summary();
+        assert_eq!((s.count, s.p50, s.min, s.max), (0, 0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_collects_all_metrics() {
+        let registry = Registry::default();
+        registry.counter("a").add(3);
+        registry.counter("b").add(1);
+        registry.histogram("h").record(42);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("a"), Some(&3));
+        assert_eq!(snap.counters.get("b"), Some(&1));
+        assert_eq!(snap.histograms.get("h").unwrap().count, 1);
+        assert_eq!(snap.histograms.get("h").unwrap().max, 42);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property: every event serializes to exactly one line of valid JSON
+//! and parses back structurally equal (with NaN compared bitwise).
+
+use pq_obs::{parse, to_json, Event, EventKind, Value};
+use proptest::prelude::*;
+
+/// A strategy over arbitrary field values, including float edge cases.
+fn arb_value() -> impl Strategy<Value = Value> {
+    (0u32..6, 0u64..u64::MAX, -1.0e12f64..1.0e12, 0u32..5).prop_map(
+        |(tag, integer, float, edge)| match tag {
+            0 => Value::Bool(integer % 2 == 0),
+            1 => Value::U64(integer),
+            2 => Value::F64(float),
+            3 => Value::F64(match edge {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                _ => (integer % 1_000_000) as f64, // integral float
+            }),
+            4 => Value::Str(format!("s{integer}").into()),
+            // Awkward strings: quotes, escapes, controls, unicode.
+            _ => Value::Str(
+                match edge {
+                    0 => "with \"quotes\" and \\slashes\\".to_string(),
+                    1 => "line\nbreak\tand\rreturns".to_string(),
+                    2 => "control\u{1}\u{1f}chars".to_string(),
+                    3 => "unicode λ→∞ 🚀".to_string(),
+                    _ => String::new(),
+                }
+                .into(),
+            ),
+        },
+    )
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        0u64..u64::MAX,
+        0u32..3,
+        proptest::collection::vec((0u32..1000, arb_value()), 0..8),
+    )
+        .prop_map(|(ts_ns, kind, fields)| Event {
+            ts_ns,
+            target: format!("target.{}", ts_ns % 97).into(),
+            kind: match kind {
+                0 => EventKind::Point,
+                1 => EventKind::Count,
+                _ => EventKind::Timing,
+            },
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (format!("k{k}").into(), v))
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_event_round_trips_as_one_json_line(event in arb_event()) {
+        let line = to_json(&event);
+        prop_assert!(
+            !line.contains('\n') && !line.contains('\r'),
+            "serialized event spans multiple lines: {line}"
+        );
+        let back = parse(&line);
+        prop_assert!(back.is_ok(), "parse failed for {line}: {:?}", back.err());
+        prop_assert_eq!(back.unwrap(), event);
+    }
+}

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use pq_poly::{
-    coupled_items, deviation_posynomial, parse_polynomial, DabVarMap, ItemCatalog, ItemId,
-    PTerm, PartialDabVarMap, Polynomial,
+    coupled_items, deviation_posynomial, parse_polynomial, DabVarMap, ItemCatalog, ItemId, PTerm,
+    PartialDabVarMap, Polynomial,
 };
 
 fn x(i: u32) -> ItemId {

@@ -17,6 +17,7 @@
 //! trends across strategies and delays are what this reproduces (the
 //! paper makes the same caveat for its PlanetLab runs).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -28,6 +29,7 @@ use pq_core::{
 };
 use pq_ddm::{DataDynamicsModel, RateEstimator, TraceSet};
 use pq_gp::SolverOptions;
+use pq_obs::{names, Counter, EventKind, Obs, ObsConfig};
 use pq_poly::PolynomialQuery;
 
 use crate::delay::DelayConfig;
@@ -85,6 +87,11 @@ pub struct SimConfig {
     pub loss_probability: f64,
     /// GP solver options for all recomputations.
     pub gp: SolverOptions,
+    /// Telemetry configuration (fully off by default). [`run`] builds an
+    /// [`Obs`] handle from this and threads it through the coordinator
+    /// and the GP solver; use [`run_observed`] to supply a handle
+    /// directly and inspect its registry afterwards.
+    pub obs: ObsConfig,
 }
 
 impl SimConfig {
@@ -107,6 +114,7 @@ impl SimConfig {
             fidelity_sample_every: 1,
             loss_probability: 0.0,
             gp: SolverOptions::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -126,6 +134,11 @@ pub enum SimError {
         /// The missing item index.
         item: usize,
     },
+    /// Opening a telemetry sink (e.g. the JSONL trace file) failed.
+    Obs {
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -137,6 +150,9 @@ impl std::fmt::Display for SimError {
             SimError::MissingTrace { item } => {
                 write!(f, "query references item x{item} with no trace")
             }
+            SimError::Obs { source } => {
+                write!(f, "failed to open telemetry sink: {source}")
+            }
         }
     }
 }
@@ -144,8 +160,22 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Runs the simulation to completion and returns the collected metrics.
+///
+/// Telemetry follows `config.obs`; with the default (off) configuration
+/// no events are constructed.
 pub fn run(config: &SimConfig) -> Result<SimMetrics, SimError> {
-    Engine::new(config)?.run()
+    let obs = Obs::from_config(&config.obs).map_err(|source| SimError::Obs { source })?;
+    run_observed(config, &obs)
+}
+
+/// Runs the simulation with a caller-supplied telemetry handle,
+/// ignoring `config.obs`.
+///
+/// After the run, `obs.snapshot()` holds the counter/histogram mirror of
+/// the returned metrics (see [`SimMetrics::from_snapshot`]), including
+/// the GP-solver timings (`gp.solve_ns`) from every recomputation.
+pub fn run_observed(config: &SimConfig, obs: &Obs) -> Result<SimMetrics, SimError> {
+    Engine::new(config, obs.clone())?.run()
 }
 
 struct Engine<'a> {
@@ -176,10 +206,22 @@ struct Engine<'a> {
     /// The coordinator is busy (checking queries / re-solving DABs) until
     /// this time; refreshes arriving earlier wait in its queue.
     coordinator_busy_until: f64,
+    /// Telemetry handle; also injected into every GP solve via
+    /// [`Engine::solve_context`].
+    obs: Obs,
+    /// Registry counters mirroring the [`SimMetrics`] fields (the
+    /// lossless bridge — see [`SimMetrics::from_snapshot`]).
+    c_refreshes: Arc<Counter>,
+    c_recomputations: Arc<Counter>,
+    c_dab_changes: Arc<Counter>,
+    c_notifications: Arc<Counter>,
+    c_lost: Arc<Counter>,
+    c_fidelity: Arc<Counter>,
+    c_violations: Vec<Arc<Counter>>,
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a SimConfig) -> Result<Self, SimError> {
+    fn new(cfg: &'a SimConfig, obs: Obs) -> Result<Self, SimError> {
         let n_items = cfg.traces.n_items();
         for q in &cfg.queries {
             if let Some(mx) = q.poly().max_item() {
@@ -214,18 +256,55 @@ impl<'a> Engine<'a> {
             rng: StdRng::seed_from_u64(cfg.seed),
             metrics: SimMetrics::new(cfg.queries.len()),
             coordinator_busy_until: 0.0,
+            c_refreshes: obs.counter(names::SIM_REFRESH),
+            c_recomputations: obs.counter(names::DAB_RECOMPUTE),
+            c_dab_changes: obs.counter(names::SIM_DAB_CHANGE),
+            c_notifications: obs.counter(names::SIM_USER_NOTIFY),
+            c_lost: obs.counter(names::SIM_LOST_MESSAGE),
+            c_fidelity: obs.counter(names::SIM_FIDELITY_SAMPLE),
+            c_violations: (0..cfg.queries.len())
+                .map(|qi| obs.counter(&format!("{}.q{qi}", names::SIM_QAB_VIOLATION)))
+                .collect(),
+            obs,
         };
+        engine
+            .obs
+            .emit_with(names::SIM_RUN_START, EventKind::Point, |e| {
+                e.with("n_items", n_items)
+                    .with("n_queries", engine.cfg.queries.len())
+                    .with("n_ticks", engine.cfg.traces.n_ticks())
+                    .with("seed", engine.cfg.seed)
+                    .with("loss_probability", engine.cfg.loss_probability)
+                    .with(
+                        "strategy",
+                        match &engine.cfg.strategy {
+                            SimStrategy::PerQuery { .. } => "per-query",
+                            SimStrategy::AaoPeriodic { .. } => "aao-periodic",
+                        },
+                    )
+            });
         engine.initial_assignments()?;
         Ok(engine)
     }
 
     fn solve_context(&self) -> SolveContext<'_> {
+        let mut gp = self.cfg.gp.clone();
+        gp.obs = self.obs.clone();
         SolveContext {
             values: &self.coord_values,
             rates: &self.rates,
             ddm: self.cfg.ddm,
-            gp: self.cfg.gp.clone(),
+            gp,
         }
+    }
+
+    /// Accounts solver wall-clock into both the metrics field and the
+    /// `sim.solve_ns` histogram, from the same nanosecond reading, so
+    /// [`SimMetrics::from_snapshot`] stays a lossless mirror.
+    fn note_solver_time(&mut self, started: Instant) {
+        let ns = started.elapsed().as_nanos() as u64;
+        self.obs.histogram(names::SIM_SOLVE_NS).record(ns);
+        self.metrics.solver_seconds += ns as f64 / 1e9;
     }
 
     fn initial_assignments(&mut self) -> Result<(), SimError> {
@@ -277,7 +356,7 @@ impl<'a> Engine<'a> {
                     .collect();
             }
         }
-        self.metrics.solver_seconds += started.elapsed().as_secs_f64();
+        self.note_solver_time(started);
         // Synchronous installation at t = 0 (steady-state start, §V-A).
         self.recompute_coord_dabs_all();
         self.installed_dab = self.coord_dabs.clone();
@@ -351,15 +430,36 @@ impl<'a> Engine<'a> {
             // Fidelity sample.
             if self.cfg.fidelity_sample_every > 0 && tick % self.cfg.fidelity_sample_every == 0 {
                 self.metrics.fidelity_samples += 1;
+                self.c_fidelity.inc();
                 for (qi, q) in self.cfg.queries.iter().enumerate() {
                     let truth = q.eval(&self.source_values);
                     let cached = q.eval(&self.coord_values);
                     if (truth - cached).abs() > q.qab() {
                         self.metrics.per_query_violations[qi] += 1;
+                        self.c_violations[qi].inc();
+                        self.obs
+                            .emit_with(names::SIM_QAB_VIOLATION, EventKind::Point, |e| {
+                                e.with("query", qi)
+                                    .with("tick", tick)
+                                    .with("truth", truth)
+                                    .with("cached", cached)
+                            });
                     }
                 }
             }
         }
+        self.obs
+            .emit_with(names::SIM_RUN_END, EventKind::Point, |e| {
+                e.with("refreshes", self.metrics.refreshes)
+                    .with("recomputations", self.metrics.recomputations)
+                    .with("dab_change_messages", self.metrics.dab_change_messages)
+                    .with("lost_messages", self.metrics.lost_messages)
+                    .with(
+                        "loss_in_fidelity_percent",
+                        self.metrics.loss_in_fidelity_percent(),
+                    )
+            });
+        self.obs.flush();
         Ok(self.metrics)
     }
 
@@ -381,10 +481,11 @@ impl<'a> Engine<'a> {
     /// Failure injection: true if this message is lost in transit.
     fn drop_message(&mut self) -> bool {
         use rand::Rng;
-        if self.cfg.loss_probability > 0.0
-            && self.rng.gen::<f64>() < self.cfg.loss_probability
-        {
+        if self.cfg.loss_probability > 0.0 && self.rng.gen::<f64>() < self.cfg.loss_probability {
             self.metrics.lost_messages += 1;
+            self.c_lost.inc();
+            self.obs
+                .emit_with(names::SIM_LOST_MESSAGE, EventKind::Count, |e| e);
             true
         } else {
             false
@@ -393,6 +494,11 @@ impl<'a> Engine<'a> {
 
     fn on_refresh(&mut self, item: usize, value: f64, now: f64) -> Result<(), SimError> {
         self.metrics.refreshes += 1;
+        self.c_refreshes.inc();
+        self.obs
+            .emit_with(names::SIM_REFRESH, EventKind::Count, |e| {
+                e.with("item", item).with("value", value).with("t", now)
+            });
         self.coord_values[item] = value;
         // One query-check service charge per refresh (the paper's 4 ms
         // mean covers processing an arriving refresh, §V-A).
@@ -408,6 +514,11 @@ impl<'a> Engine<'a> {
             if (qv - self.last_user_value[qi]).abs() > q.qab() {
                 self.last_user_value[qi] = qv;
                 self.metrics.user_notifications += 1;
+                self.c_notifications.inc();
+                self.obs
+                    .emit_with(names::SIM_USER_NOTIFY, EventKind::Count, |e| {
+                        e.with("query", qi).with("value", qv).with("t", now)
+                    });
             }
             // Recompute the DABs of any unit the refresh invalidated.
             let stale: Vec<usize> = self.assignments[qi]
@@ -442,8 +553,16 @@ impl<'a> Engine<'a> {
         let started = Instant::now();
         let new_assignment = assign_unit(unit, &self.solve_context(), strategy)
             .map_err(|source| SimError::Dab { query: qi, source })?;
-        self.metrics.solver_seconds += started.elapsed().as_secs_f64();
+        self.note_solver_time(started);
         self.metrics.recomputations += 1;
+        self.c_recomputations.inc();
+        self.obs
+            .emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
+                e.with("query", qi)
+                    .with("unit", ui)
+                    .with("reason", "validity")
+                    .with("t", now)
+            });
 
         let items: Vec<usize> = new_assignment.primary.keys().map(|i| i.index()).collect();
         self.assignments[qi][ui] = new_assignment;
@@ -465,6 +584,11 @@ impl<'a> Engine<'a> {
             if changed {
                 self.coord_dabs[item] = new_min;
                 self.metrics.dab_change_messages += 1;
+                self.c_dab_changes.inc();
+                self.obs
+                    .emit_with(names::SIM_DAB_CHANGE, EventKind::Count, |e| {
+                        e.with("item", item).with("dab", new_min).with("t", now)
+                    });
                 if self.drop_message() {
                     continue;
                 }
@@ -479,10 +603,19 @@ impl<'a> Engine<'a> {
         let started = Instant::now();
         let ca = aao(&self.cfg.queries, &self.solve_context(), mu)
             .map_err(|source| SimError::Dab { query: 0, source })?;
-        self.metrics.solver_seconds += started.elapsed().as_secs_f64();
+        self.note_solver_time(started);
         // Every query's DABs were recomputed (counted per query, as the
         // paper does for the AAO-T curves).
         self.metrics.recomputations += self.cfg.queries.len() as u64;
+        self.c_recomputations.add(self.cfg.queries.len() as u64);
+        for qi in 0..self.cfg.queries.len() {
+            self.obs
+                .emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
+                    e.with("query", qi)
+                        .with("reason", "aao-periodic")
+                        .with("t", now)
+                });
+        }
         self.assignments = ca.per_query.into_iter().map(|a| vec![a]).collect();
         let items: Vec<usize> = (0..self.n_items).collect();
         self.propagate_dab_changes(&items, now);
@@ -710,6 +843,49 @@ mod tests {
         );
         // Fewer refreshes arrive than were pushed.
         assert!(lossy.refreshes < lossless.refreshes + lossy.lost_messages);
+    }
+
+    #[test]
+    fn snapshot_bridge_matches_direct_metrics() {
+        let mut cfg = small_config(DelayConfig::planetlab_like(), dual(5.0));
+        cfg.loss_probability = 0.1;
+        let obs = Obs::null();
+        let m = run_observed(&cfg, &obs).unwrap();
+        let snap = obs.snapshot();
+        // The GP solver ran under this handle's registry.
+        assert!(snap.histograms.contains_key("gp.solve_ns"));
+        let mut bridged = SimMetrics::from_snapshot(&snap, cfg.queries.len());
+        // solver_seconds: f64 running sum vs exact u64 ns sum.
+        assert!((bridged.solver_seconds - m.solver_seconds).abs() < 1e-6);
+        let mut direct = m;
+        direct.solver_seconds = 0.0;
+        bridged.solver_seconds = 0.0;
+        assert_eq!(direct, bridged);
+    }
+
+    #[test]
+    fn jsonl_trace_mirrors_recomputation_count() {
+        let path = std::env::temp_dir().join(format!("pq_sim_trace_{}.jsonl", std::process::id()));
+        let mut cfg = small_config(DelayConfig::zero(), optimal());
+        cfg.obs = ObsConfig {
+            jsonl: Some(path.clone()),
+            ..Default::default()
+        };
+        let m = run(&cfg).unwrap();
+        assert!(m.recomputations > 0);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<pq_obs::Event> = text
+            .lines()
+            .map(|l| pq_obs::jsonl::parse(l).expect("every trace line is valid JSON"))
+            .collect();
+        let count = |target: &str| events.iter().filter(|e| e.target == target).count() as u64;
+        assert_eq!(count(names::DAB_RECOMPUTE), m.recomputations);
+        assert_eq!(count(names::SIM_REFRESH), m.refreshes);
+        assert!(count("gp.solve_ns") > 0, "GP solve timings reach the trace");
+        assert_eq!(count(names::SIM_RUN_START), 1);
+        assert_eq!(count(names::SIM_RUN_END), 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

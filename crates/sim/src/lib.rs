@@ -11,6 +11,11 @@
 //!   the Fig. 8(c) experiment;
 //! * [`metrics`] — the paper's four metrics (fidelity loss, refreshes,
 //!   recomputations, total cost).
+//!
+//! Telemetry: set [`SimConfig::obs`] (re-exported [`ObsConfig`]) to get a
+//! JSONL trace of every refresh, recomputation, and GP solve, or call
+//! [`engine::run_observed`] with your own [`Obs`] handle to inspect the
+//! counter/histogram registry after a run.
 
 #![warn(missing_docs)]
 
@@ -21,6 +26,7 @@ pub mod metrics;
 pub mod network;
 
 pub use delay::{DelayConfig, Pareto};
-pub use engine::{run, SimConfig, SimError, SimStrategy};
+pub use engine::{run, run_observed, SimConfig, SimError, SimStrategy};
 pub use metrics::SimMetrics;
 pub use network::{run_network, NetworkConfig, NetworkMetrics};
+pub use pq_obs::{Obs, ObsConfig};

@@ -39,6 +39,12 @@ impl SimMetrics {
 
     /// Mean loss in fidelity across queries, in percent (metric 1):
     /// the fraction of observed time a query's QAB was violated.
+    ///
+    /// Degenerate inputs are handled conservatively: with no samples or
+    /// no queries the loss is 0, and a per-query violation count larger
+    /// than the sample count (possible only if the struct was populated
+    /// by hand or merged from disagreeing runs) is clamped so no query
+    /// contributes more than 100%.
     pub fn loss_in_fidelity_percent(&self) -> f64 {
         if self.fidelity_samples == 0 || self.per_query_violations.is_empty() {
             return 0.0;
@@ -46,10 +52,39 @@ impl SimMetrics {
         let mean_violation: f64 = self
             .per_query_violations
             .iter()
-            .map(|&v| v as f64 / self.fidelity_samples as f64)
+            .map(|&v| v.min(self.fidelity_samples) as f64 / self.fidelity_samples as f64)
             .sum::<f64>()
             / self.per_query_violations.len() as f64;
         100.0 * mean_violation
+    }
+
+    /// Lossless bridge from the telemetry registry: reconstructs the
+    /// counters of a finished run from an [`pq_obs::Obs`] snapshot taken
+    /// after [`crate::run_observed`] returned.
+    ///
+    /// Counter names follow [`pq_obs::names`]; per-query violations live
+    /// under `sim.qab_violation.q<i>` for `i in 0..n_queries`, and
+    /// `solver_seconds` is the (nanosecond-exact) sum of the
+    /// `sim.solve_ns` histogram.
+    pub fn from_snapshot(snapshot: &pq_obs::Snapshot, n_queries: usize) -> Self {
+        let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+        let per_query_violations = (0..n_queries)
+            .map(|qi| counter(&format!("{}.q{qi}", pq_obs::names::SIM_QAB_VIOLATION)))
+            .collect();
+        SimMetrics {
+            refreshes: counter(pq_obs::names::SIM_REFRESH),
+            recomputations: counter(pq_obs::names::DAB_RECOMPUTE),
+            dab_change_messages: counter(pq_obs::names::SIM_DAB_CHANGE),
+            user_notifications: counter(pq_obs::names::SIM_USER_NOTIFY),
+            per_query_violations,
+            fidelity_samples: counter(pq_obs::names::SIM_FIDELITY_SAMPLE),
+            lost_messages: counter(pq_obs::names::SIM_LOST_MESSAGE),
+            solver_seconds: snapshot
+                .histograms
+                .get(pq_obs::names::SIM_SOLVE_NS)
+                .map(|h| h.sum as f64 / 1e9)
+                .unwrap_or(0.0),
+        }
     }
 }
 
@@ -78,5 +113,55 @@ mod tests {
     fn fidelity_loss_with_no_samples_is_zero() {
         let m = SimMetrics::new(3);
         assert_eq!(m.loss_in_fidelity_percent(), 0.0);
+    }
+
+    #[test]
+    fn fidelity_loss_with_no_queries_is_zero() {
+        let mut m = SimMetrics::new(0);
+        m.fidelity_samples = 100;
+        assert_eq!(m.loss_in_fidelity_percent(), 0.0);
+    }
+
+    #[test]
+    fn fidelity_loss_clamps_violations_to_sample_count() {
+        // A hand-merged struct can disagree; each query caps at 100%.
+        let mut m = SimMetrics::new(1);
+        m.fidelity_samples = 10;
+        m.per_query_violations = vec![25];
+        assert_eq!(m.loss_in_fidelity_percent(), 100.0);
+    }
+
+    #[test]
+    fn fidelity_loss_mixes_violating_and_clean_queries() {
+        let mut m = SimMetrics::new(3);
+        m.fidelity_samples = 50;
+        m.per_query_violations = vec![0, 50, 25];
+        // (0% + 100% + 50%) / 3
+        assert!((m.loss_in_fidelity_percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_snapshot_of_empty_registry_is_zeroed() {
+        let snap = pq_obs::Snapshot::default();
+        let m = SimMetrics::from_snapshot(&snap, 2);
+        assert_eq!(m, SimMetrics::new(2));
+    }
+
+    #[test]
+    fn from_snapshot_reads_counters_by_name() {
+        let obs = pq_obs::Obs::null();
+        obs.counter(pq_obs::names::SIM_REFRESH).add(7);
+        obs.counter(pq_obs::names::DAB_RECOMPUTE).add(3);
+        obs.counter(&format!("{}.q1", pq_obs::names::SIM_QAB_VIOLATION))
+            .add(2);
+        obs.counter(pq_obs::names::SIM_FIDELITY_SAMPLE).add(9);
+        obs.histogram(pq_obs::names::SIM_SOLVE_NS)
+            .record(1_500_000_000);
+        let m = SimMetrics::from_snapshot(&obs.snapshot(), 2);
+        assert_eq!(m.refreshes, 7);
+        assert_eq!(m.recomputations, 3);
+        assert_eq!(m.per_query_violations, vec![0, 2]);
+        assert_eq!(m.fidelity_samples, 9);
+        assert!((m.solver_seconds - 1.5).abs() < 1e-12);
     }
 }

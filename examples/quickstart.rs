@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use polyquery::core::{dual_dab, optimal_refresh, SolveContext};
-use polyquery::{ItemId, Monitor, PolynomialQuery, ValidityRange};
+use polyquery::{ItemId, Monitor, Obs, PolynomialQuery, ValidityRange};
 
 fn main() {
     let x = ItemId(0);
@@ -53,8 +53,13 @@ fn main() {
     }
 
     // --- The deployable API ------------------------------------------------
+    // Attach telemetry: an in-memory ring buffer captures structured events
+    // while the registry accumulates counters and latency histograms. Use
+    // `ObsConfig { jsonl: Some(path.into()), .. }` + `with_obs_config` to
+    // stream the same events to a JSONL trace file instead.
     println!("\nMonitor runtime:");
-    let mut monitor = Monitor::new();
+    let (obs, ring) = Obs::ring(4096);
+    let mut monitor = Monitor::new().with_obs(obs);
     let mx = monitor.add_item("x", 2.0, 1.0);
     let my = monitor.add_item("y", 2.0, 1.0);
     let q = monitor.add_query(PolynomialQuery::portfolio([(1.0, mx, my)], 5.0).unwrap());
@@ -74,4 +79,21 @@ fn main() {
         monitor.query_value(q).unwrap(),
         !out.notify.is_empty()
     );
+
+    // --- Telemetry recorded along the way ----------------------------------
+    let snapshot = monitor.obs().snapshot();
+    println!("\nTelemetry ({} events captured):", ring.events().len());
+    if let Some(h) = snapshot.histograms.get("gp.solve_ns") {
+        println!(
+            "  {} GP solves, median {:.1} us, p99 {:.1} us",
+            h.count,
+            h.p50 as f64 / 1_000.0,
+            h.p99 as f64 / 1_000.0
+        );
+    }
+    for event in ring.events() {
+        if event.target.starts_with("monitor.") {
+            println!("  event: {}", polyquery::obs::to_json(&event));
+        }
+    }
 }

@@ -63,6 +63,7 @@ pub use monitor::{Monitor, RefreshOutcome};
 pub use pq_core as core;
 pub use pq_ddm as ddm;
 pub use pq_gp as gp;
+pub use pq_obs as obs;
 pub use pq_poly as poly;
 pub use pq_sim as sim;
 pub use pq_workload as workload;
@@ -73,4 +74,5 @@ pub use pq_core::{
     QueryAssignment, SolveContext, ValidityRange,
 };
 pub use pq_ddm::{DataDynamicsModel, RateEstimator, Trace, TraceSet};
+pub use pq_obs::{Obs, ObsConfig};
 pub use pq_poly::{ItemCatalog, ItemId, Polynomial, PolynomialQuery, QueryClass, QueryId};

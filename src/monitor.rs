@@ -16,6 +16,7 @@ use pq_core::{
 };
 use pq_ddm::DataDynamicsModel;
 use pq_gp::SolverOptions;
+use pq_obs::{names, EventKind, Obs, ObsConfig};
 use pq_poly::{ItemCatalog, ItemId, PolyError, Polynomial, PolynomialQuery, QueryId};
 
 /// What happened when a refresh was applied.
@@ -48,6 +49,8 @@ pub struct Monitor {
     assignments: Vec<Vec<QueryAssignment>>,
     item_dabs: Vec<f64>,
     installed: bool,
+    /// Telemetry handle; threaded into every GP solve.
+    obs: Obs,
 }
 
 impl Default for Monitor {
@@ -74,7 +77,28 @@ impl Monitor {
             assignments: Vec::new(),
             item_dabs: Vec::new(),
             installed: false,
+            obs: Obs::null(),
         }
+    }
+
+    /// Attaches a telemetry handle: install/refresh outcomes and all DAB
+    /// and GP solver timings are reported through it (see [`pq_obs`]).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Builds a telemetry handle from a configuration and attaches it.
+    ///
+    /// # Errors
+    /// I/O errors from opening the configured JSONL trace file.
+    pub fn with_obs_config(self, config: &ObsConfig) -> std::io::Result<Self> {
+        Ok(self.with_obs(Obs::from_config(config)?))
+    }
+
+    /// The attached telemetry handle (null unless configured).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Replaces the assignment strategy (before or after `install`).
@@ -148,11 +172,12 @@ impl Monitor {
     /// Computes DAB assignments for every query and derives the installed
     /// per-item filters (EQI minimum rule). Returns the filters to ship.
     pub fn install(&mut self) -> Result<Vec<(ItemId, f64)>, DabError> {
+        let _span = self.obs.timed(names::MONITOR_INSTALL);
         let ctx = SolveContext {
             values: &self.values,
             rates: &self.rates,
             ddm: self.ddm,
-            gp: self.gp.clone(),
+            gp: self.solver_options(),
         };
         self.units = self
             .queries
@@ -179,13 +204,27 @@ impl Monitor {
             }
         }
         self.installed = true;
-        Ok(self
+        let filters: Vec<(ItemId, f64)> = self
             .item_dabs
             .iter()
             .enumerate()
             .filter(|(_, b)| b.is_finite())
             .map(|(i, &b)| (ItemId(i as u32), b))
-            .collect())
+            .collect();
+        self.obs
+            .emit_with(names::MONITOR_INSTALL, EventKind::Point, |e| {
+                e.with("n_queries", self.queries.len())
+                    .with("n_items", self.values.len())
+                    .with("n_filters", filters.len())
+            });
+        Ok(filters)
+    }
+
+    /// Solver options with this monitor's telemetry handle attached.
+    fn solver_options(&self) -> SolverOptions {
+        let mut gp = self.gp.clone();
+        gp.obs = self.obs.clone();
+        gp
     }
 
     /// True once `install` has run and no registration changed since.
@@ -246,7 +285,7 @@ impl Monitor {
                     values: &self.values,
                     rates: &self.rates,
                     ddm: self.ddm,
-                    gp: self.gp.clone(),
+                    gp: self.solver_options(),
                 };
                 for ui in stale {
                     self.assignments[qi][ui] =
@@ -286,6 +325,14 @@ impl Monitor {
                 }
             }
         }
+        self.obs
+            .emit_with(names::MONITOR_REFRESH, EventKind::Point, |e| {
+                e.with("item", item.index())
+                    .with("value", value)
+                    .with("notified", outcome.notify.len())
+                    .with("recomputed", outcome.recomputed.len())
+                    .with("filter_changes", outcome.filter_changes.len())
+            });
         Ok(outcome)
     }
 }
@@ -351,6 +398,29 @@ mod tests {
         m.install().unwrap();
         // The tighter second query shrinks the installed filters.
         assert!(m.filter(x).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn telemetry_reports_install_and_refresh_outcomes() {
+        let (obs, ring) = Obs::ring(4096);
+        let mut m = Monitor::new().with_obs(obs.clone());
+        let x = m.add_item("x", 2.0, 1.0);
+        let y = m.add_item("y", 2.0, 1.0);
+        m.add_query(PolynomialQuery::portfolio([(1.0, x, y)], 5.0).unwrap());
+        m.install().unwrap();
+        m.on_refresh(x, 30.0).unwrap();
+
+        let events = ring.events();
+        assert!(events.iter().any(|e| e.target == names::MONITOR_INSTALL));
+        let refresh = events
+            .iter()
+            .find(|e| e.target == names::MONITOR_REFRESH)
+            .expect("refresh event");
+        assert_eq!(refresh.field("recomputed"), Some(&pq_obs::Value::U64(1)));
+        // The GP solver ran under the same registry.
+        let snap = obs.snapshot();
+        assert!(snap.histograms["gp.solve_ns"].count > 0);
+        assert!(snap.histograms["monitor.install_ns"].count == 1);
     }
 
     #[test]

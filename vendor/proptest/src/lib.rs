@@ -1,0 +1,301 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment resolves path dependencies only, so the real
+//! `proptest` cannot be downloaded. This crate implements the slice of
+//! the 1.x API that polyquery's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_filter`, implemented
+//!   for numeric ranges, tuples, and arrays;
+//! * [`collection::vec`] and [`option::of`];
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Differences from real proptest: generation is plain random sampling
+//! (no shrinking — a failure reports the generated inputs instead), and
+//! streams are deterministic per test name so failures reproduce.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The admissible length range of a generated `Vec`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` whose elements come from `element` and
+    /// whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Some` (about 80% of the time) or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() % 5 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Runs property test cases. Prefer the form with a config header:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+///         prop_assert!((a + b - (b + a)).abs() < 1e-12);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rejects: u64 = 0;
+            let max_rejects = (config.cases as u64) * 64;
+            let mut case: u32 = 0;
+            let mut attempt: u64 = 0;
+            while case < config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    stringify!($name),
+                    attempt,
+                );
+                attempt += 1;
+                $(let $arg = ($strat).generate(&mut rng);)+
+                let rendered = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(concat!("  ", stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}\n", &$arg));
+                    )+
+                    s
+                };
+                let outcome = (move || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => case += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        if rejects > max_rejects {
+                            panic!(
+                                "proptest {}: too many rejected cases ({rejects})",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {case}: {msg}\ninputs:\n{rendered}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with generated inputs reported) rather than unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Discards the current case (without failing) when an assumption about
+/// the generated inputs does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_arrays_and_vecs_generate_in_bounds() {
+        let mut rng = TestRng::for_case("smoke", 0);
+        for _ in 0..200 {
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+            let u = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+            let (a, b, c) = ((0.0f64..1.0), (0u32..4), (1u32..3)).generate(&mut rng);
+            assert!((0.0..1.0).contains(&a) && b < 4 && (1..3).contains(&c));
+            let arr = [0.1f64..1.0, 0.1f64..1.0, 0.1f64..1.0].generate(&mut rng);
+            assert_eq!(arr.len(), 3);
+            let v = crate::collection::vec(0.0f64..1.0, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let o = crate::option::of(0u32..2).generate(&mut rng);
+            assert!(o.is_none() || o.unwrap() < 2);
+        }
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let mut rng = TestRng::for_case("compose", 1);
+        let s = (1u32..100)
+            .prop_map(|v| v * 2)
+            .prop_filter("multiple of 4", |v| v % 4 == 0);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 4 == 0 && v < 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_runs_and_assumes(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            prop_assume!(a > 0.01);
+            prop_assert!(a + b >= a);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Configuration, case outcomes, and the deterministic test RNG.
+
+/// Knobs for a [`proptest!`](crate::proptest) block. Only `cases` is
+/// supported here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The outcome of a single failed or discarded test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` — retried, not failed.
+    Reject(&'static str),
+    /// The case failed a `prop_assert!` — the whole property fails.
+    Fail(String),
+}
+
+/// Deterministic per-case RNG (SplitMix64 over a hash of the test name
+/// and case index), so failures reproduce run-to-run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the property named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next 64 uniformly distributed bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
