@@ -14,7 +14,7 @@
 use pq_bench::{obs_from_env, print_table, Scale};
 use pq_core::AssignmentStrategy;
 use pq_obs::{names, EventKind};
-use pq_sim::{run_network, NetworkConfig};
+use pq_sim::{run_network_observed, NetworkConfig};
 
 fn main() {
     let scale = Scale::from_env();
@@ -57,7 +57,10 @@ fn main() {
             );
             cfg.gp = scale.sim_gp_options();
             let started = std::time::Instant::now();
-            let m = run_network(&cfg).unwrap_or_else(|e| panic!("{name} x {n}: {e}"));
+            // Observed variant so PQ_OBS_JSONL/PQ_OBS_ADDR capture the
+            // network's sim/DAB/GP events, as the other figures do.
+            let m =
+                run_network_observed(&cfg, &obs).unwrap_or_else(|e| panic!("{name} x {n}: {e}"));
             let series = name.clone();
             obs.emit_with(names::BENCH_RUN, EventKind::Point, |e| {
                 e.with("figure", "fig8c")

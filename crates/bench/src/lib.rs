@@ -14,14 +14,21 @@
 //! | `ablations` | mu sensitivity, forced `c = b`, rate information |
 //!
 //! Each binary prints aligned ASCII tables (the paper's series) plus a CSV
-//! block for plotting. `PQ_BENCH_FULL=1` switches from the quick default
-//! scale to the paper's scale (100 items, 200–1000 queries, 4000 s
-//! PlanetLab-length traces); `PQ_BENCH_SEED=n` changes the seed.
+//! block for plotting.
 //!
-//! Telemetry (see [`obs_from_env`]): per-run progress renders on stderr
-//! as `bench.run` events; `PQ_OBS_JSONL=<path>` additionally records the
-//! full event trace — every simulated refresh, DAB recomputation, and GP
-//! solve timing — as JSON Lines.
+//! ## Environment variables (honored uniformly by every binary)
+//!
+//! All harness binaries build their telemetry handle with
+//! [`obs_from_env`] and their scale with [`Scale::from_env`], so the
+//! same variables mean the same thing everywhere:
+//!
+//! | Variable | Effect |
+//! |---|---|
+//! | `PQ_BENCH_FULL=1` | Paper scale: 100 items, 200–1000 queries, 4000 s traces (default: quick scale) |
+//! | `PQ_BENCH_SEED=n` | Base RNG seed (default `0x1CDE2008`) |
+//! | `PQ_OBS_STDERR=0` | Silence the per-run `bench.run` progress lines on stderr (default: on) |
+//! | `PQ_OBS_JSONL=path` | Record the **full** event trace (simulator, DAB, GP solver) as JSON Lines at `path`; analyze with `pq-trace` |
+//! | `PQ_OBS_ADDR=host:port` | Serve live `/metrics` (Prometheus text) and `/snapshot` (JSON) endpoints for the run's lifetime, e.g. `127.0.0.1:9464` |
 
 pub mod heuristics;
 
@@ -106,16 +113,20 @@ impl Scale {
     }
 }
 
-/// Harness telemetry configured from the environment:
+/// Harness telemetry configured from the environment (see the env-var
+/// table in the crate docs):
 ///
 /// * progress lines (only `bench.*` events) render to stderr, keeping
 ///   stdout clean for result tables; set `PQ_OBS_STDERR=0` to silence
 ///   them;
 /// * `PQ_OBS_JSONL=<path>` records the **full** event trace (simulator,
-///   DAB and GP-solver events) as JSON Lines at `<path>`.
+///   DAB and GP-solver events) as JSON Lines at `<path>`;
+/// * `PQ_OBS_ADDR=<host:port>` serves live `/metrics` and `/snapshot`
+///   endpoints over this handle's registry until the process exits.
 ///
-/// Panics if the JSONL path cannot be created — a harness run asked to
-/// trace must not silently produce nothing.
+/// Panics if the JSONL path cannot be created or the metrics address
+/// cannot be bound — a harness run asked to expose telemetry must not
+/// silently produce nothing.
 pub fn obs_from_env() -> Obs {
     let mut sinks: Vec<Arc<dyn pq_obs::Subscriber>> = Vec::new();
     if std::env::var_os("PQ_OBS_STDERR").is_none_or(|v| v != "0") {
@@ -129,11 +140,17 @@ pub fn obs_from_env() -> Obs {
             .unwrap_or_else(|e| panic!("PQ_OBS_JSONL={}: {e}", path.to_string_lossy()));
         sinks.push(Arc::new(writer));
     }
-    match sinks.len() {
+    let obs = match sinks.len() {
         0 => Obs::null(),
         1 => Obs::with_subscriber(sinks.pop().expect("one sink")),
         _ => Obs::with_subscriber(Arc::new(pq_obs::Fanout::new(sinks))),
+    };
+    if let Ok(addr) = std::env::var("PQ_OBS_ADDR") {
+        pq_obs::serve::spawn(obs.clone(), addr.as_str())
+            .unwrap_or_else(|e| panic!("PQ_OBS_ADDR={addr}: {e}"))
+            .detach();
     }
+    obs
 }
 
 /// Emits the `bench.run` data point for one finished simulation run.

@@ -48,6 +48,11 @@ pub struct SolverOptions {
     /// Telemetry handle. Defaults to the null handle (no events, but
     /// `gp.solve_ns` timings still accumulate in its private registry).
     pub obs: Obs,
+    /// Attribution label: the index of the query this solve serves, if
+    /// any. When set, `gp.solve` events/timings carry a `query` field
+    /// and the `gp.solve` labeled counter tallies per-query solves, so
+    /// cost rollups can answer "whose recomputations eat the budget?".
+    pub query: Option<u32>,
 }
 
 impl Default for SolverOptions {
@@ -62,7 +67,26 @@ impl Default for SolverOptions {
             armijo: 0.05,
             backtrack: 0.5,
             obs: Obs::null(),
+            query: None,
         }
+    }
+}
+
+/// Starts the `gp.solve` span, tagged with the originating query when
+/// the caller attributed the solve, and tallies the per-query labeled
+/// counter.
+fn solve_span(options: &SolverOptions) -> pq_obs::TimedGuard {
+    match options.query {
+        Some(q) => {
+            options
+                .obs
+                .labeled_counter(names::GP_SOLVE, names::LABEL_QUERY, &q.to_string())
+                .inc();
+            options
+                .obs
+                .timed_labeled(names::GP_SOLVE, names::LABEL_QUERY, u64::from(q))
+        }
+        None => options.obs.timed(names::GP_SOLVE),
     }
 }
 
@@ -84,7 +108,7 @@ pub fn solve_with_start(
     {
         return Err(GpError::InvalidStartingPoint);
     }
-    let _span = options.obs.timed(names::GP_SOLVE);
+    let _span = solve_span(options);
     let n = problem.n_vars();
     let f0 = LogPosynomial::compile(objective, n);
     let fs: Vec<LogPosynomial> = constraints
@@ -107,7 +131,7 @@ pub fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSolution,
     if problem.is_strictly_feasible(&ones, 1e-9) {
         return solve_with_start(problem, &ones, options);
     }
-    let _span = options.obs.timed(names::GP_SOLVE);
+    let _span = solve_span(options);
     let f0 = LogPosynomial::compile(objective, n);
     let fs: Vec<LogPosynomial> = constraints
         .iter()
@@ -179,10 +203,15 @@ fn emit_solved(options: &SolverOptions, solution: &GpSolution) {
     options
         .obs
         .emit_with(names::GP_SOLVE, EventKind::Point, |e| {
-            e.with("outer", solution.outer_iterations)
+            let e = e
+                .with("outer", solution.outer_iterations)
                 .with("newton_steps", solution.newton_steps)
                 .with("gap", solution.duality_gap)
-                .with("objective", solution.objective)
+                .with("objective", solution.objective);
+            match options.query {
+                Some(q) => e.with(names::LABEL_QUERY, q),
+                None => e,
+            }
         });
 }
 

@@ -35,11 +35,16 @@
 pub mod event;
 pub mod jsonl;
 pub mod registry;
+pub mod serve;
 pub mod subscriber;
+pub mod text;
 
 pub use event::{Event, EventKind, Value};
 pub use jsonl::{parse, to_json, JsonError, JsonlWriter};
-pub use registry::{Counter, Histogram, HistogramSummary, Registry, Snapshot};
+pub use registry::{
+    Counter, Histogram, HistogramSummary, LabeledCounterSnapshot, Registry, Snapshot,
+};
+pub use serve::MetricsServer;
 pub use subscriber::{
     Fanout, NullSubscriber, PrefixFilter, RingBufferSubscriber, StderrSubscriber, Subscriber,
 };
@@ -96,6 +101,17 @@ pub mod names {
     pub const SIM_RUN_END: &str = "sim.run_end";
     /// One benchmark harness data point.
     pub const BENCH_RUN: &str = "bench.run";
+    /// A refresh whose processing forced at least one DAB recomputation
+    /// (labeled counter by triggering item — the paper's μ cost driver).
+    pub const DAB_RECOMPUTE_TRIGGER: &str = "dab.recompute_trigger";
+    /// A metric consumer saw a counter name it does not recognize
+    /// (schema drift between producer and consumer).
+    pub const OBS_UNKNOWN_METRIC: &str = "obs.unknown_metric";
+
+    /// Label key for per-query attribution (value: decimal query index).
+    pub const LABEL_QUERY: &str = "query";
+    /// Label key for per-item attribution (value: decimal item index).
+    pub const LABEL_ITEM: &str = "item";
 }
 
 /// How a component should expose telemetry. `Default` is fully off.
@@ -109,12 +125,17 @@ pub struct ObsConfig {
     pub ring: Option<usize>,
     /// Render events as human-readable stderr lines.
     pub stderr: bool,
+    /// Serve live `/metrics` (Prometheus text) and `/snapshot` (JSON)
+    /// endpoints on this address (e.g. `127.0.0.1:9464`) for the
+    /// lifetime of the process — see [`serve`]. The conventional
+    /// environment variable is `PQ_OBS_ADDR`.
+    pub addr: Option<String>,
 }
 
 impl ObsConfig {
-    /// Whether this config produces any subscriber at all.
+    /// Whether this config produces any subscriber or server at all.
     pub fn is_off(&self) -> bool {
-        self.jsonl.is_none() && self.ring.is_none() && !self.stderr
+        self.jsonl.is_none() && self.ring.is_none() && !self.stderr && self.addr.is_none()
     }
 }
 
@@ -169,7 +190,9 @@ impl Obs {
     }
 
     /// Builds a handle from a declarative config. Fails only if the
-    /// JSONL file cannot be opened.
+    /// JSONL file cannot be opened or the metrics address cannot be
+    /// bound. A configured `addr` starts a detached [`serve`] thread
+    /// that lives until process exit.
     pub fn from_config(config: &ObsConfig) -> std::io::Result<Self> {
         if config.is_off() {
             return Ok(Obs::null());
@@ -189,11 +212,15 @@ impl Obs {
         if config.stderr {
             sinks.push(Arc::new(StderrSubscriber));
         }
-        if sinks.len() == 1 {
-            Ok(Obs::with_subscriber(sinks.pop().unwrap()))
-        } else {
-            Ok(Obs::with_subscriber(Arc::new(Fanout::new(sinks))))
+        let obs = match sinks.len() {
+            0 => Obs::null(),
+            1 => Obs::with_subscriber(sinks.pop().unwrap()),
+            _ => Obs::with_subscriber(Arc::new(Fanout::new(sinks))),
+        };
+        if let Some(addr) = &config.addr {
+            serve::spawn(obs.clone(), addr)?.detach();
         }
+        Ok(obs)
     }
 
     /// Whether any subscriber wants events for `target`.
@@ -233,6 +260,14 @@ impl Obs {
         self.inner.registry.histogram(name)
     }
 
+    /// The counter for label `value` of the labeled family `name` with
+    /// label key `key` (e.g. `("dab.recompute", "query", "3")`).
+    /// Obtain once at setup, then `inc()` on the hot path — see
+    /// [`Registry::labeled_counter`].
+    pub fn labeled_counter(&self, name: &str, key: &str, value: &str) -> Arc<Counter> {
+        self.inner.registry.labeled_counter(name, key, value)
+    }
+
     /// Starts a timing span for `name` (e.g. [`names::GP_SOLVE`]).
     /// When the guard drops, the elapsed nanoseconds are recorded in
     /// the `<name>_ns` histogram and — if a subscriber is listening —
@@ -241,6 +276,20 @@ impl Obs {
         TimedGuard {
             obs: self.clone(),
             metric: format!("{name}_ns"),
+            label: None,
+            start: Instant::now(),
+        }
+    }
+
+    /// Like [`Obs::timed`], but the emitted timing event carries an
+    /// attribution field `key=value` (e.g. `query=3`), so offline
+    /// analysis can split span durations per query or per item. The
+    /// histogram itself stays unlabeled — one series per span name.
+    pub fn timed_labeled(&self, name: &str, key: &'static str, value: u64) -> TimedGuard {
+        TimedGuard {
+            obs: self.clone(),
+            metric: format!("{name}_ns"),
+            label: Some((key, value)),
             start: Instant::now(),
         }
     }
@@ -261,6 +310,7 @@ impl Obs {
 pub struct TimedGuard {
     obs: Obs,
     metric: String,
+    label: Option<(&'static str, u64)>,
     start: Instant,
 }
 
@@ -269,7 +319,11 @@ impl Drop for TimedGuard {
         let dur_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.obs.histogram(&self.metric).record(dur_ns);
         if self.obs.enabled(&self.metric) {
-            let event = Event::new(self.metric.clone(), EventKind::Timing).with("dur_ns", dur_ns);
+            let mut event =
+                Event::new(self.metric.clone(), EventKind::Timing).with("dur_ns", dur_ns);
+            if let Some((key, value)) = self.label {
+                event = event.with(key, value);
+            }
             self.obs.emit(&event);
         }
     }

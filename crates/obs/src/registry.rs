@@ -4,6 +4,14 @@
 //! hot path is a relaxed fetch-add — no lock is held while recording.
 //! The [`Registry`] map itself is only locked at handle-creation and
 //! snapshot time.
+//!
+//! Counters additionally support one cheap **label dimension** for cost
+//! attribution (e.g. `dab.recompute` broken down by `query`): a labeled
+//! counter is obtained once per `(name, key, value)` triple — paying the
+//! registry lock at setup — and is then a plain [`Counter`] on the hot
+//! path. Each family holds at most [`LABEL_CAPACITY`] distinct label
+//! values; later values share a single `_other` overflow counter so a
+//! high-cardinality bug cannot balloon memory.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -131,6 +139,15 @@ impl Histogram {
     /// A point-in-time summary of this histogram.
     pub fn summary(&self) -> HistogramSummary {
         let count = self.count();
+        let mut buckets = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                cumulative += n;
+                buckets.push((bucket_upper(i), cumulative));
+            }
+        }
         HistogramSummary {
             count,
             sum: self.sum(),
@@ -148,12 +165,13 @@ impl Histogram {
                 self.min.load(Ordering::Relaxed)
             },
             max: self.max.load(Ordering::Relaxed),
+            buckets,
         }
     }
 }
 
 /// Point-in-time statistics for one [`Histogram`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct HistogramSummary {
     /// Number of samples.
     pub count: u64,
@@ -171,6 +189,26 @@ pub struct HistogramSummary {
     pub min: u64,
     /// Exact largest sample.
     pub max: u64,
+    /// Non-empty power-of-two buckets as `(inclusive upper bound,
+    /// cumulative count ≤ bound)` pairs, ascending — exactly the shape a
+    /// Prometheus `_bucket{le=...}` series needs, so exporters never
+    /// reconstruct cumulative totals from per-bucket tallies.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Maximum distinct label values per labeled-counter family; further
+/// values fold into the [`LABEL_OVERFLOW`] counter.
+pub const LABEL_CAPACITY: usize = 1024;
+
+/// Label value under which out-of-capacity increments accumulate.
+pub const LABEL_OVERFLOW: &str = "_other";
+
+/// One labeled-counter family: a metric name with a single label key
+/// (e.g. `dab.recompute` by `query`) and a bounded set of label values.
+#[derive(Debug)]
+struct LabeledFamily {
+    key: String,
+    values: BTreeMap<String, Arc<Counter>>,
 }
 
 /// Get-or-create storage for named counters and histograms.
@@ -178,6 +216,7 @@ pub struct HistogramSummary {
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    labeled: Mutex<BTreeMap<String, LabeledFamily>>,
 }
 
 impl Registry {
@@ -203,6 +242,43 @@ impl Registry {
         h
     }
 
+    /// The counter for `(name, key, value)` in the labeled family
+    /// `name`, created on first use. The family's label key is fixed by
+    /// its first caller; a mismatched key on a later call panics (a
+    /// programming error — one family, one dimension).
+    ///
+    /// Obtain the handle once (setup path), then `inc()` it on the hot
+    /// path — recording is the same relaxed fetch-add as a plain
+    /// [`Counter`]. Past [`LABEL_CAPACITY`] distinct values the
+    /// [`LABEL_OVERFLOW`] counter is returned instead.
+    pub fn labeled_counter(&self, name: &str, key: &str, value: &str) -> Arc<Counter> {
+        let mut map = self.labeled.lock().unwrap();
+        let family = map
+            .entry(name.to_string())
+            .or_insert_with(|| LabeledFamily {
+                key: key.to_string(),
+                values: BTreeMap::new(),
+            });
+        assert_eq!(
+            family.key, key,
+            "labeled counter {name:?} registered with key {:?}, asked for {key:?}",
+            family.key
+        );
+        if let Some(c) = family.values.get(value) {
+            return c.clone();
+        }
+        let value = if family.values.len() >= LABEL_CAPACITY {
+            LABEL_OVERFLOW
+        } else {
+            value
+        };
+        family
+            .values
+            .entry(value.to_string())
+            .or_insert_with(|| Arc::new(Counter::default()))
+            .clone()
+    }
+
     /// Values of all metrics at this moment, sorted by name.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -220,7 +296,57 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.summary()))
                 .collect(),
+            labeled: self
+                .labeled
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, fam)| {
+                    (
+                        k.clone(),
+                        LabeledCounterSnapshot {
+                            key: fam.key.clone(),
+                            values: fam
+                                .values
+                                .iter()
+                                .map(|(v, c)| (v.clone(), c.get()))
+                                .collect(),
+                        },
+                    )
+                })
+                .collect(),
         }
+    }
+}
+
+/// Point-in-time totals of one labeled-counter family.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LabeledCounterSnapshot {
+    /// The family's label key, e.g. `query` or `item`.
+    pub key: String,
+    /// Totals per label value, sorted by value.
+    pub values: BTreeMap<String, u64>,
+}
+
+impl LabeledCounterSnapshot {
+    /// Sum across all label values (including overflow).
+    pub fn total(&self) -> u64 {
+        self.values.values().sum()
+    }
+
+    /// Totals reassembled into a dense vector for label values that are
+    /// decimal indices `0..n` (the per-query / per-item convention);
+    /// non-numeric and out-of-range labels are ignored.
+    pub fn dense(&self, n: usize) -> Vec<u64> {
+        let mut out = vec![0u64; n];
+        for (value, &count) in &self.values {
+            if let Ok(i) = value.parse::<usize>() {
+                if i < n {
+                    out[i] = count;
+                }
+            }
+        }
+        out
     }
 }
 
@@ -231,6 +357,8 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Labeled-counter families by name (see [`Registry::labeled_counter`]).
+    pub labeled: BTreeMap<String, LabeledCounterSnapshot>,
 }
 
 #[cfg(test)]
@@ -318,5 +446,66 @@ mod tests {
         assert_eq!(snap.counters.get("b"), Some(&1));
         assert_eq!(snap.histograms.get("h").unwrap().count, 1);
         assert_eq!(snap.histograms.get("h").unwrap().max, 42);
+    }
+
+    #[test]
+    fn summary_buckets_are_cumulative_and_end_at_count() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 3, 3, 900] {
+            h.record(v);
+        }
+        let s = h.summary();
+        // Buckets: 0 -> 1, [1,2) -> 1, [2,4) -> 2, [512,1024) -> 1.
+        assert_eq!(s.buckets, vec![(0, 1), (1, 2), (3, 4), (1023, 5)]);
+        assert_eq!(s.buckets.last().unwrap().1, s.count);
+
+        let empty = Histogram::default();
+        assert!(empty.summary().buckets.is_empty());
+    }
+
+    #[test]
+    fn labeled_counters_accumulate_per_value() {
+        let registry = Registry::default();
+        registry
+            .labeled_counter("dab.recompute", "query", "0")
+            .inc();
+        registry
+            .labeled_counter("dab.recompute", "query", "1")
+            .add(4);
+        // Same (name, value) returns the same underlying counter.
+        registry
+            .labeled_counter("dab.recompute", "query", "0")
+            .inc();
+        let snap = registry.snapshot();
+        let fam = &snap.labeled["dab.recompute"];
+        assert_eq!(fam.key, "query");
+        assert_eq!(fam.values["0"], 2);
+        assert_eq!(fam.values["1"], 4);
+        assert_eq!(fam.total(), 6);
+        assert_eq!(fam.dense(3), vec![2, 4, 0]);
+    }
+
+    #[test]
+    fn labeled_counters_overflow_into_other() {
+        let registry = Registry::default();
+        for i in 0..LABEL_CAPACITY + 10 {
+            registry
+                .labeled_counter("hot", "item", &i.to_string())
+                .inc();
+        }
+        let snap = registry.snapshot();
+        let fam = &snap.labeled["hot"];
+        // Capacity distinct values plus one shared overflow slot.
+        assert_eq!(fam.values.len(), LABEL_CAPACITY + 1);
+        assert_eq!(fam.values[LABEL_OVERFLOW], 10);
+        assert_eq!(fam.total(), (LABEL_CAPACITY + 10) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered with key")]
+    fn labeled_counter_key_mismatch_panics() {
+        let registry = Registry::default();
+        registry.labeled_counter("m", "query", "0");
+        registry.labeled_counter("m", "item", "0");
     }
 }

@@ -1,0 +1,229 @@
+//! A zero-dependency live metrics endpoint.
+//!
+//! [`spawn`] binds a std [`TcpListener`] and serves, on a background
+//! thread, two read-only endpoints over an [`Obs`] handle's registry:
+//!
+//! * `GET /metrics` — Prometheus text format ([`crate::text::render_prometheus`]);
+//! * `GET /snapshot` — the same snapshot as JSON ([`crate::text::render_json`]).
+//!
+//! Scrapes take a fresh [`crate::Snapshot`] per request; the instrumented
+//! process pays nothing between requests. Connections are handled
+//! sequentially — a scrape endpoint serving one Prometheus poller every
+//! few seconds needs no concurrency.
+//!
+//! ```no_run
+//! let obs = pq_obs::Obs::null();
+//! let server = pq_obs::serve::spawn(obs.clone(), "127.0.0.1:0").unwrap();
+//! println!("scrape http://{}/metrics", server.addr());
+//! server.shutdown(); // or server.detach() to serve until process exit
+//! ```
+
+use crate::text;
+use crate::Obs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running metrics server. Dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the listener; call
+/// [`MetricsServer::detach`] to let it serve for the process lifetime.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address — with port 0 requested, the actual port.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Lets the server run detached until the process exits. The thread
+    /// and listener are intentionally leaked.
+    pub fn detach(mut self) {
+        self.handle.take();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a no-op connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9464`, or port `0` for an ephemeral
+/// port) and serves `obs`'s metrics on a background thread.
+///
+/// # Errors
+/// Propagates the bind failure — a caller asking for a live endpoint
+/// must find out it did not get one.
+pub fn spawn(obs: Obs, addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("pq-obs-metrics".into())
+        .spawn(move || serve_loop(listener, obs, stop_flag))?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn serve_loop(listener: TcpListener, obs: Obs, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // A stalled client must not wedge the exporter thread.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let _ = handle_connection(stream, &obs);
+    }
+}
+
+fn handle_connection(stream: TcpStream, obs: &Obs) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers; requests are header-only GETs.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = route(method, path, obs);
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn route(method: &str, path: &str, obs: &Obs) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        );
+    }
+    // Ignore any query string — scrapers sometimes append cache busters.
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            text::render_prometheus(&obs.snapshot()),
+        ),
+        "/snapshot" => (
+            "200 OK",
+            "application/json",
+            text::render_json(&obs.snapshot()),
+        ),
+        "/" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "pq-obs exporter: GET /metrics (Prometheus text) or /snapshot (JSON)\n".into(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics or /snapshot\n".into(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        use std::io::Read as _;
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_snapshot_then_shuts_down() {
+        let obs = Obs::null();
+        obs.counter("sim.refresh").add(3);
+        obs.labeled_counter("dab.recompute", "query", "2").add(9);
+        let server = spawn(obs, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("pq_sim_refresh_total 3"));
+        assert!(body.contains("pq_dab_recompute_total{query=\"2\"} 9"));
+
+        let (head, body) = get(addr, "/snapshot");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(body.contains("\"sim.refresh\":3"));
+
+        let (head, _) = get(addr, "/bogus");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn scrapes_observe_live_counter_updates() {
+        let obs = Obs::null();
+        let counter = obs.counter("sim.refresh");
+        let server = spawn(obs, "127.0.0.1:0").unwrap();
+        let (_, body) = get(server.addr(), "/metrics");
+        assert!(body.contains("pq_sim_refresh_total 0"));
+        counter.add(5);
+        let (_, body) = get(server.addr(), "/metrics");
+        assert!(body.contains("pq_sim_refresh_total 5"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get_methods() {
+        let server = spawn(Obs::null(), "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        use std::io::Read as _;
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+        server.shutdown();
+    }
+}

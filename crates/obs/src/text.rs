@@ -1,0 +1,260 @@
+//! Exposition formats for a metrics [`Snapshot`]: Prometheus text
+//! (version 0.0.4) and a plain JSON object.
+//!
+//! Rendering is pull-time work on an immutable snapshot, so it costs the
+//! instrumented process nothing between scrapes. Conventions:
+//!
+//! * metric names are prefixed `pq_` and sanitized (`.` → `_`), counters
+//!   gain the `_total` suffix: `dab.recompute` → `pq_dab_recompute_total`;
+//! * a labeled family shadows the plain counter of the same name (the
+//!   family's sum equals the plain total, and Prometheus forbids mixing
+//!   labeled and unlabeled series that would double-count);
+//! * histograms render as native histogram series — cumulative
+//!   `_bucket{le="..."}` from [`crate::HistogramSummary::buckets`], plus
+//!   exact `_sum` and `_count` — and an auxiliary `_max` gauge (the exact
+//!   observed maximum, which buckets alone cannot recover).
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, &value) in &snapshot.counters {
+        // A labeled family of the same name carries the breakdown; its
+        // sum is this total, so emitting both would double-count.
+        if snapshot.labeled.contains_key(name) {
+            continue;
+        }
+        let metric = format!("pq_{}_total", sanitize(name));
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, family) in &snapshot.labeled {
+        let metric = format!("pq_{}_total", sanitize(name));
+        let key = sanitize(&family.key);
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        for (value, count) in &family.values {
+            let _ = writeln!(out, "{metric}{{{key}=\"{}\"}} {count}", escape_label(value));
+        }
+    }
+    for (name, h) in &snapshot.histograms {
+        let metric = format!("pq_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        for &(le, cumulative) in &h.buckets {
+            let _ = writeln!(out, "{metric}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{metric}_sum {}", h.sum);
+        let _ = writeln!(out, "{metric}_count {}", h.count);
+        let _ = writeln!(out, "# TYPE {metric}_max gauge");
+        let _ = writeln!(out, "{metric}_max {}", h.max);
+    }
+    out
+}
+
+/// Renders a snapshot as one JSON object:
+/// `{"counters":{...},"labeled":{...},"histograms":{...}}`.
+pub fn render_json(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"counters\":{");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{value}", json_string(name));
+    }
+    out.push_str("},\"labeled\":{");
+    for (i, (name, family)) in snapshot.labeled.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}:{{\"key\":{},\"values\":{{",
+            json_string(name),
+            json_string(&family.key)
+        );
+        for (j, (value, count)) in family.values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{count}", json_string(value));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}:{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            json_string(name),
+            h.count,
+            h.sum,
+            json_f64(h.mean),
+            h.p50,
+            h.p95,
+            h.p99,
+            h.min,
+            h.max
+        );
+        for (j, &(le, cumulative)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{le},{cumulative}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Maps a dotted metric name onto the Prometheus `[a-zA-Z0-9_]` alphabet.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Escapes a label value per the text exposition format.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn populated() -> Snapshot {
+        let obs = Obs::null();
+        obs.counter("sim.refresh").add(7);
+        obs.counter("dab.recompute").add(5);
+        obs.labeled_counter("dab.recompute", "query", "0").add(2);
+        obs.labeled_counter("dab.recompute", "query", "1").add(3);
+        obs.histogram("gp.solve_ns").record(100);
+        obs.histogram("gp.solve_ns").record(900);
+        obs.snapshot()
+    }
+
+    #[test]
+    fn prometheus_counters_and_labels() {
+        let text = render_prometheus(&populated());
+        assert!(text.contains("# TYPE pq_sim_refresh_total counter\n"));
+        assert!(text.contains("pq_sim_refresh_total 7\n"));
+        assert!(text.contains("pq_dab_recompute_total{query=\"0\"} 2\n"));
+        assert!(text.contains("pq_dab_recompute_total{query=\"1\"} 3\n"));
+        // The plain counter is shadowed by its labeled family.
+        assert!(!text.contains("pq_dab_recompute_total 5"));
+    }
+
+    #[test]
+    fn prometheus_histograms_emit_buckets_sum_count_max() {
+        let text = render_prometheus(&populated());
+        assert!(text.contains("# TYPE pq_gp_solve_ns histogram\n"));
+        assert!(text.contains("pq_gp_solve_ns_bucket{le=\"127\"} 1\n"));
+        assert!(text.contains("pq_gp_solve_ns_bucket{le=\"1023\"} 2\n"));
+        assert!(text.contains("pq_gp_solve_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("pq_gp_solve_ns_sum 1000\n"));
+        assert!(text.contains("pq_gp_solve_ns_count 2\n"));
+        assert!(text.contains("pq_gp_solve_ns_max 900\n"));
+    }
+
+    #[test]
+    fn prometheus_text_format_is_well_formed() {
+        for line in render_prometheus(&populated()).lines() {
+            assert!(!line.is_empty());
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "unexpected comment: {line}");
+                continue;
+            }
+            // `name{labels} value` or `name value`, value parses numeric.
+            let (series, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(value.parse::<f64>().is_ok(), "bad value in: {line}");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name in: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_own_parser() {
+        // The JSONL event parser accepts any scalar map, so reuse its
+        // grammar pieces indirectly: just sanity-check shape and that
+        // the output is balanced JSON with expected keys.
+        let json = render_json(&populated());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"counters\":{"));
+        assert!(json.contains("\"sim.refresh\":7"));
+        assert!(json.contains("\"dab.recompute\":{\"key\":\"query\",\"values\":{\"0\":2,\"1\":3}}"));
+        assert!(json.contains("\"gp.solve_ns\":{\"count\":2,\"sum\":1000"));
+        assert!(json.contains("\"buckets\":[[127,1],[1023,2]]"));
+        let balanced = json
+            .chars()
+            .fold(0i32, |d, c| d + (c == '{') as i32 - (c == '}') as i32);
+        assert_eq!(balanced, 0);
+    }
+
+    #[test]
+    fn label_escaping_is_applied() {
+        let obs = Obs::null();
+        obs.labeled_counter("m", "series", "a\"b\\c\nd").inc();
+        let text = render_prometheus(&obs.snapshot());
+        assert!(text.contains("pq_m_total{series=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_documents() {
+        let snap = Snapshot::default();
+        assert_eq!(render_prometheus(&snap), "");
+        assert_eq!(
+            render_json(&snap),
+            "{\"counters\":{},\"labeled\":{},\"histograms\":{}}"
+        );
+    }
+}

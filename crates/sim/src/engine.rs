@@ -218,6 +218,14 @@ struct Engine<'a> {
     c_lost: Arc<Counter>,
     c_fidelity: Arc<Counter>,
     c_violations: Vec<Arc<Counter>>,
+    /// Per-query `dab.recompute` attribution (labeled family, key
+    /// `query`), pre-created so the hot path is one relaxed add.
+    lc_recompute_by_query: Vec<Arc<Counter>>,
+    /// Per-item `sim.refresh` attribution (labeled family, key `item`).
+    lc_refresh_by_item: Vec<Arc<Counter>>,
+    /// Per-item count of refreshes that forced at least one DAB
+    /// recomputation (`dab.recompute_trigger`, key `item`).
+    lc_trigger_by_item: Vec<Arc<Counter>>,
 }
 
 impl<'a> Engine<'a> {
@@ -254,7 +262,7 @@ impl<'a> Engine<'a> {
             last_user_value,
             queue: EventQueue::new(),
             rng: StdRng::seed_from_u64(cfg.seed),
-            metrics: SimMetrics::new(cfg.queries.len()),
+            metrics: SimMetrics::with_items(cfg.queries.len(), n_items),
             coordinator_busy_until: 0.0,
             c_refreshes: obs.counter(names::SIM_REFRESH),
             c_recomputations: obs.counter(names::DAB_RECOMPUTE),
@@ -264,6 +272,23 @@ impl<'a> Engine<'a> {
             c_fidelity: obs.counter(names::SIM_FIDELITY_SAMPLE),
             c_violations: (0..cfg.queries.len())
                 .map(|qi| obs.counter(&format!("{}.q{qi}", names::SIM_QAB_VIOLATION)))
+                .collect(),
+            lc_recompute_by_query: (0..cfg.queries.len())
+                .map(|qi| {
+                    obs.labeled_counter(names::DAB_RECOMPUTE, names::LABEL_QUERY, &qi.to_string())
+                })
+                .collect(),
+            lc_refresh_by_item: (0..n_items)
+                .map(|i| obs.labeled_counter(names::SIM_REFRESH, names::LABEL_ITEM, &i.to_string()))
+                .collect(),
+            lc_trigger_by_item: (0..n_items)
+                .map(|i| {
+                    obs.labeled_counter(
+                        names::DAB_RECOMPUTE_TRIGGER,
+                        names::LABEL_ITEM,
+                        &i.to_string(),
+                    )
+                })
                 .collect(),
             obs,
         };
@@ -287,9 +312,17 @@ impl<'a> Engine<'a> {
         Ok(engine)
     }
 
+    /// Unattributed solve context (joint AAO solves span all queries).
     fn solve_context(&self) -> SolveContext<'_> {
+        self.solve_context_for(None)
+    }
+
+    /// Solve context attributed to one query: GP solves under it carry
+    /// `query=<qi>` on their `gp.solve` counters and timing spans.
+    fn solve_context_for(&self, query: Option<u32>) -> SolveContext<'_> {
         let mut gp = self.cfg.gp.clone();
         gp.obs = self.obs.clone();
+        gp.query = query;
         SolveContext {
             values: &self.coord_values,
             rates: &self.rates,
@@ -320,9 +353,9 @@ impl<'a> Engine<'a> {
                     .iter()
                     .map(|q| assignment_units(q, *strategy, *heuristic))
                     .collect();
-                let ctx = self.solve_context();
                 let mut assignments = Vec::with_capacity(self.units.len());
                 for (qi, units) in self.units.iter().enumerate() {
+                    let ctx = self.solve_context_for(Some(qi as u32));
                     let per_unit = units
                         .iter()
                         .map(|u| {
@@ -494,7 +527,9 @@ impl<'a> Engine<'a> {
 
     fn on_refresh(&mut self, item: usize, value: f64, now: f64) -> Result<(), SimError> {
         self.metrics.refreshes += 1;
+        self.metrics.per_item_refreshes[item] += 1;
         self.c_refreshes.inc();
+        self.lc_refresh_by_item[item].inc();
         self.obs
             .emit_with(names::SIM_REFRESH, EventKind::Count, |e| {
                 e.with("item", item).with("value", value).with("t", now)
@@ -528,13 +563,24 @@ impl<'a> Engine<'a> {
                 .map(|(ui, _)| ui)
                 .collect();
             for ui in stale {
-                self.recompute_unit(qi, ui, now)?;
+                self.recompute_unit(qi, ui, item, now)?;
             }
         }
         // Occupy the coordinator: per-query checks plus one solver run per
         // recomputation. (DAB-change messages were scheduled from the
         // processing start — a slight idealization.)
         let recomputes = self.metrics.recomputations - recomputes_before;
+        if recomputes > 0 {
+            // Attribution: this item's refresh forced recomputations.
+            self.metrics.per_item_recompute_triggers[item] += 1;
+            self.lc_trigger_by_item[item].inc();
+            self.obs
+                .emit_with(names::DAB_RECOMPUTE_TRIGGER, EventKind::Count, |e| {
+                    e.with("item", item)
+                        .with("recomputes", recomputes)
+                        .with("t", now)
+                });
+        }
         for _ in 0..recomputes {
             service += self.cfg.delays.recompute_service.sample(&mut self.rng);
         }
@@ -542,7 +588,16 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    fn recompute_unit(&mut self, qi: usize, ui: usize, now: f64) -> Result<(), SimError> {
+    /// Recomputes one stale assignment unit. `item` is the data item
+    /// whose refresh invalidated it — carried on the `dab.recompute`
+    /// event so traces attribute recomputation cost to its trigger.
+    fn recompute_unit(
+        &mut self,
+        qi: usize,
+        ui: usize,
+        item: usize,
+        now: f64,
+    ) -> Result<(), SimError> {
         let unit = &self.units[qi][ui];
         let strategy = match &self.cfg.strategy {
             SimStrategy::PerQuery { strategy, .. } => *strategy,
@@ -551,15 +606,18 @@ impl<'a> Engine<'a> {
             SimStrategy::AaoPeriodic { mu, .. } => AssignmentStrategy::DualDab { mu: *mu },
         };
         let started = Instant::now();
-        let new_assignment = assign_unit(unit, &self.solve_context(), strategy)
+        let new_assignment = assign_unit(unit, &self.solve_context_for(Some(qi as u32)), strategy)
             .map_err(|source| SimError::Dab { query: qi, source })?;
         self.note_solver_time(started);
         self.metrics.recomputations += 1;
+        self.metrics.per_query_recomputations[qi] += 1;
         self.c_recomputations.inc();
+        self.lc_recompute_by_query[qi].inc();
         self.obs
             .emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
                 e.with("query", qi)
                     .with("unit", ui)
+                    .with("item", item)
                     .with("reason", "validity")
                     .with("t", now)
             });
@@ -609,6 +667,8 @@ impl<'a> Engine<'a> {
         self.metrics.recomputations += self.cfg.queries.len() as u64;
         self.c_recomputations.add(self.cfg.queries.len() as u64);
         for qi in 0..self.cfg.queries.len() {
+            self.metrics.per_query_recomputations[qi] += 1;
+            self.lc_recompute_by_query[qi].inc();
             self.obs
                 .emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
                     e.with("query", qi)
@@ -854,7 +914,7 @@ mod tests {
         let snap = obs.snapshot();
         // The GP solver ran under this handle's registry.
         assert!(snap.histograms.contains_key("gp.solve_ns"));
-        let mut bridged = SimMetrics::from_snapshot(&snap, cfg.queries.len());
+        let mut bridged = SimMetrics::from_snapshot(&snap, cfg.queries.len(), &obs);
         // solver_seconds: f64 running sum vs exact u64 ns sum.
         assert!((bridged.solver_seconds - m.solver_seconds).abs() < 1e-6);
         let mut direct = m;

@@ -28,5 +28,5 @@ pub mod network;
 pub use delay::{DelayConfig, Pareto};
 pub use engine::{run, run_observed, SimConfig, SimError, SimStrategy};
 pub use metrics::SimMetrics;
-pub use network::{run_network, NetworkConfig, NetworkMetrics};
+pub use network::{run_network, run_network_observed, NetworkConfig, NetworkMetrics};
 pub use pq_obs::{Obs, ObsConfig};

@@ -15,11 +15,13 @@
 //! experiment's metric is message and recomputation *counts*, which are
 //! delay-independent in the push model.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pq_core::{assign_query, AssignmentStrategy, PqHeuristic, QueryAssignment, SolveContext};
 use pq_ddm::{DataDynamicsModel, RateEstimator, TraceSet};
 use pq_gp::SolverOptions;
+use pq_obs::{names, Counter, EventKind, Obs};
 use pq_poly::PolynomialQuery;
 
 use crate::engine::SimError;
@@ -114,12 +116,68 @@ struct Node {
     subtree_need: Vec<f64>,
 }
 
-/// Runs the dissemination-network simulation.
+/// Pre-created telemetry handles for the network run: the delivery
+/// recursion touches only relaxed atomic adds, mirroring the
+/// single-coordinator engine's labeled-counter pattern.
+struct NetObs {
+    obs: Obs,
+    c_refreshes: Arc<Counter>,
+    c_recomputations: Arc<Counter>,
+    c_dab_changes: Arc<Counter>,
+    /// Per-item `sim.refresh` attribution (one arrival per receiving
+    /// node counts once, as in [`NetworkMetrics::refreshes`]).
+    lc_refresh_by_item: Vec<Arc<Counter>>,
+    /// Per-query `dab.recompute` attribution; network queries are
+    /// labeled `c<node>.q<local>` since ids are coordinator-local.
+    lc_recompute_by_query: Vec<Vec<Arc<Counter>>>,
+}
+
+impl NetObs {
+    fn new(obs: &Obs, cfg: &NetworkConfig, n_items: usize) -> Self {
+        NetObs {
+            obs: obs.clone(),
+            c_refreshes: obs.counter(names::SIM_REFRESH),
+            c_recomputations: obs.counter(names::DAB_RECOMPUTE),
+            c_dab_changes: obs.counter(names::SIM_DAB_CHANGE),
+            lc_refresh_by_item: (0..n_items)
+                .map(|i| obs.labeled_counter(names::SIM_REFRESH, names::LABEL_ITEM, &i.to_string()))
+                .collect(),
+            lc_recompute_by_query: cfg
+                .queries_per_coordinator
+                .iter()
+                .enumerate()
+                .map(|(c, queries)| {
+                    (0..queries.len())
+                        .map(|qi| {
+                            obs.labeled_counter(
+                                names::DAB_RECOMPUTE,
+                                names::LABEL_QUERY,
+                                &format!("c{c}.q{qi}"),
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Runs the dissemination-network simulation without telemetry.
 pub fn run_network(cfg: &NetworkConfig) -> Result<NetworkMetrics, SimError> {
+    run_network_observed(cfg, &Obs::null())
+}
+
+/// Runs the dissemination-network simulation with a caller-supplied
+/// telemetry handle: `sim.refresh`/`dab.recompute` events and counters
+/// (with per-item / per-query labels) and GP-solver spans are reported
+/// through it, matching what [`crate::run_observed`] records for the
+/// single-coordinator engine.
+pub fn run_network_observed(cfg: &NetworkConfig, obs: &Obs) -> Result<NetworkMetrics, SimError> {
     let n_items = cfg.traces.n_items();
     let n_nodes = cfg.queries_per_coordinator.len();
     let rates = cfg.rate_estimator.estimate_all(&cfg.traces);
     let initial = cfg.traces.initial_values();
+    let net_obs = NetObs::new(obs, cfg, n_items);
 
     let mut metrics = NetworkMetrics {
         refreshes_per_node: vec![0; n_nodes],
@@ -137,11 +195,13 @@ pub fn run_network(cfg: &NetworkConfig) -> Result<NetworkMetrics, SimError> {
                 }
             }
         }
+        let mut gp = cfg.gp.clone();
+        gp.obs = obs.clone();
         let ctx = SolveContext {
             values: &initial,
             rates: &rates,
             ddm: cfg.ddm,
-            gp: cfg.gp.clone(),
+            gp,
         };
         let started = Instant::now();
         let assignments = queries
@@ -180,7 +240,7 @@ pub fn run_network(cfg: &NetworkConfig) -> Result<NetworkMetrics, SimError> {
             let need = nodes[0].subtree_need[item];
             if need.is_finite() && (v - source_pushed[item]).abs() > need {
                 source_pushed[item] = v;
-                deliver(&mut nodes, 0, item, v, cfg, &rates, &mut metrics)?;
+                deliver(&mut nodes, 0, item, v, cfg, &rates, &mut metrics, &net_obs)?;
             }
         }
     }
@@ -189,6 +249,7 @@ pub fn run_network(cfg: &NetworkConfig) -> Result<NetworkMetrics, SimError> {
 
 /// Delivers a refreshed value to node `c`, recomputing stale queries and
 /// forwarding down edges whose child-subtree filters it exceeds.
+#[allow(clippy::too_many_arguments)]
 fn deliver(
     nodes: &mut [Node],
     c: usize,
@@ -197,8 +258,16 @@ fn deliver(
     cfg: &NetworkConfig,
     rates: &[f64],
     metrics: &mut NetworkMetrics,
+    net_obs: &NetObs,
 ) -> Result<(), SimError> {
     metrics.refreshes_per_node[c] += 1;
+    net_obs.c_refreshes.inc();
+    net_obs.lc_refresh_by_item[item].inc();
+    net_obs
+        .obs
+        .emit_with(names::SIM_REFRESH, EventKind::Count, |e| {
+            e.with("node", c).with("item", item).with("value", value)
+        });
     nodes[c].values[item] = value;
     nodes[c].last_delivered[item] = value;
 
@@ -210,22 +279,35 @@ fn deliver(
         .collect();
     for qi in stale {
         let qi = qi as usize;
+        let mut gp = cfg.gp.clone();
+        gp.obs = net_obs.obs.clone();
         let ctx = SolveContext {
             values: &nodes[c].values,
             rates,
             ddm: cfg.ddm,
-            gp: cfg.gp.clone(),
+            gp,
         };
         let started = Instant::now();
         let na = assign_query(&nodes[c].queries[qi], &ctx, cfg.strategy, cfg.heuristic)
             .map_err(|source| SimError::Dab { query: c, source })?;
         metrics.solver_seconds += started.elapsed().as_secs_f64();
         metrics.recomputations_per_node[c] += 1;
+        net_obs.c_recomputations.inc();
+        net_obs.lc_recompute_by_query[c][qi].inc();
+        net_obs
+            .obs
+            .emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
+                e.with("node", c)
+                    .with("query", qi)
+                    .with("item", item)
+                    .with("reason", "validity")
+            });
         let changed_items: Vec<usize> = na.primary.keys().map(|i| i.index()).collect();
         nodes[c].assignments[qi] = na;
         // Changed needs ripple up to the source as DAB-change messages
         // (one per edge on the path whose need changed).
         metrics.dab_change_messages += changed_items.len() as u64;
+        net_obs.c_dab_changes.add(changed_items.len() as u64);
         update_needs_for_items(nodes, &changed_items);
     }
 
@@ -236,7 +318,7 @@ fn deliver(
         }
         let need = nodes[child].subtree_need[item];
         if need.is_finite() && (value - nodes[child].last_delivered[item]).abs() > need {
-            deliver(nodes, child, item, value, cfg, rates, metrics)?;
+            deliver(nodes, child, item, value, cfg, rates, metrics, net_obs)?;
         }
     }
     Ok(())
@@ -358,6 +440,33 @@ mod tests {
         let m = run_network(&cfg).unwrap();
         assert_eq!(m.refreshes_per_node.len(), 1);
         assert!(m.refreshes() > 0);
+    }
+
+    #[test]
+    fn observed_network_mirrors_metrics_into_registry() {
+        let cfg = NetworkConfig::round_robin(
+            traces(),
+            queries(6),
+            3,
+            AssignmentStrategy::DualDab { mu: 5.0 },
+        );
+        let obs = Obs::null();
+        let m = run_network_observed(&cfg, &obs).unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters[names::SIM_REFRESH], m.refreshes());
+        assert_eq!(snap.counters[names::DAB_RECOMPUTE], m.recomputations());
+        assert_eq!(snap.counters[names::SIM_DAB_CHANGE], m.dab_change_messages);
+        // Attribution families cover every item and node-local query, and
+        // their sums equal the plain totals.
+        let refresh_fam = &snap.labeled[names::SIM_REFRESH];
+        assert_eq!(refresh_fam.key, names::LABEL_ITEM);
+        assert_eq!(refresh_fam.total(), m.refreshes());
+        let rec_fam = &snap.labeled[names::DAB_RECOMPUTE];
+        assert_eq!(rec_fam.key, names::LABEL_QUERY);
+        assert_eq!(rec_fam.total(), m.recomputations());
+        assert!(rec_fam.values.contains_key("c0.q0"));
+        // GP solves ran under the same registry.
+        assert!(snap.histograms["gp.solve_ns"].count > 0);
     }
 
     #[test]

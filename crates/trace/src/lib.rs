@@ -1,0 +1,678 @@
+//! `pq-trace`: offline analysis of [`pq_obs`] JSONL traces.
+//!
+//! The simulator, monitor, and bench harnesses record their full event
+//! stream with `PQ_OBS_JSONL=<path>`; this crate turns such a trace back
+//! into answers:
+//!
+//! * [`render_summary`] — per-phase and per-query duration percentile
+//!   tables (exact, from the recorded spans, not bucketed), event
+//!   counts, and the recomputation attribution the paper's μ-cost
+//!   analysis needs: which queries recompute, and which items' refreshes
+//!   force those recomputations.
+//! * [`render_tree`] — the span forest with inclusive/exclusive
+//!   timings, aggregated over repeated occurrences (a span's exclusive
+//!   time is its duration minus its direct children's).
+//! * [`render_diff`] — two traces side by side with deltas, for
+//!   regression triage between runs.
+//!
+//! Everything here is pure string-in/string-out over parsed [`Event`]s,
+//! so the binary in `main.rs` stays a thin argument parser and the
+//! golden tests can pin exact outputs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+pub use pq_obs::{Event, EventKind, Value};
+
+/// A failure while loading a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// A line did not parse as an event.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying JSON error.
+        source: pq_obs::JsonError,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "cannot read trace: {e}"),
+            TraceError::Parse { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Streams a JSONL trace file line by line, reporting the first
+/// malformed line. Never holds the whole trace in memory — bench traces
+/// run to gigabytes.
+pub fn for_each_event(path: impl AsRef<Path>, mut f: impl FnMut(Event)) -> Result<(), TraceError> {
+    use std::io::BufRead;
+    let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        f(pq_obs::parse(&line).map_err(|source| TraceError::Parse {
+            line: i + 1,
+            source,
+        })?);
+    }
+    Ok(())
+}
+
+/// Loads a whole JSONL trace into memory. Convenient for tests and
+/// small traces; use [`for_each_event`] (or [`TraceStats::from_path`] /
+/// [`timing_events`]) for bench-sized ones.
+pub fn load(path: impl AsRef<Path>) -> Result<Vec<Event>, TraceError> {
+    let mut events = Vec::new();
+    for_each_event(path, |e| events.push(e))?;
+    Ok(events)
+}
+
+/// Streams a trace, keeping only its timing events — all
+/// [`render_tree`] needs, and typically a small fraction of the file.
+pub fn timing_events(path: impl AsRef<Path>) -> Result<Vec<Event>, TraceError> {
+    let mut events = Vec::new();
+    for_each_event(path, |e| {
+        if e.kind == EventKind::Timing {
+            events.push(e);
+        }
+    })?;
+    Ok(events)
+}
+
+/// Reads a field as an unsigned integer (accepting integral floats,
+/// which the JSONL number grammar can produce).
+fn field_u64(event: &Event, name: &str) -> Option<u64> {
+    match event.field(name)? {
+        Value::U64(v) => Some(*v),
+        Value::F64(v) if v.fract() == 0.0 && *v >= 0.0 && *v < 1.8e19 => Some(*v as u64),
+        _ => None,
+    }
+}
+
+/// Exact duration statistics over one set of recorded spans.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurStats {
+    /// Number of spans.
+    pub count: u64,
+    /// Total nanoseconds.
+    pub sum: u64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// Longest span.
+    pub max: u64,
+}
+
+impl DurStats {
+    /// Exact nearest-rank percentiles; sorts `durations` in place.
+    pub fn compute(durations: &mut [u64]) -> Self {
+        if durations.is_empty() {
+            return DurStats::default();
+        }
+        durations.sort_unstable();
+        let n = durations.len();
+        let rank = |q: f64| durations[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        DurStats {
+            count: n as u64,
+            sum: durations.iter().sum(),
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            max: durations[n - 1],
+        }
+    }
+}
+
+/// Everything [`render_summary`] and [`render_diff`] need, extracted in
+/// one pass over a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// `(target, kind-name)` → number of events.
+    pub event_counts: BTreeMap<(String, &'static str), u64>,
+    /// Span name (timing target, e.g. `gp.solve_ns`) → durations in
+    /// event order.
+    pub spans: BTreeMap<String, Vec<u64>>,
+    /// `gp.solve_ns` durations per attributed query.
+    pub solve_by_query: BTreeMap<u64, Vec<u64>>,
+    /// `dab.recompute` event counts per query label. Network traces
+    /// carry a `node` field; their queries are labeled `c<node>.q<qi>`.
+    pub recomputes_by_query: BTreeMap<String, u64>,
+    /// `sim.refresh` event counts per item.
+    pub refreshes_by_item: BTreeMap<u64, u64>,
+    /// `dab.recompute_trigger` event counts per item: refreshes whose
+    /// processing forced at least one recomputation.
+    pub triggers_by_item: BTreeMap<u64, u64>,
+    /// Total recomputations forced per item (sum of the trigger
+    /// events' `recomputes` field).
+    pub forced_by_item: BTreeMap<u64, u64>,
+}
+
+impl TraceStats {
+    /// Extracts statistics from an already-parsed trace.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut stats = TraceStats::default();
+        for event in events {
+            stats.add(event);
+        }
+        stats
+    }
+
+    /// Streams a trace file straight into statistics without ever
+    /// holding the events in memory.
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let mut stats = TraceStats::default();
+        for_each_event(path, |e| stats.add(&e))?;
+        Ok(stats)
+    }
+
+    /// Folds one event into the statistics.
+    pub fn add(&mut self, event: &Event) {
+        *self
+            .event_counts
+            .entry((event.target.to_string(), event.kind.as_str()))
+            .or_insert(0) += 1;
+        if event.kind == EventKind::Timing {
+            if let Some(dur) = field_u64(event, "dur_ns") {
+                self.spans
+                    .entry(event.target.to_string())
+                    .or_default()
+                    .push(dur);
+                if event.target == "gp.solve_ns" {
+                    if let Some(q) = field_u64(event, "query") {
+                        self.solve_by_query.entry(q).or_default().push(dur);
+                    }
+                }
+            }
+        }
+        match event.target.as_ref() {
+            "dab.recompute" => {
+                if let Some(q) = field_u64(event, "query") {
+                    let label = match field_u64(event, "node") {
+                        Some(node) => format!("c{node}.q{q}"),
+                        None => q.to_string(),
+                    };
+                    *self.recomputes_by_query.entry(label).or_insert(0) += 1;
+                }
+            }
+            "sim.refresh" => {
+                if let Some(item) = field_u64(event, "item") {
+                    *self.refreshes_by_item.entry(item).or_insert(0) += 1;
+                }
+            }
+            "dab.recompute_trigger" => {
+                if let Some(item) = field_u64(event, "item") {
+                    *self.triggers_by_item.entry(item).or_insert(0) += 1;
+                    *self.forced_by_item.entry(item).or_insert(0) +=
+                        field_u64(event, "recomputes").unwrap_or(1);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Renders an aligned ASCII table; every column right-aligned.
+fn table(out: &mut String, title: &str, header: &[&str], rows: &[Vec<String>]) {
+    let _ = writeln!(out, "== {title} ==");
+    if rows.is_empty() {
+        let _ = writeln!(out, "(none)\n");
+        return;
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut line = |cells: &[String]| {
+        let mut s = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            let _ = write!(s, "{c:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+    out.push('\n');
+}
+
+/// The `k` heaviest `(key, count)` pairs of a map, heaviest first, ties
+/// toward the smaller key.
+fn top_k<K: Ord + Copy>(map: &BTreeMap<K, u64>, k: usize) -> Vec<(K, u64)> {
+    let mut pairs: Vec<(K, u64)> = map.iter().map(|(&key, &v)| (key, v)).collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs
+}
+
+/// Renders the `summary` report: event counts, per-phase and per-query
+/// exact percentiles, and top-`k` recomputation attribution.
+pub fn render_summary(stats: &TraceStats, k: usize) -> String {
+    let mut out = String::new();
+
+    let rows: Vec<Vec<String>> = stats
+        .event_counts
+        .iter()
+        .map(|((target, kind), n)| vec![target.clone(), kind.to_string(), n.to_string()])
+        .collect();
+    table(&mut out, "Events", &["target", "kind", "count"], &rows);
+
+    let dur_row = |name: String, s: &DurStats| {
+        vec![
+            name,
+            s.count.to_string(),
+            s.sum.to_string(),
+            s.p50.to_string(),
+            s.p95.to_string(),
+            s.p99.to_string(),
+            s.max.to_string(),
+        ]
+    };
+    let rows: Vec<Vec<String>> = stats
+        .spans
+        .iter()
+        .map(|(name, durs)| dur_row(name.clone(), &DurStats::compute(&mut durs.clone())))
+        .collect();
+    table(
+        &mut out,
+        "Spans (per phase)",
+        &[
+            "span", "count", "total_ns", "p50_ns", "p95_ns", "p99_ns", "max_ns",
+        ],
+        &rows,
+    );
+
+    let mut per_query: Vec<(u64, DurStats)> = stats
+        .solve_by_query
+        .iter()
+        .map(|(&q, durs)| (q, DurStats::compute(&mut durs.clone())))
+        .collect();
+    per_query.sort_by(|a, b| b.1.sum.cmp(&a.1.sum).then(a.0.cmp(&b.0)));
+    per_query.truncate(k);
+    let rows: Vec<Vec<String>> = per_query
+        .into_iter()
+        .map(|(q, s)| dur_row(q.to_string(), &s))
+        .collect();
+    table(
+        &mut out,
+        format!("Top {k} queries by gp.solve time").as_str(),
+        &[
+            "query", "count", "total_ns", "p50_ns", "p95_ns", "p99_ns", "max_ns",
+        ],
+        &rows,
+    );
+
+    let mut by_query: Vec<(&String, &u64)> = stats.recomputes_by_query.iter().collect();
+    by_query.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    by_query.truncate(k);
+    let rows: Vec<Vec<String>> = by_query
+        .into_iter()
+        .map(|(q, n)| vec![q.clone(), n.to_string()])
+        .collect();
+    table(
+        &mut out,
+        format!("Top {k} queries by recomputations").as_str(),
+        &["query", "recomputations"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = top_k(&stats.triggers_by_item, k)
+        .into_iter()
+        .map(|(item, triggers)| {
+            vec![
+                item.to_string(),
+                triggers.to_string(),
+                stats
+                    .forced_by_item
+                    .get(&item)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                stats
+                    .refreshes_by_item
+                    .get(&item)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &mut out,
+        format!("Top {k} items by refreshes that forced recomputation").as_str(),
+        &[
+            "item",
+            "forcing_refreshes",
+            "forced_recomputes",
+            "refreshes",
+        ],
+        &rows,
+    );
+    out
+}
+
+/// One aggregated node of the span forest.
+#[derive(Debug, Default, Clone)]
+struct PathAgg {
+    count: u64,
+    inclusive_ns: u64,
+    exclusive_ns: u64,
+}
+
+/// Renders the `tree` report: the span forest aggregated by path, with
+/// inclusive and exclusive (self) time per path.
+///
+/// A timing event's timestamp is taken at span *end*, so each span
+/// covers `[ts_ns - dur_ns, ts_ns]`; containment of those intervals
+/// (single-threaded traces) reconstructs the nesting.
+pub fn render_tree(events: &[Event]) -> String {
+    struct Span {
+        name: String,
+        start: u64,
+        end: u64,
+        dur: u64,
+    }
+    let mut spans: Vec<Span> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Timing)
+        .filter_map(|e| {
+            let dur = field_u64(e, "dur_ns")?;
+            Some(Span {
+                name: e.target.to_string(),
+                start: e.ts_ns.saturating_sub(dur),
+                end: e.ts_ns,
+                dur,
+            })
+        })
+        .collect();
+    // Parents start no later than their children and end no earlier.
+    spans.sort_by(|a, b| a.start.cmp(&b.start).then(b.end.cmp(&a.end)));
+
+    struct Open {
+        path: String,
+        end: u64,
+        dur: u64,
+        child_ns: u64,
+    }
+    let mut aggregate: BTreeMap<String, PathAgg> = BTreeMap::new();
+    let mut stack: Vec<Open> = Vec::new();
+    let close = |open: Open, aggregate: &mut BTreeMap<String, PathAgg>| {
+        let agg = aggregate.entry(open.path).or_default();
+        agg.count += 1;
+        agg.inclusive_ns += open.dur;
+        agg.exclusive_ns += open.dur.saturating_sub(open.child_ns);
+    };
+    for span in spans {
+        while stack.last().is_some_and(|top| top.end <= span.start) {
+            let top = stack.pop().expect("non-empty stack");
+            close(top, &mut aggregate);
+        }
+        if let Some(top) = stack.last_mut() {
+            top.child_ns += span.dur;
+        }
+        let path = match stack.last() {
+            Some(top) => format!("{}/{}", top.path, span.name),
+            None => span.name,
+        };
+        stack.push(Open {
+            path,
+            end: span.end,
+            dur: span.dur,
+            child_ns: 0,
+        });
+    }
+    while let Some(top) = stack.pop() {
+        close(top, &mut aggregate);
+    }
+
+    let rows: Vec<Vec<String>> = aggregate
+        .iter()
+        .map(|(path, agg)| {
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().expect("non-empty path");
+            vec![
+                format!("{}{leaf}", "  ".repeat(depth)),
+                agg.count.to_string(),
+                agg.inclusive_ns.to_string(),
+                agg.exclusive_ns.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = String::new();
+    // Left-align the span column by padding inside the cell.
+    let name_w = rows.iter().map(|r| r[0].len()).max().unwrap_or(4);
+    let rows: Vec<Vec<String>> = rows
+        .into_iter()
+        .map(|mut r| {
+            r[0] = format!("{:<name_w$}", r[0]);
+            r
+        })
+        .collect();
+    table(
+        &mut out,
+        "Span tree (inclusive/exclusive ns, aggregated by path)",
+        &["span", "count", "inclusive_ns", "exclusive_ns"],
+        &rows,
+    );
+    out
+}
+
+/// Signed difference rendered as `+n` / `-n` / `0`.
+fn delta(a: u64, b: u64) -> String {
+    match b.cmp(&a) {
+        std::cmp::Ordering::Greater => format!("+{}", b - a),
+        std::cmp::Ordering::Less => format!("-{}", a - b),
+        std::cmp::Ordering::Equal => "0".to_string(),
+    }
+}
+
+/// Renders the `diff` report between two traces: event counts, span
+/// totals, and per-item forcing-refresh attribution, with deltas.
+pub fn render_diff(a: &TraceStats, b: &TraceStats) -> String {
+    let mut out = String::new();
+
+    let mut keys: Vec<&(String, &'static str)> =
+        a.event_counts.keys().chain(b.event_counts.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    let rows: Vec<Vec<String>> = keys
+        .into_iter()
+        .map(|key| {
+            let (na, nb) = (
+                a.event_counts.get(key).copied().unwrap_or(0),
+                b.event_counts.get(key).copied().unwrap_or(0),
+            );
+            vec![key.0.clone(), na.to_string(), nb.to_string(), delta(na, nb)]
+        })
+        .collect();
+    table(
+        &mut out,
+        "Event counts",
+        &["target", "a", "b", "delta"],
+        &rows,
+    );
+
+    let mut keys: Vec<&String> = a.spans.keys().chain(b.spans.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    let rows: Vec<Vec<String>> = keys
+        .into_iter()
+        .map(|key| {
+            let total = |s: &TraceStats| s.spans.get(key).map(|d| d.iter().sum()).unwrap_or(0u64);
+            let (ta, tb) = (total(a), total(b));
+            vec![key.clone(), ta.to_string(), tb.to_string(), delta(ta, tb)]
+        })
+        .collect();
+    table(
+        &mut out,
+        "Span totals (ns)",
+        &["span", "a", "b", "delta"],
+        &rows,
+    );
+
+    let mut keys: Vec<u64> = a
+        .triggers_by_item
+        .keys()
+        .chain(b.triggers_by_item.keys())
+        .copied()
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let rows: Vec<Vec<String>> = keys
+        .into_iter()
+        .map(|item| {
+            let (na, nb) = (
+                a.triggers_by_item.get(&item).copied().unwrap_or(0),
+                b.triggers_by_item.get(&item).copied().unwrap_or(0),
+            );
+            vec![
+                item.to_string(),
+                na.to_string(),
+                nb.to_string(),
+                delta(na, nb),
+            ]
+        })
+        .collect();
+    table(
+        &mut out,
+        "Refreshes that forced recomputation, by item",
+        &["item", "a", "b", "delta"],
+        &rows,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(ts_ns: u64, target: &str, kind: EventKind) -> Event {
+        let mut e = Event::new(target.to_string(), kind);
+        e.ts_ns = ts_ns;
+        e
+    }
+
+    #[test]
+    fn durstats_uses_exact_nearest_rank() {
+        let mut durs = vec![100, 900, 300, 300, 400];
+        let s = DurStats::compute(&mut durs);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 2000);
+        assert_eq!(s.p50, 300, "3rd of 5 sorted values");
+        assert_eq!(s.p95, 900);
+        assert_eq!(s.p99, 900);
+        assert_eq!(s.max, 900);
+        assert_eq!(DurStats::compute(&mut []), DurStats::default());
+    }
+
+    #[test]
+    fn stats_attribute_recomputes_and_triggers() {
+        let events = vec![
+            event(10, "sim.refresh", EventKind::Count).with("item", 3u64),
+            event(20, "dab.recompute", EventKind::Count).with("query", 1u64),
+            event(25, "dab.recompute_trigger", EventKind::Count)
+                .with("item", 3u64)
+                .with("recomputes", 2u64),
+            event(30, "dab.recompute", EventKind::Count)
+                .with("node", 1u64)
+                .with("query", 0u64),
+            event(40, "gp.solve_ns", EventKind::Timing)
+                .with("dur_ns", 500u64)
+                .with("query", 1u64),
+        ];
+        let stats = TraceStats::from_events(&events);
+        assert_eq!(stats.refreshes_by_item[&3], 1);
+        assert_eq!(stats.recomputes_by_query["1"], 1);
+        assert_eq!(stats.recomputes_by_query["c1.q0"], 1);
+        assert_eq!(stats.triggers_by_item[&3], 1);
+        assert_eq!(stats.forced_by_item[&3], 2);
+        assert_eq!(stats.solve_by_query[&1], vec![500]);
+        assert_eq!(stats.spans["gp.solve_ns"], vec![500]);
+    }
+
+    #[test]
+    fn tree_nests_spans_by_interval_containment() {
+        // install covers [100, 1100]; two solves inside; one solve after.
+        let events = vec![
+            event(500, "gp.solve_ns", EventKind::Timing).with("dur_ns", 300u64),
+            event(900, "gp.solve_ns", EventKind::Timing).with("dur_ns", 200u64),
+            event(1100, "monitor.install_ns", EventKind::Timing).with("dur_ns", 1000u64),
+            event(2000, "gp.solve_ns", EventKind::Timing).with("dur_ns", 400u64),
+        ];
+        let text = render_tree(&events);
+        // Parent: inclusive 1000, exclusive 1000 - 300 - 200 = 500.
+        assert!(text.contains("monitor.install_ns"), "{text}");
+        let lines: Vec<&str> = text.lines().collect();
+        let parent = lines
+            .iter()
+            .find(|l| l.contains("monitor.install_ns"))
+            .unwrap();
+        assert!(
+            parent.contains("1000") && parent.contains("500"),
+            "{parent}"
+        );
+        // Nested solves aggregate under the parent path (indented),
+        // the trailing solve is a root (unindented).
+        let nested = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with("gp.solve_ns") && l.starts_with("  "))
+            .unwrap();
+        assert!(nested.contains('2') && nested.contains("500"), "{nested}");
+        let root = lines.iter().find(|l| l.starts_with("gp.solve_ns")).unwrap();
+        assert!(root.contains("400"), "{root}");
+    }
+
+    #[test]
+    fn diff_shows_signed_deltas() {
+        let a = TraceStats::from_events(&[
+            event(1, "sim.refresh", EventKind::Count).with("item", 0u64),
+            event(2, "sim.refresh", EventKind::Count).with("item", 0u64),
+        ]);
+        let b =
+            TraceStats::from_events(
+                &[event(3, "sim.refresh", EventKind::Count).with("item", 0u64)],
+            );
+        let text = render_diff(&a, &b);
+        assert!(text.contains("sim.refresh"), "{text}");
+        assert!(text.contains("-1"), "{text}");
+    }
+
+    #[test]
+    fn load_reports_malformed_lines_with_numbers() {
+        let dir = std::env::temp_dir().join("pq-trace-test-load");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(
+            &path,
+            "{\"ts_ns\":1,\"target\":\"t\",\"kind\":\"point\",\"fields\":{}}\nnot json\n",
+        )
+        .unwrap();
+        match load(&path) {
+            Err(TraceError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error on line 2, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

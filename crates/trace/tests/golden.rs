@@ -1,0 +1,71 @@
+//! Golden tests pinning `pq-trace`'s exact report output on checked-in
+//! JSONL fixtures.
+//!
+//! To update the expected files after an intentional format change, run
+//! `PQ_TRACE_BLESS=1 cargo test -p pq-trace --test golden` and review
+//! the fixture diff.
+
+use std::path::PathBuf;
+
+use pq_trace::{load, render_diff, render_summary, render_tree, TraceStats};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn assert_golden(actual: &str, expected_file: &str) {
+    let path = fixture(expected_file);
+    if std::env::var_os("PQ_TRACE_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "output drifted from {expected_file}; bless with PQ_TRACE_BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn summary_matches_golden() {
+    let events = load(fixture("run_a.jsonl")).unwrap();
+    let stats = TraceStats::from_events(&events);
+    assert_golden(&render_summary(&stats, 5), "summary_a.txt");
+}
+
+#[test]
+fn tree_matches_golden() {
+    let events = load(fixture("run_a.jsonl")).unwrap();
+    assert_golden(&render_tree(&events), "tree_a.txt");
+}
+
+#[test]
+fn diff_matches_golden() {
+    let a = TraceStats::from_events(&load(fixture("run_a.jsonl")).unwrap());
+    let b = TraceStats::from_events(&load(fixture("run_b.jsonl")).unwrap());
+    assert_golden(&render_diff(&a, &b), "diff_ab.txt");
+}
+
+#[test]
+fn summary_counts_match_fixture_contents() {
+    // Independent of formatting: the fixture has 3 refreshes (2 on item
+    // 0), 3 recomputations (2 for query 0), and 2 forcing refreshes on
+    // item 0 that forced 3 recomputations total.
+    let events = load(fixture("run_a.jsonl")).unwrap();
+    let stats = TraceStats::from_events(&events);
+    assert_eq!(stats.refreshes_by_item[&0], 2);
+    assert_eq!(stats.refreshes_by_item[&1], 1);
+    assert_eq!(stats.recomputes_by_query["0"], 2);
+    assert_eq!(stats.recomputes_by_query["1"], 1);
+    assert_eq!(stats.triggers_by_item[&0], 2);
+    assert_eq!(stats.forced_by_item[&0], 3);
+    // Spans: four gp.solve_ns (one per query 1, three per query 0) and
+    // one monitor.install_ns.
+    assert_eq!(stats.spans["gp.solve_ns"].len(), 4);
+    assert_eq!(stats.solve_by_query[&0].len(), 3);
+    assert_eq!(stats.solve_by_query[&1].len(), 1);
+    assert_eq!(stats.spans["monitor.install_ns"], vec![500]);
+}

@@ -1,0 +1,85 @@
+//! End-to-end attribution check: run the simulator with a JSONL trace
+//! attached, re-analyze the trace with `pq-trace`, and require that the
+//! trace-derived attribution matches [`pq_sim::SimMetrics`] exactly —
+//! the acceptance bar for the offline analysis being trustworthy.
+
+use std::sync::Arc;
+
+use pq_ddm::{Trace, TraceSet};
+use pq_poly::{ItemId, PolynomialQuery};
+use pq_sim::{run_observed, Obs, SimConfig};
+use pq_trace::{load, TraceStats};
+
+#[test]
+fn trace_attribution_matches_sim_metrics_exactly() {
+    let traces = TraceSet::new(vec![
+        Trace::sinusoid(20.0, 3.0, 400.0, 600),
+        Trace::sinusoid(10.0, 2.0, 300.0, 600),
+        Trace::sinusoid(15.0, 4.0, 250.0, 600),
+    ]);
+    let queries = vec![
+        PolynomialQuery::portfolio([(1.0, ItemId(0), ItemId(1))], 8.0).unwrap(),
+        PolynomialQuery::portfolio([(1.0, ItemId(1), ItemId(2))], 6.0).unwrap(),
+    ];
+    let cfg = SimConfig::new(traces, queries);
+
+    let dir = std::env::temp_dir().join("pq-trace-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("run-{}.jsonl", std::process::id()));
+    let writer = Arc::new(pq_obs::JsonlWriter::create(&path).unwrap());
+    let obs = Obs::with_subscriber(writer);
+
+    let metrics = run_observed(&cfg, &obs).unwrap();
+    obs.flush();
+
+    let stats = TraceStats::from_events(&load(&path).unwrap());
+    std::fs::remove_file(&path).ok();
+
+    // Per-query recomputations: every dab.recompute event carries its
+    // query label; the trace tally must equal the engine's own counts.
+    for (qi, &n) in metrics.per_query_recomputations.iter().enumerate() {
+        let traced = stats
+            .recomputes_by_query
+            .get(&qi.to_string())
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(traced, n, "query {qi} recomputations");
+    }
+    let traced_total: u64 = stats.recomputes_by_query.values().sum();
+    assert_eq!(traced_total, metrics.recomputations, "total recomputations");
+
+    // Per-item refreshes and refreshes-that-forced-recomputation.
+    for (item, &n) in metrics.per_item_refreshes.iter().enumerate() {
+        let traced = stats
+            .refreshes_by_item
+            .get(&(item as u64))
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(traced, n, "item {item} refreshes");
+    }
+    let traced_total: u64 = stats.refreshes_by_item.values().sum();
+    assert_eq!(traced_total, metrics.refreshes, "total refreshes");
+
+    for (item, &n) in metrics.per_item_recompute_triggers.iter().enumerate() {
+        let traced = stats
+            .triggers_by_item
+            .get(&(item as u64))
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(traced, n, "item {item} forcing refreshes");
+    }
+
+    // Every forced recomputation is attributed to some item, and the
+    // per-item forced totals add up to the recomputations that the
+    // trigger events explain (initial installs are not item-forced).
+    let forced_total: u64 = stats.forced_by_item.values().sum();
+    assert!(forced_total <= metrics.recomputations);
+    assert!(metrics.recomputations > 0, "simulation should recompute");
+    assert!(
+        stats
+            .spans
+            .get("gp.solve_ns")
+            .is_some_and(|s| !s.is_empty()),
+        "trace should carry gp.solve spans"
+    );
+}

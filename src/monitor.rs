@@ -173,19 +173,20 @@ impl Monitor {
     /// per-item filters (EQI minimum rule). Returns the filters to ship.
     pub fn install(&mut self) -> Result<Vec<(ItemId, f64)>, DabError> {
         let _span = self.obs.timed(names::MONITOR_INSTALL);
-        let ctx = SolveContext {
-            values: &self.values,
-            rates: &self.rates,
-            ddm: self.ddm,
-            gp: self.solver_options(),
-        };
         self.units = self
             .queries
             .iter()
             .map(|q| assignment_units(q, self.strategy, self.heuristic))
             .collect();
         let mut assignments = Vec::with_capacity(self.units.len());
-        for units in &self.units {
+        for (qi, units) in self.units.iter().enumerate() {
+            // Attribute the install-time solves to their query.
+            let ctx = SolveContext {
+                values: &self.values,
+                rates: &self.rates,
+                ddm: self.ddm,
+                gp: self.solver_options(Some(qi as u32)),
+            };
             assignments.push(
                 units
                     .iter()
@@ -220,10 +221,13 @@ impl Monitor {
         Ok(filters)
     }
 
-    /// Solver options with this monitor's telemetry handle attached.
-    fn solver_options(&self) -> SolverOptions {
+    /// Solver options with this monitor's telemetry handle attached,
+    /// attributed to `query` when given (its GP solves then carry
+    /// `query=<qi>` labels).
+    fn solver_options(&self, query: Option<u32>) -> SolverOptions {
         let mut gp = self.gp.clone();
         gp.obs = self.obs.clone();
+        gp.query = query;
         gp
     }
 
@@ -285,14 +289,40 @@ impl Monitor {
                     values: &self.values,
                     rates: &self.rates,
                     ddm: self.ddm,
-                    gp: self.solver_options(),
+                    gp: self.solver_options(Some(qi as u32)),
                 };
                 for ui in stale {
                     self.assignments[qi][ui] =
                         assign_unit(&self.units[qi][ui], &ctx, self.strategy)?;
+                    self.obs.counter(names::DAB_RECOMPUTE).inc();
+                    self.obs
+                        .labeled_counter(names::DAB_RECOMPUTE, names::LABEL_QUERY, &qi.to_string())
+                        .inc();
+                    self.obs
+                        .emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
+                            e.with("query", qi)
+                                .with("unit", ui)
+                                .with("item", item.index())
+                                .with("reason", "validity")
+                        });
                 }
                 outcome.recomputed.push(QueryId(qi as u32));
             }
+        }
+        // Attribution: this item's refresh forced recomputations.
+        if !outcome.recomputed.is_empty() {
+            self.obs
+                .labeled_counter(
+                    names::DAB_RECOMPUTE_TRIGGER,
+                    names::LABEL_ITEM,
+                    &item.index().to_string(),
+                )
+                .inc();
+            self.obs
+                .emit_with(names::DAB_RECOMPUTE_TRIGGER, EventKind::Count, |e| {
+                    e.with("item", item.index())
+                        .with("recomputes", outcome.recomputed.len())
+                });
         }
 
         // Re-derive installed filters for items touched by recomputed
@@ -421,6 +451,14 @@ mod tests {
         let snap = obs.snapshot();
         assert!(snap.histograms["gp.solve_ns"].count > 0);
         assert!(snap.histograms["monitor.install_ns"].count == 1);
+        // Attribution: the recomputation and its GP solves carry query 0,
+        // and the trigger is charged to the item that forced it.
+        assert_eq!(snap.counters["dab.recompute"], 1);
+        assert_eq!(snap.labeled["dab.recompute"].key, "query");
+        assert_eq!(snap.labeled["dab.recompute"].values["0"], 1);
+        assert_eq!(snap.labeled["dab.recompute_trigger"].key, "item");
+        assert_eq!(snap.labeled["dab.recompute_trigger"].values["0"], 1);
+        assert!(snap.labeled["gp.solve"].values["0"] >= 1);
     }
 
     #[test]
