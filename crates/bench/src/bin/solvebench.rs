@@ -1,0 +1,381 @@
+//! Cold vs warm GP-solve microbenchmark over the fig5 workload.
+//!
+//! Measures what the warm-start cache ([`pq_core::UnitCache`]) buys on the
+//! steady-state recomputation load of the Fig. 5 experiment: portfolio
+//! PPQs under Dual-DAB whose item values drift a little between
+//! consecutive DAB recomputations.
+//!
+//! Three measurements, written to `BENCH_solver.json`:
+//!
+//! * **cold ns/solve** — `assign_unit` with no cache: compile + scalar
+//!   feasible start + full barrier solve, every time;
+//! * **warm ns/solve** — `assign_unit_cached` with a persistent per-unit
+//!   cache: compiled-program reuse, warm start from the previous optimum,
+//!   allocation-free barrier iterations;
+//! * **recompute throughput** — warm recomputes/second through the
+//!   bounded parallel fan-out ([`pq_core::recompute_parallel`]) at the
+//!   machine's available parallelism.
+//!
+//! The warm-hit / warm-repair / cold-fallback counters come from the same
+//! run's `pq_obs` registry.
+//!
+//! Usage: `solvebench [--quick] [--enforce] [--out PATH]`
+//!
+//! `--quick` shrinks the workload for CI; `--enforce` exits non-zero when
+//! the warm speedup is below 1.5x or the warm-hit rate below 80%.
+
+use std::time::Instant;
+
+use pq_bench::{fmt, print_table, Scale};
+use pq_core::{
+    assign_unit, assign_unit_cached, assignment_units, default_recompute_threads,
+    recompute_parallel, AssignmentStrategy, AssignmentUnit, PqHeuristic, RecomputeJob, SolveCache,
+    SolveContext,
+};
+use pq_ddm::{DataDynamicsModel, RateEstimator};
+use pq_gp::SolverOptions;
+use pq_obs::{names, Obs};
+
+/// Speedup floor `--enforce` holds the warm path to.
+const MIN_SPEEDUP: f64 = 1.5;
+/// Warm-hit floor `--enforce` holds the cache to.
+const MIN_HIT_RATE: f64 = 0.8;
+
+struct Args {
+    quick: bool,
+    enforce: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        enforce: false,
+        out: "BENCH_solver.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--enforce" => args.enforce = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument {other}; usage: solvebench [--quick] [--enforce] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Deterministic per-round multiplicative drift, small enough to model
+/// the between-recomputes movement a DAB permits (a few tenths of a
+/// percent per item per round). Plain LCG — no RNG state to share with
+/// anything else.
+fn drift_factor(round: usize, item: usize) -> f64 {
+    let mut s = (round as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(item as u64)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s ^= s >> 31;
+    // Uniform in [-1, 1) scaled to +/-0.3%.
+    let u = (s % 10_000) as f64 / 5_000.0 - 1.0;
+    1.0 + 0.003 * u
+}
+
+fn apply_drift(values: &mut [f64], round: usize) {
+    for (i, v) in values.iter_mut().enumerate() {
+        *v *= drift_factor(round, i);
+    }
+}
+
+struct Workload {
+    units: Vec<Vec<AssignmentUnit>>,
+    values0: Vec<f64>,
+    rates: Vec<f64>,
+    strategy: AssignmentStrategy,
+    ddm: DataDynamicsModel,
+    gp: SolverOptions,
+}
+
+impl Workload {
+    /// Solve context with the pass's telemetry handle attached, so each
+    /// pass gets its own `gp.solve_ns` histogram and `solve.*` counters.
+    fn ctx<'a>(&'a self, values: &'a [f64], obs: &Obs) -> SolveContext<'a> {
+        let mut gp = self.gp.clone();
+        gp.obs = obs.clone();
+        SolveContext {
+            values,
+            rates: &self.rates,
+            ddm: self.ddm,
+            gp,
+        }
+    }
+
+    fn n_units(&self) -> usize {
+        self.units.iter().map(Vec::len).sum()
+    }
+}
+
+fn build_workload(quick: bool) -> Workload {
+    let scale = Scale::from_env();
+    let n_queries = if quick { 12 } else { 32 };
+    let traces = scale.universe();
+    let values0 = traces.initial_values();
+    let queries = scale.workload().portfolio_queries(n_queries, &values0);
+    let strategy = AssignmentStrategy::DualDab { mu: 5.0 };
+    let units = queries
+        .iter()
+        .map(|q| assignment_units(q, strategy, PqHeuristic::DifferentSum))
+        .collect();
+    Workload {
+        units,
+        values0,
+        rates: RateEstimator::SampledAverage { interval_ticks: 60 }.estimate_all(&traces),
+        strategy,
+        ddm: DataDynamicsModel::Monotonic,
+        gp: scale.sim_gp_options(),
+    }
+}
+
+/// Cold pass: every recompute pays compile + feasible start + full solve.
+/// Reports the *fastest* round's ns/solve (the rounds are statistically
+/// identical, so the minimum strips scheduler noise).
+fn bench_cold(w: &Workload, rounds: usize, obs: &Obs) -> (f64, u64) {
+    let mut values = w.values0.clone();
+    let mut solves = 0u64;
+    let mut best = f64::INFINITY;
+    for round in 0..rounds {
+        apply_drift(&mut values, round);
+        let round_solves = w.n_units() as u64;
+        let started = Instant::now();
+        for units in &w.units {
+            for u in units {
+                let ctx = w.ctx(&values, obs);
+                assign_unit(u, &ctx, w.strategy).expect("cold solve");
+            }
+        }
+        best = best.min(started.elapsed().as_nanos() as f64 / round_solves as f64);
+        solves += round_solves;
+    }
+    (best, solves)
+}
+
+/// Warm pass: identical drift sequence through persistent caches. The
+/// seeding round (cold starts) runs untimed so ns/solve reflects the
+/// steady state.
+fn bench_warm(w: &Workload, rounds: usize, cache: &mut SolveCache, obs: &Obs) -> (f64, u64) {
+    let unit_counts: Vec<usize> = w.units.iter().map(Vec::len).collect();
+    cache.resize(&unit_counts);
+    let mut values = w.values0.clone();
+    for (qi, units) in w.units.iter().enumerate() {
+        for (ui, u) in units.iter().enumerate() {
+            let ctx = w.ctx(&values, &Obs::null());
+            assign_unit_cached(u, &ctx, w.strategy, cache.unit_mut(qi, ui)).expect("seed solve");
+        }
+    }
+    let mut solves = 0u64;
+    let mut best = f64::INFINITY;
+    for round in 0..rounds {
+        apply_drift(&mut values, round);
+        let round_solves = w.n_units() as u64;
+        let started = Instant::now();
+        for (qi, units) in w.units.iter().enumerate() {
+            for (ui, u) in units.iter().enumerate() {
+                let ctx = w.ctx(&values, obs);
+                assign_unit_cached(u, &ctx, w.strategy, cache.unit_mut(qi, ui))
+                    .expect("warm solve");
+            }
+        }
+        best = best.min(started.elapsed().as_nanos() as f64 / round_solves as f64);
+        solves += round_solves;
+    }
+    (best, solves)
+}
+
+/// Throughput pass: batched warm recomputes through the parallel fan-out,
+/// continuing the same drift sequence on the warmed caches.
+fn bench_throughput(
+    w: &Workload,
+    rounds: usize,
+    first_round: usize,
+    cache: &mut SolveCache,
+    threads: usize,
+    obs: &Obs,
+) -> (f64, u64) {
+    let mut values = w.values0.clone();
+    for round in 0..first_round {
+        apply_drift(&mut values, round);
+    }
+    let mut solves = 0u64;
+    let started = Instant::now();
+    for round in first_round..first_round + rounds {
+        apply_drift(&mut values, round);
+        let mut jobs: Vec<RecomputeJob<'_>> = Vec::with_capacity(w.n_units());
+        for (qi, units) in w.units.iter().enumerate() {
+            for (ui, u) in units.iter().enumerate() {
+                jobs.push(RecomputeJob {
+                    qi,
+                    ui,
+                    unit: u,
+                    ctx: w.ctx(&values, obs),
+                    cache: cache.take(qi, ui),
+                });
+            }
+        }
+        solves += jobs.len() as u64;
+        for d in recompute_parallel(jobs, w.strategy, threads) {
+            cache.put_back(d.qi, d.ui, d.cache);
+            d.result.expect("throughput solve");
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    (solves as f64 / secs, solves)
+}
+
+fn main() {
+    let args = parse_args();
+    let rounds = if args.quick { 6 } else { 20 };
+    let w = build_workload(args.quick);
+    let threads = default_recompute_threads();
+
+    let diag = std::env::var("SOLVEBENCH_DIAG").is_ok();
+    let (cold_obs, cold_ring) = if diag {
+        let (o, r) = Obs::ring(1 << 21);
+        (o, Some(r))
+    } else {
+        (Obs::null(), None)
+    };
+    let (warm_obs, warm_ring) = if diag {
+        let (o, r) = Obs::ring(1 << 21);
+        (o, Some(r))
+    } else {
+        (Obs::null(), None)
+    };
+    let (cold_ns, cold_solves) = bench_cold(&w, rounds, &cold_obs);
+    let mut cache = SolveCache::new();
+    let (warm_ns, warm_solves) = bench_warm(&w, rounds, &mut cache, &warm_obs);
+    if diag {
+        let dump = |tag: &str, ring: &Option<std::sync::Arc<pq_obs::RingBufferSubscriber>>| {
+            let Some(r) = ring else { return };
+            let (mut solves, mut outer, mut newton) = (0u64, 0u64, 0u64);
+            for e in r.events() {
+                if e.target == "gp.solve" {
+                    solves += 1;
+                    if let Some(pq_obs::Value::U64(v)) = e.field("outer") {
+                        outer += v;
+                    }
+                    if let Some(pq_obs::Value::U64(v)) = e.field("newton_steps") {
+                        newton += v;
+                    }
+                }
+            }
+            eprintln!(
+                "DIAG {tag}: gp_solves={solves} avg_outer={:.2} avg_newton={:.2} dropped={}",
+                outer as f64 / solves.max(1) as f64,
+                newton as f64 / solves.max(1) as f64,
+                r.dropped()
+            );
+        };
+        dump("cold", &cold_ring);
+        dump("warm", &warm_ring);
+    }
+    let (throughput, throughput_solves) =
+        bench_throughput(&w, rounds, rounds, &mut cache, threads, &warm_obs);
+
+    let gp_ns = |o: &Obs| {
+        o.snapshot()
+            .histograms
+            .get("gp.solve_ns")
+            .map(|h| h.mean)
+            .unwrap_or(0.0)
+    };
+    let cold_gp_ns = gp_ns(&cold_obs);
+    let warm_gp_ns = gp_ns(&warm_obs);
+
+    let snap = warm_obs.snapshot();
+    let count = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let warm_hit = count(names::SOLVE_WARM_HIT);
+    let warm_repair = count(names::SOLVE_WARM_REPAIR);
+    let cold_fallback = count(names::SOLVE_COLD_FALLBACK);
+    let cold_start = count(names::SOLVE_COLD_START);
+    let warm_attempts = warm_hit + warm_repair + cold_fallback;
+    let hit_rate = if warm_attempts > 0 {
+        warm_hit as f64 / warm_attempts as f64
+    } else {
+        0.0
+    };
+    let speedup = cold_ns / warm_ns;
+
+    print_table(
+        "solvebench: cold vs warm recomputation (fig5 workload)",
+        &["metric", "value"],
+        &[
+            vec!["cold ns/solve".into(), format!("{cold_ns:.0}")],
+            vec!["warm ns/solve".into(), format!("{warm_ns:.0}")],
+            vec!["speedup".into(), fmt(speedup)],
+            vec!["cold gp ns/solve".into(), format!("{cold_gp_ns:.0}")],
+            vec!["warm gp ns/solve".into(), format!("{warm_gp_ns:.0}")],
+            vec!["cold solves".into(), cold_solves.to_string()],
+            vec!["warm solves".into(), warm_solves.to_string()],
+            vec!["throughput (solves/s)".into(), format!("{throughput:.0}")],
+            vec!["throughput solves".into(), throughput_solves.to_string()],
+            vec!["fan-out threads".into(), threads.to_string()],
+            vec!["warm_hit".into(), warm_hit.to_string()],
+            vec!["warm_repair".into(), warm_repair.to_string()],
+            vec!["cold_fallback".into(), cold_fallback.to_string()],
+            vec!["cold_start".into(), cold_start.to_string()],
+            vec!["warm-hit rate".into(), fmt(hit_rate)],
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"fig5-steady-state\",\n  \"quick\": {},\n  \
+         \"cold_ns_per_solve\": {:.1},\n  \"warm_ns_per_solve\": {:.1},\n  \
+         \"speedup\": {:.3},\n  \"cold_solves\": {},\n  \"warm_solves\": {},\n  \
+         \"recompute_throughput_per_sec\": {:.1},\n  \"throughput_solves\": {},\n  \
+         \"fanout_threads\": {},\n  \"counters\": {{\n    \
+         \"solve.warm_hit\": {},\n    \"solve.warm_repair\": {},\n    \
+         \"solve.cold_fallback\": {},\n    \"solve.cold_start\": {}\n  }},\n  \
+         \"warm_hit_rate\": {:.4}\n}}\n",
+        args.quick,
+        cold_ns,
+        warm_ns,
+        speedup,
+        cold_solves,
+        warm_solves,
+        throughput,
+        throughput_solves,
+        threads,
+        warm_hit,
+        warm_repair,
+        cold_fallback,
+        cold_start,
+        hit_rate,
+    );
+    std::fs::write(&args.out, json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("\nwrote {}", args.out);
+
+    if args.enforce {
+        let mut failed = false;
+        if speedup < MIN_SPEEDUP {
+            eprintln!("FAIL: warm speedup {speedup:.2}x below the {MIN_SPEEDUP}x floor");
+            failed = true;
+        }
+        if hit_rate < MIN_HIT_RATE {
+            eprintln!(
+                "FAIL: warm-hit rate {:.1}% below the {:.0}% floor",
+                hit_rate * 100.0,
+                MIN_HIT_RATE * 100.0
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "enforce: speedup {speedup:.2}x and warm-hit rate {:.1}% pass",
+            hit_rate * 100.0
+        );
+    }
+}

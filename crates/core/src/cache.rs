@@ -1,0 +1,355 @@
+//! Warm-start caches for incremental DAB recomputation.
+//!
+//! The paper's central cost is DAB *recomputation* (§III-A.2–3): every
+//! refresh that escapes a validity range triggers a fresh GP solve. Between
+//! consecutive recomputations the data drifts only a little (each movement
+//! is bounded by the very DABs being maintained), so the previous optimum
+//! is an excellent warm start. A [`UnitCache`] keeps, per assignment unit:
+//!
+//! * the compiled [`pq_gp::CompiledGp`] (coefficients refreshed in place
+//!   each recompute — the exponent structure is stable across drift);
+//! * the last optimal point, warm-started via the shrink-toward-interior
+//!   ladder of [`pq_gp::CompiledGp::solve_warm`];
+//! * a [`pq_gp::SolveWorkspace`] so barrier iterations are allocation-free.
+//!
+//! The fallback ladder is: warm hit (lightly blended previous optimum is
+//! strictly feasible) → warm repair (deeper blend toward the interior
+//! point) → cold fallback (full phase-I [`pq_gp::solve`]). Each outcome
+//! bumps a `solve.*` counter so `pq-trace summary` can attribute the win.
+
+use pq_gp::{GpProblem, GpSolution, SolveWorkspace, SolverOptions, WarmStart};
+use pq_obs::names;
+
+use crate::assignment::QueryAssignment;
+use crate::context::SolveContext;
+use crate::error::DabError;
+use crate::strategy::{assign_unit_cached, AssignmentStrategy, AssignmentUnit};
+
+/// Warm-start state for one assignment unit (one GP shape).
+#[derive(Debug, Default)]
+pub struct UnitCache {
+    compiled: Option<pq_gp::CompiledGp>,
+    last_x: Vec<f64>,
+    ws: SolveWorkspace,
+}
+
+impl UnitCache {
+    /// An empty cache: the first solve through it is a cold start.
+    pub fn new() -> Self {
+        UnitCache::default()
+    }
+
+    /// True once a solution has been cached (subsequent solves warm-start).
+    pub fn has_solution(&self) -> bool {
+        !self.last_x.is_empty()
+    }
+
+    /// Forgets the cached solution and compiled program.
+    pub fn clear(&mut self) {
+        self.compiled = None;
+        self.last_x.clear();
+    }
+}
+
+/// Solves `problem` through `cache`, warm-starting from the last cached
+/// optimum when one exists. `interior` must be a strictly feasible point
+/// (the cold start the caller would otherwise use); it anchors the
+/// shrink-toward-interior repair ladder.
+///
+/// Telemetry: bumps `solve.warm_hit`, `solve.warm_repair`,
+/// `solve.cold_fallback` or `solve.cold_start` on `options.obs`.
+pub(crate) fn solve_cached(
+    problem: &GpProblem,
+    interior: &[f64],
+    options: &SolverOptions,
+    cache: &mut UnitCache,
+) -> Result<GpSolution, DabError> {
+    let compiled = match cache.compiled.as_mut() {
+        Some(c) => {
+            c.update_from(problem)?;
+            c
+        }
+        None => cache.compiled.insert(pq_gp::CompiledGp::compile(problem)?),
+    };
+    let solution = if cache.last_x.len() == problem.n_vars() {
+        match compiled.solve_warm(&cache.last_x, interior, options, &mut cache.ws) {
+            Ok((sol, WarmStart::Hit)) => {
+                options.obs.counter(names::SOLVE_WARM_HIT).inc();
+                sol
+            }
+            Ok((sol, WarmStart::Repaired)) => {
+                options.obs.counter(names::SOLVE_WARM_REPAIR).inc();
+                sol
+            }
+            Err(_) => {
+                // Repair exhausted: pay the full cold phase-I price.
+                options.obs.counter(names::SOLVE_COLD_FALLBACK).inc();
+                pq_gp::solve(problem, options)?
+            }
+        }
+    } else {
+        options.obs.counter(names::SOLVE_COLD_START).inc();
+        match compiled.solve_from(interior, options, &mut cache.ws) {
+            Ok(sol) => sol,
+            Err(_) => pq_gp::solve(problem, options)?,
+        }
+    };
+    cache.last_x.clear();
+    cache.last_x.extend_from_slice(&solution.x);
+    Ok(solution)
+}
+
+/// Per-query × per-unit warm-start caches for a whole monitored workload,
+/// shaped to match the unit decomposition of
+/// [`crate::strategy::assignment_units`].
+#[derive(Debug, Default)]
+pub struct SolveCache {
+    units: Vec<Vec<UnitCache>>,
+}
+
+impl SolveCache {
+    /// An empty cache; call [`SolveCache::resize`] to shape it.
+    pub fn new() -> Self {
+        SolveCache::default()
+    }
+
+    /// Shapes the cache to `unit_counts[qi]` units per query, preserving
+    /// existing entries where the shape is unchanged.
+    pub fn resize(&mut self, unit_counts: &[usize]) {
+        self.units.resize_with(unit_counts.len(), Vec::new);
+        for (row, &n) in self.units.iter_mut().zip(unit_counts) {
+            row.resize_with(n, UnitCache::new);
+        }
+        self.units.truncate(unit_counts.len());
+    }
+
+    /// The cache for unit `ui` of query `qi`.
+    ///
+    /// # Panics
+    /// Panics if the cache was not sized to cover `(qi, ui)`.
+    pub fn unit_mut(&mut self, qi: usize, ui: usize) -> &mut UnitCache {
+        &mut self.units[qi][ui]
+    }
+
+    /// Takes unit `(qi, ui)`'s cache out (for a worker thread), leaving an
+    /// empty one in its place; return it with [`SolveCache::put_back`].
+    pub fn take(&mut self, qi: usize, ui: usize) -> UnitCache {
+        std::mem::take(&mut self.units[qi][ui])
+    }
+
+    /// Restores a cache taken with [`SolveCache::take`].
+    pub fn put_back(&mut self, qi: usize, ui: usize, cache: UnitCache) {
+        self.units[qi][ui] = cache;
+    }
+}
+
+/// One pending unit recomputation, ready to run on any thread.
+///
+/// The job *owns* its [`UnitCache`] (taken out of a [`SolveCache`] with
+/// [`SolveCache::take`]) so workers never alias shared mutable state; the
+/// caller puts the cache back when merging results.
+pub struct RecomputeJob<'a> {
+    /// Index of the query this unit belongs to.
+    pub qi: usize,
+    /// Index of the unit within the query.
+    pub ui: usize,
+    /// The unit to re-solve.
+    pub unit: &'a AssignmentUnit,
+    /// Solve context snapshot (values/rates/ddm/solver options).
+    pub ctx: SolveContext<'a>,
+    /// The unit's warm-start cache, owned for the duration of the job.
+    pub cache: UnitCache,
+}
+
+/// A finished [`RecomputeJob`]: same `(qi, ui)`, the cache to put back,
+/// and the solve outcome.
+pub struct RecomputeDone {
+    /// Index of the query this unit belongs to.
+    pub qi: usize,
+    /// Index of the unit within the query.
+    pub ui: usize,
+    /// The warm-start cache, updated with the new optimum on success.
+    pub cache: UnitCache,
+    /// The recomputed assignment.
+    pub result: Result<QueryAssignment, DabError>,
+}
+
+fn run_job(job: RecomputeJob<'_>, strategy: AssignmentStrategy) -> RecomputeDone {
+    let RecomputeJob {
+        qi,
+        ui,
+        unit,
+        ctx,
+        mut cache,
+    } = job;
+    let result = assign_unit_cached(unit, &ctx, strategy, &mut cache);
+    RecomputeDone {
+        qi,
+        ui,
+        cache,
+        result,
+    }
+}
+
+/// The default recompute fan-out width: one worker per available core.
+pub fn default_recompute_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs a batch of independent unit recomputations, fanning out over at
+/// most `max_threads` scoped worker threads (clamped to the job count and
+/// to [`default_recompute_threads`]).
+///
+/// Results come back in **job order** regardless of thread count, and each
+/// job touches only its own [`UnitCache`], so the outcome is byte-identical
+/// to running the jobs serially — callers merge results in order and keep
+/// serial semantics for counters, filter derivation and messages.
+pub fn recompute_parallel(
+    jobs: Vec<RecomputeJob<'_>>,
+    strategy: AssignmentStrategy,
+    max_threads: usize,
+) -> Vec<RecomputeDone> {
+    let n = jobs.len();
+    let workers = max_threads
+        .max(1)
+        .min(default_recompute_threads())
+        .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return jobs.into_iter().map(|j| run_job(j, strategy)).collect();
+    }
+    // Contiguous chunks keep each (qi, ui) on exactly one worker; slots are
+    // pre-sized so workers write disjoint ranges.
+    let chunk = n.div_ceil(workers);
+    let mut jobs: Vec<Option<RecomputeJob<'_>>> = jobs.into_iter().map(Some).collect();
+    let mut slots: Vec<Option<RecomputeDone>> = Vec::new();
+    slots.resize_with(n, || None);
+    std::thread::scope(|s| {
+        for (job_chunk, slot_chunk) in jobs.chunks_mut(chunk).zip(slots.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (job, slot) in job_chunk.iter_mut().zip(slot_chunk) {
+                    let job = job.take().expect("job taken once");
+                    *slot = Some(run_job(job, strategy));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|d| d.expect("every slot filled"))
+        .collect()
+}
+
+/// True when a derived per-item filter width meaningfully changed — the
+/// shared mixed absolute/relative tolerance used by the monitor and the
+/// simulator when deciding whether to send a DAB-change message.
+///
+/// A pure relative test (`|new - old| > eps * |old|`) misclassifies
+/// `old == 0`: *any* new width would count as unchanged. The absolute
+/// floor fixes that while the relative term keeps large widths from
+/// flapping on rounding noise.
+pub fn filter_changed(old: f64, new: f64) -> bool {
+    let scale = old.abs().max(new.abs());
+    (new - old).abs() > f64::max(1e-12, 1e-12 * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_gp::{GpProblem, Monomial, Posynomial};
+
+    fn mono(c: f64, e: &[(usize, f64)]) -> Posynomial {
+        Posynomial::monomial(Monomial::new(c, e.iter().copied()).unwrap())
+    }
+
+    /// min a/x + b/y s.t. x + y <= budget.
+    fn problem(a: f64, b: f64, budget: f64) -> GpProblem {
+        let mut p = GpProblem::new(2);
+        let mut obj = mono(a, &[(0, -1.0)]);
+        obj.add(&mono(b, &[(1, -1.0)]));
+        p.set_objective(obj).unwrap();
+        let mut c = mono(1.0, &[(0, 1.0)]);
+        c.add(&mono(1.0, &[(1, 1.0)]));
+        p.add_constraint_le(c, budget).unwrap();
+        p
+    }
+
+    #[test]
+    fn cached_solves_track_drift_and_count_outcomes() {
+        let (obs, _ring) = pq_obs::Obs::ring(16);
+        let options = SolverOptions {
+            obs: obs.clone(),
+            ..SolverOptions::default()
+        };
+        let mut cache = UnitCache::new();
+        let interior = [0.25, 0.25];
+
+        let first = solve_cached(&problem(1.0, 1.0, 1.0), &interior, &options, &mut cache).unwrap();
+        assert!((first.x[0] - 0.5).abs() < 1e-5);
+        assert!(cache.has_solution());
+
+        for step in 1..=5 {
+            let a = 1.0 + 0.02 * step as f64;
+            let p = problem(a, 1.0, 1.0);
+            let sol = solve_cached(&p, &interior, &options, &mut cache).unwrap();
+            let cold = pq_gp::solve_with_start(&p, &interior, &SolverOptions::default()).unwrap();
+            assert!(
+                (sol.objective - cold.objective).abs() < 1e-5 * cold.objective,
+                "step {step}: warm {} vs cold {}",
+                sol.objective,
+                cold.objective
+            );
+            assert!(p.max_violation(&sol.x) <= 0.0);
+        }
+        let snap = obs.snapshot();
+        let count = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(count(names::SOLVE_COLD_START), 1);
+        assert_eq!(
+            count(names::SOLVE_WARM_HIT) + count(names::SOLVE_WARM_REPAIR),
+            5,
+            "every recompute warm-started"
+        );
+        assert_eq!(count(names::SOLVE_COLD_FALLBACK), 0);
+    }
+
+    #[test]
+    fn shape_change_recompiles_instead_of_failing() {
+        let options = SolverOptions {
+            obs: pq_obs::Obs::null(),
+            ..SolverOptions::default()
+        };
+        let mut cache = UnitCache::new();
+        solve_cached(&problem(1.0, 1.0, 1.0), &[0.25, 0.25], &options, &mut cache).unwrap();
+        // Different shape: 1 variable, different constraint count.
+        let mut p1 = GpProblem::new(1);
+        p1.set_objective(mono(1.0, &[(0, 1.0)])).unwrap();
+        p1.add_lower_bound(0, 2.0).unwrap();
+        let sol = solve_cached(&p1, &[4.0], &options, &mut cache).unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn solve_cache_shapes_and_takes() {
+        let mut cache = SolveCache::new();
+        cache.resize(&[1, 2]);
+        assert!(!cache.unit_mut(1, 1).has_solution());
+        let taken = cache.take(0, 0);
+        cache.put_back(0, 0, taken);
+        // Reshaping preserves rows it can.
+        cache.resize(&[1, 1]);
+        let _ = cache.unit_mut(1, 0);
+    }
+
+    #[test]
+    fn filter_change_tolerance_handles_zero_old_width() {
+        // The regression this replaces: old == 0.0 made the pure relative
+        // test classify every new width as "unchanged".
+        assert!(filter_changed(0.0, 0.5));
+        assert!(filter_changed(0.5, 0.0));
+        assert!(!filter_changed(0.0, 0.0));
+        assert!(!filter_changed(1.0, 1.0 + 1e-15));
+        assert!(filter_changed(1.0, 1.001));
+        assert!(!filter_changed(1e9, 1e9 * (1.0 + 1e-15)));
+    }
+}

@@ -18,10 +18,11 @@
 use pq_poly::{Polynomial, PolynomialQuery, QueryClass};
 
 use crate::assignment::{QueryAssignment, ValidityRange};
+use crate::cache::UnitCache;
 use crate::context::SolveContext;
 use crate::error::DabError;
 use crate::laq::linear_closed_form;
-use crate::ppq::{dual_dab, optimal_refresh};
+use crate::ppq::{dual_dab_cached, optimal_refresh_cached};
 
 /// Which §III-B heuristic to use for mixed-sign queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,12 +108,24 @@ pub(crate) fn solve_positive(
     ctx: &SolveContext<'_>,
     method: PpqMethod,
 ) -> Result<QueryAssignment, DabError> {
+    solve_positive_cached(poly, qab, ctx, method, None)
+}
+
+/// [`solve_positive`] with an optional warm-start cache. Linear bodies take
+/// the closed form (nothing to cache); GP solves thread the cache through.
+pub(crate) fn solve_positive_cached(
+    poly: &Polynomial,
+    qab: f64,
+    ctx: &SolveContext<'_>,
+    method: PpqMethod,
+    cache: Option<&mut UnitCache>,
+) -> Result<QueryAssignment, DabError> {
     let q = PolynomialQuery::new(poly.clone(), qab)?;
     match q.class() {
         QueryClass::LinearAggregate => linear_closed_form(&q, ctx),
         _ => match method {
-            PpqMethod::OptimalRefresh => optimal_refresh(&q, ctx),
-            PpqMethod::DualDab { mu } => dual_dab(&q, ctx, mu),
+            PpqMethod::OptimalRefresh => optimal_refresh_cached(&q, ctx, cache),
+            PpqMethod::DualDab { mu } => dual_dab_cached(&q, ctx, mu, cache),
         },
     }
 }

@@ -36,6 +36,7 @@
 
 pub mod assignment;
 pub mod baseline;
+pub mod cache;
 pub mod context;
 pub mod error;
 pub mod heuristics;
@@ -46,6 +47,10 @@ pub mod ppq;
 pub mod strategy;
 
 pub use assignment::{CoordinatorAssignment, QueryAssignment, ValidityRange};
+pub use cache::{
+    default_recompute_threads, filter_changed, recompute_parallel, RecomputeDone, RecomputeJob,
+    SolveCache, UnitCache,
+};
 pub use context::SolveContext;
 pub use error::DabError;
 pub use heuristics::{general_pq, PpqMethod, PqHeuristic};
@@ -54,5 +59,6 @@ pub use linearized::linearized_filter;
 pub use multi::{aao, eqi};
 pub use ppq::{dual_dab, optimal_refresh};
 pub use strategy::{
-    assign_query, assign_unit, assignment_units, estimate_mu, AssignmentStrategy, AssignmentUnit,
+    assign_query, assign_unit, assign_unit_cached, assignment_units, estimate_mu,
+    AssignmentStrategy, AssignmentUnit,
 };

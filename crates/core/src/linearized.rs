@@ -18,6 +18,7 @@ use pq_gp::{GpProblem, Posynomial};
 use pq_poly::{linearized_sufficient, DabVarMap, PolynomialQuery};
 
 use crate::assignment::{QueryAssignment, ValidityRange};
+use crate::cache::{solve_cached, UnitCache};
 use crate::context::SolveContext;
 use crate::error::DabError;
 
@@ -28,6 +29,16 @@ use crate::error::DabError;
 pub fn linearized_filter(
     query: &PolynomialQuery,
     ctx: &SolveContext<'_>,
+) -> Result<QueryAssignment, DabError> {
+    linearized_filter_cached(query, ctx, None)
+}
+
+/// [`linearized_filter`] with an optional warm-start cache (see
+/// [`crate::cache::solve_cached`]).
+pub(crate) fn linearized_filter_cached(
+    query: &PolynomialQuery,
+    ctx: &SolveContext<'_>,
+    cache: Option<&mut UnitCache>,
 ) -> Result<QueryAssignment, DabError> {
     let (p1, p2) = query.poly().split_pos_neg();
     let body = if p2.is_zero() {
@@ -71,7 +82,10 @@ pub fn linearized_filter(
     if !found {
         return Err(DabError::NoFeasibleStart);
     }
-    let sol = pq_gp::solve_with_start(&problem, &start, &ctx.gp)?;
+    let sol = match cache {
+        Some(c) => solve_cached(&problem, &start, &ctx.gp, c)?,
+        None => pq_gp::solve_with_start(&problem, &start, &ctx.gp)?,
+    };
 
     let primary: BTreeMap<_, _> = vmap
         .items()

@@ -21,6 +21,7 @@ use pq_gp::{GpProblem, Monomial, Posynomial};
 use pq_poly::{deviation_posynomial, DabVarMap, PartialDabVarMap, PolynomialQuery, QueryClass};
 
 use crate::assignment::{QueryAssignment, ValidityRange};
+use crate::cache::{solve_cached, UnitCache};
 use crate::context::SolveContext;
 use crate::error::DabError;
 
@@ -36,6 +37,17 @@ const START_C_OVER_B: f64 = 2.0;
 pub fn optimal_refresh(
     query: &PolynomialQuery,
     ctx: &SolveContext<'_>,
+) -> Result<QueryAssignment, DabError> {
+    optimal_refresh_cached(query, ctx, None)
+}
+
+/// [`optimal_refresh`] with an optional warm-start cache: when `cache` is
+/// supplied the GP is solved through [`crate::cache::solve_cached`]
+/// (compiled-posynomial reuse + warm start from the last optimum).
+pub(crate) fn optimal_refresh_cached(
+    query: &PolynomialQuery,
+    ctx: &SolveContext<'_>,
+    cache: Option<&mut UnitCache>,
 ) -> Result<QueryAssignment, DabError> {
     require_ppq(query)?;
     let vmap = DabVarMap::for_polynomial(query.poly(), false);
@@ -58,7 +70,10 @@ pub fn optimal_refresh(
     let start = scalar_feasible_start(&condition, query.qab(), n, |s, x| {
         x[..n].iter_mut().for_each(|v| *v = s);
     })?;
-    let sol = pq_gp::solve_with_start(&problem, &start, &ctx.gp)?;
+    let sol = match cache {
+        Some(c) => solve_cached(&problem, &start, &ctx.gp, c)?,
+        None => pq_gp::solve_with_start(&problem, &start, &ctx.gp)?,
+    };
 
     let primary: BTreeMap<_, _> = vmap
         .items()
@@ -89,6 +104,17 @@ pub fn dual_dab(
     query: &PolynomialQuery,
     ctx: &SolveContext<'_>,
     mu: f64,
+) -> Result<QueryAssignment, DabError> {
+    dual_dab_cached(query, ctx, mu, None)
+}
+
+/// [`dual_dab`] with an optional warm-start cache (see
+/// [`crate::cache::solve_cached`]).
+pub(crate) fn dual_dab_cached(
+    query: &PolynomialQuery,
+    ctx: &SolveContext<'_>,
+    mu: f64,
+    cache: Option<&mut UnitCache>,
 ) -> Result<QueryAssignment, DabError> {
     if !(mu.is_finite() && mu > 0.0) {
         return Err(DabError::InvalidMu(mu));
@@ -159,7 +185,10 @@ pub fn dual_dab(
             .fold(0.0_f64, f64::max);
         x[r_var] = 2.0 * worst + 1.0;
     })?;
-    let sol = pq_gp::solve_with_start(&problem, &start, &ctx.gp)?;
+    let sol = match cache {
+        Some(c) => solve_cached(&problem, &start, &ctx.gp, c)?,
+        None => pq_gp::solve_with_start(&problem, &start, &ctx.gp)?,
+    };
 
     let primary: BTreeMap<_, _> = vmap
         .items()

@@ -9,9 +9,10 @@ use pq_poly::{Polynomial, PolynomialQuery, QueryClass};
 
 use crate::assignment::QueryAssignment;
 use crate::baseline::{equal_dab, per_item_split};
+use crate::cache::UnitCache;
 use crate::context::SolveContext;
 use crate::error::DabError;
-use crate::heuristics::{general_pq, solve_positive, PpqMethod, PqHeuristic};
+use crate::heuristics::{general_pq, solve_positive_cached, PpqMethod, PqHeuristic};
 use crate::laq::linear_closed_form;
 
 /// A complete per-query DAB assignment policy.
@@ -190,6 +191,28 @@ pub fn assign_unit(
     ctx: &SolveContext<'_>,
     strategy: AssignmentStrategy,
 ) -> Result<QueryAssignment, DabError> {
+    assign_unit_with_cache(unit, ctx, strategy, None)
+}
+
+/// Solves one unit under `strategy`, warm-starting the GP solve from
+/// `cache` (and updating it with the new optimum). Closed-form strategies
+/// ignore the cache; GP-backed ones reuse the compiled program, the last
+/// solution and the solver workspace stored in it.
+pub fn assign_unit_cached(
+    unit: &AssignmentUnit,
+    ctx: &SolveContext<'_>,
+    strategy: AssignmentStrategy,
+    cache: &mut UnitCache,
+) -> Result<QueryAssignment, DabError> {
+    assign_unit_with_cache(unit, ctx, strategy, Some(cache))
+}
+
+fn assign_unit_with_cache(
+    unit: &AssignmentUnit,
+    ctx: &SolveContext<'_>,
+    strategy: AssignmentStrategy,
+    cache: Option<&mut UnitCache>,
+) -> Result<QueryAssignment, DabError> {
     let _span = ctx.gp.obs.timed(pq_obs::names::DAB_SOLVE);
     match strategy {
         AssignmentStrategy::PerItemSplit => {
@@ -198,15 +221,16 @@ pub fn assign_unit(
         AssignmentStrategy::EqualDab => {
             equal_dab(&PolynomialQuery::new(unit.body.clone(), unit.qab)?, ctx)
         }
-        AssignmentStrategy::LinearizedFilter => crate::linearized::linearized_filter(
+        AssignmentStrategy::LinearizedFilter => crate::linearized::linearized_filter_cached(
             &PolynomialQuery::new(unit.body.clone(), unit.qab)?,
             ctx,
+            cache,
         ),
         AssignmentStrategy::OptimalRefresh => {
-            solve_positive_or_general(unit, ctx, PpqMethod::OptimalRefresh)
+            solve_positive_or_general(unit, ctx, PpqMethod::OptimalRefresh, cache)
         }
         AssignmentStrategy::DualDab { mu } => {
-            solve_positive_or_general(unit, ctx, PpqMethod::DualDab { mu })
+            solve_positive_or_general(unit, ctx, PpqMethod::DualDab { mu }, cache)
         }
     }
 }
@@ -215,9 +239,10 @@ fn solve_positive_or_general(
     unit: &AssignmentUnit,
     ctx: &SolveContext<'_>,
     method: PpqMethod,
+    cache: Option<&mut UnitCache>,
 ) -> Result<QueryAssignment, DabError> {
     if unit.body.is_positive_coefficient() {
-        solve_positive(&unit.body, unit.qab, ctx, method)
+        solve_positive_cached(&unit.body, unit.qab, ctx, method, cache)
     } else {
         // A mixed-sign unit only arises when the caller bypassed
         // `assignment_units`; fall back to Different Sum.

@@ -44,4 +44,4 @@ pub use error::GpError;
 pub use kkt::{kkt_report, KktReport};
 pub use posynomial::{Monomial, Posynomial};
 pub use problem::{GpProblem, GpSolution};
-pub use solver::{solve, solve_with_start, SolverOptions};
+pub use solver::{solve, solve_with_start, CompiledGp, SolveWorkspace, SolverOptions, WarmStart};

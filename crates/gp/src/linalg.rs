@@ -4,8 +4,9 @@
 //! hundred variables), so a dense, row-major symmetric solve via Cholesky
 //! factorization is both simpler and faster than pulling in a sparse solver.
 
-/// A dense, row-major matrix of `f64`.
-#[derive(Debug, Clone, PartialEq)]
+/// A dense, row-major matrix of `f64`. `Default` is the empty `0 x 0`
+/// matrix.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Matrix {
     n_rows: usize,
     n_cols: usize,
@@ -106,6 +107,26 @@ impl Matrix {
         }
     }
 
+    /// Sets every entry to zero, keeping the allocation.
+    pub fn set_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Scales every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Resizes to `n x n` zeros, reusing the allocation when possible.
+    pub fn resize_zeroed(&mut self, n_rows: usize, n_cols: usize) {
+        self.n_rows = n_rows;
+        self.n_cols = n_cols;
+        self.data.clear();
+        self.data.resize(n_rows * n_cols, 0.0);
+    }
+
     /// Largest absolute diagonal entry (used to scale regularization).
     pub fn max_abs_diagonal(&self) -> f64 {
         let n = self.n_rows.min(self.n_cols);
@@ -173,6 +194,27 @@ impl Matrix {
         Some(z)
     }
 
+    /// Forward/back substitution with an already-factored `L` (as left by
+    /// [`Matrix::cholesky_in_place`]), overwriting `z` with the solution.
+    fn solve_factored(&self, z: &mut [f64]) {
+        let n = self.n_rows;
+        debug_assert_eq!(z.len(), n);
+        for i in 0..n {
+            let mut s = z[i];
+            for k in 0..i {
+                s -= self[(i, k)] * z[k];
+            }
+            z[i] = s / self[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut s = z[i];
+            for k in (i + 1)..n {
+                s -= self[(k, i)] * z[k];
+            }
+            z[i] = s / self[(i, i)];
+        }
+    }
+
     /// Solves `A x = b` for a symmetric matrix that should be positive
     /// definite, retrying with progressively larger diagonal regularization
     /// if the plain factorization fails.
@@ -181,20 +223,47 @@ impl Matrix {
     /// central path; a small ridge restores it while barely perturbing the
     /// Newton direction.
     pub fn cholesky_solve_regularized(&self, b: &[f64]) -> Option<Vec<f64>> {
-        if let Some(x) = self.cholesky_solve(b) {
-            return Some(x);
+        let mut scratch = Matrix::zeros(self.n_rows, self.n_cols);
+        let mut x = Vec::new();
+        if self.cholesky_solve_regularized_into(b, &mut scratch, &mut x) {
+            Some(x)
+        } else {
+            None
         }
+    }
+
+    /// Allocation-free variant of [`Matrix::cholesky_solve_regularized`]:
+    /// the factorization happens in `scratch` (resized as needed) and the
+    /// solution lands in `x`. Returns `false` if every regularization level
+    /// fails.
+    pub fn cholesky_solve_regularized_into(
+        &self,
+        b: &[f64],
+        scratch: &mut Matrix,
+        x: &mut Vec<f64>,
+    ) -> bool {
+        assert_eq!(self.n_rows, self.n_cols);
+        assert_eq!(b.len(), self.n_rows);
+        let mut reg = 0.0;
         let scale = self.max_abs_diagonal().max(1.0);
-        let mut reg = 1e-12 * scale;
-        for _ in 0..40 {
-            let mut a = self.clone();
-            a.add_diagonal(reg);
-            if let Some(x) = a.cholesky_solve(b) {
-                return Some(x);
+        for _ in 0..41 {
+            scratch.clone_from(self);
+            if reg > 0.0 {
+                scratch.add_diagonal(reg);
             }
-            reg *= 10.0;
+            if scratch.cholesky_in_place() {
+                x.clear();
+                x.extend_from_slice(b);
+                scratch.solve_factored(x);
+                return true;
+            }
+            reg = if reg == 0.0 {
+                1e-12 * scale
+            } else {
+                reg * 10.0
+            };
         }
-        None
+        false
     }
 }
 

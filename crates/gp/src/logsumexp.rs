@@ -60,6 +60,28 @@ impl LogPosynomial {
         self.rows.len()
     }
 
+    /// Refreshes the log-coefficients in place from `p` when the term
+    /// structure (number of terms and exponent rows) matches; returns
+    /// `false` (leaving `self` untouched) when it does not.
+    ///
+    /// DAB recomputation rebuilds the same condition posynomial with
+    /// coefficients that track the drifting data values, so the exponent
+    /// structure is almost always stable and recompilation is wasted work.
+    pub fn refresh_coefs(&mut self, p: &Posynomial) -> bool {
+        if p.n_terms() != self.rows.len() {
+            return false;
+        }
+        for (t, row) in p.terms().iter().zip(self.rows.iter()) {
+            if t.exponents() != &row[..] {
+                return false;
+            }
+        }
+        for (t, lc) in p.terms().iter().zip(self.log_coefs.iter_mut()) {
+            *lc = t.coef().ln();
+        }
+        true
+    }
+
     /// True if this is a single monomial, i.e. `F` is affine in `y`.
     pub fn is_affine(&self) -> bool {
         self.rows.len() == 1
@@ -83,6 +105,57 @@ impl LogPosynomial {
         let mut z = Vec::with_capacity(self.rows.len());
         self.term_values(y, &mut z);
         log_sum_exp(&z)
+    }
+
+    /// Evaluates `F(y)` reusing `z` as the per-term scratch buffer.
+    pub fn value_buf(&self, y: &[f64], z: &mut Vec<f64>) -> f64 {
+        debug_assert_eq!(y.len(), self.n_vars);
+        self.term_values(y, z);
+        log_sum_exp(z)
+    }
+
+    /// Evaluates value and gradient without allocating: `probs` is reused
+    /// as scratch and left holding the softmax weights `p_k` (needed by
+    /// [`LogPosynomial::add_second_moment`]); `grad` is overwritten.
+    pub fn value_grad_buf(&self, y: &[f64], probs: &mut Vec<f64>, grad: &mut [f64]) -> f64 {
+        debug_assert_eq!(y.len(), self.n_vars);
+        debug_assert_eq!(grad.len(), self.n_vars);
+        self.term_values(y, probs);
+        let value = softmax_in_place(probs);
+        grad.fill(0.0);
+        for (row, pk) in self.rows.iter().zip(probs.iter()) {
+            for &(v, e) in row {
+                grad[v] += pk * e;
+            }
+        }
+        value
+    }
+
+    /// Adds `alpha * sum_k p_k a_k a_kᵀ` (the softmax second moment of the
+    /// exponent rows) into `hess`, with `probs` as produced by
+    /// [`LogPosynomial::value_grad_buf`] and `dense_row` as scratch.
+    ///
+    /// Together with the gradient this yields the Hessian:
+    /// `∇²F = sum_k p_k a_k a_kᵀ − ∇F ∇Fᵀ`.
+    pub fn add_second_moment(
+        &self,
+        probs: &[f64],
+        alpha: f64,
+        dense_row: &mut [f64],
+        hess: &mut Matrix,
+    ) {
+        debug_assert_eq!(probs.len(), self.rows.len());
+        debug_assert_eq!(dense_row.len(), self.n_vars);
+        for (row, pk) in self.rows.iter().zip(probs.iter()) {
+            if *pk == 0.0 {
+                continue;
+            }
+            dense_row.fill(0.0);
+            for &(v, e) in row {
+                dense_row[v] = e;
+            }
+            hess.add_outer(alpha * pk, dense_row);
+        }
     }
 
     /// Evaluates value and gradient.
@@ -144,6 +217,21 @@ pub fn log_sum_exp(z: &[f64]) -> f64 {
         return m;
     }
     let s: f64 = z.iter().map(|&zi| (zi - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Stable softmax over `z` in place; returns `log_sum_exp(z)` and leaves
+/// `z` holding the softmax weights.
+fn softmax_in_place(z: &mut [f64]) -> f64 {
+    let m = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut s = 0.0;
+    for zi in z.iter_mut() {
+        *zi = (*zi - m).exp();
+        s += *zi;
+    }
+    for zi in z.iter_mut() {
+        *zi /= s;
+    }
     m + s.ln()
 }
 

@@ -90,6 +90,64 @@ fn solve_span(options: &SolverOptions) -> pq_obs::TimedGuard {
     }
 }
 
+/// Reusable buffers for the barrier solver: one workspace amortizes every
+/// per-iteration allocation (gradients, Hessian, Cholesky scratch, line
+/// search trial points) across repeated solves of same-shaped programs.
+///
+/// A fresh (empty) workspace is valid for any program; buffers grow on
+/// first use and are reused afterwards. Not thread-safe: use one workspace
+/// per worker thread.
+#[derive(Debug, Default)]
+pub struct SolveWorkspace {
+    /// Current iterate in log variables (taken in and out of the solver).
+    y: Vec<f64>,
+    /// Accumulated barrier gradient.
+    grad: Vec<f64>,
+    /// Per-posynomial gradient scratch.
+    gi: Vec<f64>,
+    /// Negated gradient (Newton right-hand side).
+    rhs: Vec<f64>,
+    /// Newton direction.
+    dy: Vec<f64>,
+    /// Line-search trial point.
+    trial: Vec<f64>,
+    /// Per-term values / softmax weights scratch.
+    probs: Vec<f64>,
+    /// Dense expansion of one sparse exponent row.
+    dense: Vec<f64>,
+    /// Accumulated barrier Hessian.
+    hess: Matrix,
+    /// Cholesky factorization scratch.
+    chol: Matrix,
+}
+
+impl SolveWorkspace {
+    /// Creates an empty workspace (buffers grow on first solve).
+    pub fn new() -> Self {
+        SolveWorkspace::default()
+    }
+
+    /// Grows every buffer to fit an `n`-variable program.
+    fn ensure(&mut self, n: usize) {
+        self.grad.resize(n, 0.0);
+        self.gi.resize(n, 0.0);
+        self.rhs.resize(n, 0.0);
+        self.dy.clear();
+        self.trial.resize(n, 0.0);
+        self.dense.resize(n, 0.0);
+        if self.hess.n_rows() != n {
+            self.hess.resize_zeroed(n, n);
+            self.chol.resize_zeroed(n, n);
+        }
+    }
+
+    /// Loads `ln x0` into the iterate buffer.
+    fn seed_from_x(&mut self, x0: &[f64]) {
+        self.y.clear();
+        self.y.extend(x0.iter().map(|&v| v.ln()));
+    }
+}
+
 /// Solves `problem` starting from a caller-supplied strictly feasible point
 /// `x0 > 0`.
 ///
@@ -115,8 +173,9 @@ pub fn solve_with_start(
         .iter()
         .map(|c| LogPosynomial::compile(c, n))
         .collect();
-    let y0: Vec<f64> = x0.iter().map(|&v| v.ln()).collect();
-    barrier_solve(&f0, &fs, y0, options)
+    let mut ws = SolveWorkspace::new();
+    ws.seed_from_x(x0);
+    barrier_solve(&f0, &fs, options, &mut ws)
 }
 
 /// Solves `problem`, running a phase-I feasibility search first if needed.
@@ -138,31 +197,307 @@ pub fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSolution,
         .map(|c| LogPosynomial::compile(c, n))
         .collect();
     let y0 = phase_one(&fs, n, options)?;
-    barrier_solve(&f0, &fs, y0, options)
+    let mut ws = SolveWorkspace::new();
+    ws.y = y0;
+    barrier_solve(&f0, &fs, options, &mut ws)
 }
 
-/// Barrier (phase II) iteration in log variables.
+/// A geometric program compiled once to log-space for repeated solves.
+///
+/// DAB recomputation re-derives the *same* program shape with coefficients
+/// that track the drifting data values; compiling the posynomials and
+/// allocating solver buffers each time is the dominant fixed cost.
+/// `CompiledGp` keeps the compiled [`LogPosynomial`]s and refreshes
+/// coefficients in place via [`CompiledGp::update_from`].
+#[derive(Debug, Clone)]
+pub struct CompiledGp {
+    n_vars: usize,
+    f0: LogPosynomial,
+    fs: Vec<LogPosynomial>,
+}
+
+/// How a warm-started solve obtained its strictly feasible start (see
+/// [`CompiledGp::solve_warm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmStart {
+    /// The lightly blended previous optimum was already strictly feasible.
+    Hit,
+    /// Data drift forced a deeper shrink toward the interior point before
+    /// a strictly feasible start was found.
+    Repaired,
+}
+
+/// Repair blend factors `theta` toward the interior point, tried in
+/// order when the adaptive minimal blend exceeds the first rung;
+/// `theta = 1` is the interior point itself. A solve needing no more
+/// than `WARM_LADDER[0]` of blend counts as a warm *hit*, anything
+/// deeper as a *repair*.
+const WARM_LADDER: [f64; 4] = [0.1, 0.3, 0.6, 1.0];
+
+/// Log-space slack required of a warm start: `Fi(y) < -WARM_SLACK`.
+const WARM_SLACK: f64 = 1e-9;
+
+impl CompiledGp {
+    /// Compiles `problem` (which must have an objective).
+    pub fn compile(problem: &GpProblem) -> Result<Self, GpError> {
+        let (objective, constraints) = problem.validated()?;
+        let n = problem.n_vars();
+        Ok(CompiledGp {
+            n_vars: n,
+            f0: LogPosynomial::compile(objective, n),
+            fs: constraints
+                .iter()
+                .map(|c| LogPosynomial::compile(c, n))
+                .collect(),
+        })
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.fs.len()
+    }
+
+    /// Refreshes the compiled coefficients from `problem`, recompiling
+    /// only the posynomials whose term structure changed (or everything if
+    /// the shape changed).
+    pub fn update_from(&mut self, problem: &GpProblem) -> Result<(), GpError> {
+        let (objective, constraints) = problem.validated()?;
+        if problem.n_vars() != self.n_vars || constraints.len() != self.fs.len() {
+            *self = CompiledGp::compile(problem)?;
+            return Ok(());
+        }
+        if !self.f0.refresh_coefs(objective) {
+            self.f0 = LogPosynomial::compile(objective, self.n_vars);
+        }
+        for (lc, c) in self.fs.iter_mut().zip(constraints) {
+            if !lc.refresh_coefs(c) {
+                *lc = LogPosynomial::compile(c, self.n_vars);
+            }
+        }
+        Ok(())
+    }
+
+    /// True if `Fi(y) < -slack` for every compiled constraint.
+    fn strictly_feasible_log(&self, y: &[f64], slack: f64, z: &mut Vec<f64>) -> bool {
+        self.fs.iter().all(|fi| fi.value_buf(y, z) < -slack)
+    }
+
+    /// Solves from a strictly feasible `x0 > 0`, reusing `ws` buffers.
+    ///
+    /// # Errors
+    /// [`GpError::InvalidStartingPoint`] for an invalid or infeasible
+    /// start; solver errors otherwise.
+    pub fn solve_from(
+        &self,
+        x0: &[f64],
+        options: &SolverOptions,
+        ws: &mut SolveWorkspace,
+    ) -> Result<GpSolution, GpError> {
+        if x0.len() != self.n_vars || x0.iter().any(|&v| !(v.is_finite() && v > 0.0)) {
+            return Err(GpError::InvalidStartingPoint);
+        }
+        ws.seed_from_x(x0);
+        let mut z = std::mem::take(&mut ws.probs);
+        let feasible = self.strictly_feasible_log(&ws.y, 0.0, &mut z);
+        ws.probs = z;
+        if !feasible {
+            return Err(GpError::InvalidStartingPoint);
+        }
+        let _span = solve_span(options);
+        barrier_solve(&self.f0, &self.fs, options, ws)
+    }
+
+    /// Warm-started solve: blends the previous optimum `prev_x` toward the
+    /// strictly interior `interior_x` in log space,
+    /// `y(theta) = (1-theta) ln prev_x + theta ln interior_x`, using the
+    /// *smallest* `theta` that restores strict feasibility, then restarts
+    /// the barrier at a parameter matched to the start's quality.
+    ///
+    /// The previous optimum sits on the active constraint boundary, so the
+    /// worst constraint residual `|Fmax(ln prev_x)|` after data drift
+    /// estimates the start's optimality gap; the barrier restarts at
+    /// `t ~ m / gap` (the `t` whose central point is about that far from
+    /// optimal) and the blend targets slack `1/t` (the central path's
+    /// distance from the boundary at that `t`), so the start is already
+    /// nearly centered. Both Newton phases the cold solve pays — early
+    /// low-`t` centerings and the damped march back to the central
+    /// path — are skipped.
+    ///
+    /// A minimal blend within `WARM_LADDER[0]` counts as
+    /// [`WarmStart::Hit`]; larger drift escalates through the fixed
+    /// `WARM_LADDER` repair rungs (classified [`WarmStart::Repaired`]),
+    /// each restarting from the caller's own barrier schedule. A rung
+    /// whose centering fails numerically escalates to the next rung.
+    ///
+    /// # Errors
+    /// [`GpError::InvalidStartingPoint`] when no rung yields a strictly
+    /// feasible start (callers should fall back to a cold phase-I
+    /// [`solve`]); other solver errors if the final rung fails.
+    pub fn solve_warm(
+        &self,
+        prev_x: &[f64],
+        interior_x: &[f64],
+        options: &SolverOptions,
+        ws: &mut SolveWorkspace,
+    ) -> Result<(GpSolution, WarmStart), GpError> {
+        if prev_x.len() != self.n_vars
+            || interior_x.len() != self.n_vars
+            || prev_x.iter().any(|&v| !(v.is_finite() && v > 0.0))
+            || interior_x.iter().any(|&v| !(v.is_finite() && v > 0.0))
+        {
+            return Err(GpError::InvalidStartingPoint);
+        }
+        let _span = solve_span(options);
+        let m = self.fs.len();
+        if m == 0 {
+            ws.seed_from_x(prev_x);
+            let solution = barrier_solve(&self.f0, &self.fs, options, ws)?;
+            return Ok((solution, WarmStart::Hit));
+        }
+
+        ws.y.clear();
+        ws.y.extend(prev_x.iter().map(|&v| v.ln()));
+        ws.trial.clear();
+        ws.trial.extend(interior_x.iter().map(|&v| v.ln()));
+        let y_prev = std::mem::take(&mut ws.y);
+        let y_int = std::mem::take(&mut ws.trial);
+        let mut z = std::mem::take(&mut ws.probs);
+
+        // Drift distance off the active boundary bounds the start's
+        // optimality gap, which fixes the barrier restart parameter.
+        let mut fmax_prev = f64::NEG_INFINITY;
+        for fi in &self.fs {
+            fmax_prev = fmax_prev.max(fi.value_buf(&y_prev, &mut z));
+        }
+        let gap_est = fmax_prev.abs().max(options.tolerance);
+        let t_cap = m as f64 / options.tolerance * (1.0 + 1e-4);
+        let t_boost = (m as f64 / gap_est).clamp(options.t0.max(f64::MIN_POSITIVE), t_cap);
+        let slack = (1.0 / t_boost).max(WARM_SLACK);
+
+        // Smallest theta whose convex interpolation between the endpoint
+        // constraint values guarantees that slack everywhere (Fi is convex
+        // along the segment, so the chord bound is sufficient).
+        let mut theta = 0.0f64;
+        let mut repairable = true;
+        for fi in &self.fs {
+            let fp = fi.value_buf(&y_prev, &mut z);
+            if fp <= -slack {
+                continue;
+            }
+            let fint = fi.value_buf(&y_int, &mut z);
+            if fint >= -slack {
+                repairable = false;
+                break;
+            }
+            theta = theta.max((fp + slack) / (fp - fint));
+        }
+        ws.probs = z;
+
+        let mut last_err = GpError::InvalidStartingPoint;
+        if repairable && theta <= WARM_LADDER[0] {
+            match self.try_rung(&y_prev, &y_int, theta, 0.5 * slack, t_boost, options, ws) {
+                Some(Ok(solution)) => {
+                    ws.trial = y_int;
+                    return Ok((solution, WarmStart::Hit));
+                }
+                Some(Err(e)) => last_err = e,
+                None => {}
+            }
+        }
+        for (rung, &rung_theta) in WARM_LADDER.iter().enumerate() {
+            if repairable && rung_theta < theta {
+                continue; // the chord bound already rules this rung out
+            }
+            let t0 = if rung == 0 {
+                options.t0 * options.mu
+            } else {
+                options.t0
+            };
+            match self.try_rung(&y_prev, &y_int, rung_theta, WARM_SLACK, t0, options, ws) {
+                Some(Ok(solution)) => {
+                    ws.trial = y_int;
+                    return Ok((solution, WarmStart::Repaired));
+                }
+                Some(Err(e)) => last_err = e,
+                None => {}
+            }
+        }
+        ws.trial = y_int;
+        Err(last_err)
+    }
+
+    /// One warm rung: blend, feasibility check with `slack`, barrier solve
+    /// restarted at `t0`. `None` means the blended point lacked slack.
+    #[allow(clippy::too_many_arguments)]
+    fn try_rung(
+        &self,
+        y_prev: &[f64],
+        y_int: &[f64],
+        theta: f64,
+        slack: f64,
+        t0: f64,
+        options: &SolverOptions,
+        ws: &mut SolveWorkspace,
+    ) -> Option<Result<GpSolution, GpError>> {
+        ws.y.clear();
+        ws.y.extend(
+            y_prev
+                .iter()
+                .zip(y_int)
+                .map(|(&p, &q)| (1.0 - theta) * p + theta * q),
+        );
+        let mut z = std::mem::take(&mut ws.probs);
+        let feasible = self.strictly_feasible_log(&ws.y, slack, &mut z);
+        ws.probs = z;
+        if !feasible {
+            return None;
+        }
+        let mut warm = options.clone();
+        warm.t0 = t0;
+        Some(barrier_solve(&self.f0, &self.fs, &warm, ws))
+    }
+}
+
+/// Barrier (phase II) iteration in log variables; the iterate is taken
+/// from (and left in) `ws.y`.
 fn barrier_solve(
     f0: &LogPosynomial,
     fs: &[LogPosynomial],
-    mut y: Vec<f64>,
     options: &SolverOptions,
+    ws: &mut SolveWorkspace,
 ) -> Result<GpSolution, GpError> {
-    let n = y.len();
+    let mut y = std::mem::take(&mut ws.y);
+    ws.ensure(y.len());
+    let result = barrier_solve_inner(f0, fs, options, &mut y, ws);
+    ws.y = y;
+    result
+}
+
+fn barrier_solve_inner(
+    f0: &LogPosynomial,
+    fs: &[LogPosynomial],
+    options: &SolverOptions,
+    y: &mut [f64],
+    ws: &mut SolveWorkspace,
+) -> Result<GpSolution, GpError> {
     let m = fs.len();
     let mut t = options.t0.max(f64::MIN_POSITIVE);
+    // The gap test needs no t beyond m / tolerance; capping the ladder
+    // there keeps the final centering from overshooting by up to a
+    // factor of mu (the margin guarantees the capped gap passes).
+    let t_cap = m as f64 / options.tolerance * (1.0 + 1e-4);
     let mut newton_steps = 0usize;
     let mut outer = 0usize;
 
     if m == 0 {
         // Pure unconstrained minimization of F0.
-        newton_steps += newton_minimize(
-            |yy, want_hess| objective_only(f0, yy, want_hess),
-            &mut y,
-            options,
-            "unconstrained",
-        )?;
-        let solution = finish(f0, &y, outer, newton_steps, 0.0);
+        newton_steps += newton_minimize(f0, fs, 1.0, y, ws, options, "unconstrained")?;
+        let solution = finish(f0, y, outer, newton_steps, 0.0);
         emit_solved(options, &solution);
         return Ok(solution);
     }
@@ -170,12 +505,7 @@ fn barrier_solve(
     loop {
         outer += 1;
         let tt = t;
-        newton_steps += newton_minimize(
-            |yy, want_hess| barrier_eval(f0, fs, tt, yy, want_hess),
-            &mut y,
-            options,
-            "center",
-        )?;
+        newton_steps += newton_minimize(f0, fs, tt, y, ws, options, "center")?;
         let gap = m as f64 / t;
         options
             .obs
@@ -186,15 +516,14 @@ fn barrier_solve(
                     .with("newton_steps", newton_steps)
             });
         if gap <= options.tolerance {
-            let solution = finish(f0, &y, outer, newton_steps, gap);
+            let solution = finish(f0, y, outer, newton_steps, gap);
             emit_solved(options, &solution);
             return Ok(solution);
         }
         if outer >= options.max_outer_iterations {
             return Err(GpError::IterationLimit);
         }
-        t *= options.mu;
-        let _ = n;
+        t = (t * options.mu).min(t_cap);
     }
 }
 
@@ -232,7 +561,8 @@ fn finish(
     }
 }
 
-/// Result of evaluating a barrier-style objective at a point.
+/// Result of evaluating a barrier-style objective at a point (phase-I
+/// only; the phase-II path uses [`SolveWorkspace`] buffers instead).
 struct FuncEval {
     value: f64,
     grad: Vec<f64>,
@@ -242,113 +572,98 @@ struct FuncEval {
     in_domain: bool,
 }
 
-fn objective_only(f0: &LogPosynomial, y: &[f64], want_hess: bool) -> FuncEval {
-    if want_hess {
-        let ev = f0.evaluate(y);
-        FuncEval {
-            value: ev.value,
-            grad: ev.grad,
-            hess: Some(ev.hess),
-            in_domain: true,
-        }
-    } else {
-        FuncEval {
-            value: f0.value(y),
-            grad: Vec::new(),
-            hess: None,
-            in_domain: true,
-        }
-    }
-}
-
-/// Evaluates `t F0(y) - sum ln(-Fi(y))` with optional derivatives.
-fn barrier_eval(
+/// Evaluates `t F0(y) - sum ln(-Fi(y))` into workspace buffers.
+///
+/// Returns `None` when `y` is outside the barrier domain; on success the
+/// value is returned and `ws.grad`/`ws.hess` hold the derivatives.
+fn barrier_eval_full(
     f0: &LogPosynomial,
     fs: &[LogPosynomial],
     t: f64,
     y: &[f64],
-    want_hess: bool,
-) -> FuncEval {
-    let n = y.len();
-    if !want_hess {
-        let mut value = t * f0.value(y);
-        for fi in fs {
-            let v = fi.value(y);
-            if v >= 0.0 {
-                return FuncEval {
-                    value: f64::INFINITY,
-                    grad: Vec::new(),
-                    hess: None,
-                    in_domain: false,
-                };
-            }
-            value -= (-v).ln();
-        }
-        return FuncEval {
-            value,
-            grad: Vec::new(),
-            hess: None,
-            in_domain: true,
-        };
+    ws: &mut SolveWorkspace,
+) -> Option<f64> {
+    let v0 = f0.value_grad_buf(y, &mut ws.probs, &mut ws.gi);
+    let mut value = t * v0;
+    for (g, gi) in ws.grad.iter_mut().zip(&ws.gi) {
+        *g = t * gi;
     }
-
-    let ev0 = f0.evaluate(y);
-    let mut value = t * ev0.value;
-    let mut grad: Vec<f64> = ev0.grad.iter().map(|g| t * g).collect();
-    let mut hess = ev0.hess;
-    // Scale objective Hessian by t.
-    hess.add_scaled(t - 1.0, &hess.clone());
+    ws.hess.set_zero();
+    // ∇²F = second-moment − ∇F∇Fᵀ; both vanish for affine (1-term) rows.
+    if f0.n_terms() > 1 {
+        f0.add_second_moment(&ws.probs, t, &mut ws.dense, &mut ws.hess);
+        ws.hess.add_outer(-t, &ws.gi);
+    }
     for fi in fs {
-        let ev = fi.evaluate(y);
-        if ev.value >= 0.0 {
-            return FuncEval {
-                value: f64::INFINITY,
-                grad: vec![0.0; n],
-                hess: Some(Matrix::zeros(n, n)),
-                in_domain: false,
-            };
+        let vi = fi.value_grad_buf(y, &mut ws.probs, &mut ws.gi);
+        if vi >= 0.0 {
+            return None;
         }
-        let s = -ev.value; // slack, > 0
+        let s = -vi; // slack, > 0
         value -= s.ln();
         let inv_s = 1.0 / s;
-        axpy(inv_s, &ev.grad, &mut grad);
-        hess.add_scaled(inv_s, &ev.hess);
-        hess.add_outer(inv_s * inv_s, &ev.grad);
+        axpy(inv_s, &ws.gi, &mut ws.grad);
+        if fi.n_terms() > 1 {
+            fi.add_second_moment(&ws.probs, inv_s, &mut ws.dense, &mut ws.hess);
+            // Constraint Hessian contributes −inv_s ∇Fi∇Fiᵀ; the barrier
+            // log adds +inv_s² ∇Fi∇Fiᵀ.
+            ws.hess.add_outer(inv_s * inv_s - inv_s, &ws.gi);
+        } else {
+            ws.hess.add_outer(inv_s * inv_s, &ws.gi);
+        }
     }
-    FuncEval {
-        value,
-        grad,
-        hess: Some(hess),
-        in_domain: true,
-    }
+    Some(value)
 }
 
-/// Damped Newton minimization of a smooth convex function given by `eval`.
+/// Evaluates the barrier value only (line search), reusing `ws.probs`.
+/// Returns `None` outside the domain.
+fn barrier_value(
+    f0: &LogPosynomial,
+    fs: &[LogPosynomial],
+    t: f64,
+    y: &[f64],
+    z: &mut Vec<f64>,
+) -> Option<f64> {
+    let mut value = t * f0.value_buf(y, z);
+    for fi in fs {
+        let v = fi.value_buf(y, z);
+        if v >= 0.0 {
+            return None;
+        }
+        value -= (-v).ln();
+    }
+    Some(value)
+}
+
+/// Damped Newton minimization of the barrier objective at parameter `t`
+/// (pass `fs = &[]`, `t = 1` for unconstrained minimization of `F0`).
 ///
-/// Returns the number of Newton steps taken. `y` is updated in place.
-/// `phase` labels the emitted `gp.newton` events ("center",
-/// "unconstrained", or "phase1").
-fn newton_minimize<F>(
-    mut eval: F,
+/// Returns the number of Newton steps taken. `y` is updated in place; all
+/// scratch lives in `ws`. `phase` labels the emitted `gp.newton` events
+/// ("center" or "unconstrained"; phase I has its own loop).
+fn newton_minimize(
+    f0: &LogPosynomial,
+    fs: &[LogPosynomial],
+    t: f64,
     y: &mut [f64],
+    ws: &mut SolveWorkspace,
     options: &SolverOptions,
     phase: &'static str,
-) -> Result<usize, GpError>
-where
-    F: FnMut(&[f64], bool) -> FuncEval,
-{
+) -> Result<usize, GpError> {
     let mut prev_value = f64::INFINITY;
     for steps in 0..options.max_newton_steps {
-        let e = eval(y, true);
-        if !e.in_domain {
-            return Err(GpError::NumericalFailure("iterate left barrier domain"));
+        let value = barrier_eval_full(f0, fs, t, y, ws)
+            .ok_or(GpError::NumericalFailure("iterate left barrier domain"))?;
+        for (r, g) in ws.rhs.iter_mut().zip(&ws.grad) {
+            *r = -g;
         }
-        let hess = e.hess.expect("hessian requested");
-        let rhs: Vec<f64> = e.grad.iter().map(|g| -g).collect();
-        let dy = hess
-            .cholesky_solve_regularized(&rhs)
-            .ok_or(GpError::NumericalFailure("newton system unsolvable"))?;
-        let decrement_sq = -dot(&e.grad, &dy);
+        if !ws
+            .hess
+            .cholesky_solve_regularized_into(&ws.rhs, &mut ws.chol, &mut ws.dy)
+        {
+            return Err(GpError::NumericalFailure("newton system unsolvable"));
+        }
+        let decrement_sq = -dot(&ws.grad, &ws.dy);
         if !decrement_sq.is_finite() {
             return Err(GpError::NumericalFailure("non-finite newton decrement"));
         }
@@ -360,7 +675,7 @@ where
             .emit_with(names::GP_NEWTON, EventKind::Point, |ev| {
                 ev.with("phase", phase)
                     .with("step", steps)
-                    .with("value", e.value)
+                    .with("value", value)
                     .with("decrement_sq", decrement_sq)
             });
         if decrement_sq / 2.0 <= options.newton_tolerance {
@@ -368,27 +683,26 @@ where
         }
         // Rounding floor: once successive values stop moving relative to
         // their magnitude, further Newton steps cannot make progress.
-        if (prev_value - e.value).abs() <= 1e-14 * (1.0 + e.value.abs()) {
+        if (prev_value - value).abs() <= 1e-14 * (1.0 + value.abs()) {
             return Ok(steps);
         }
-        prev_value = e.value;
+        prev_value = value;
         // Backtracking line search on the barrier value.
         let mut step = 1.0;
         let mut accepted = false;
-        let mut trial = vec![0.0; y.len()];
         for _ in 0..60 {
-            trial.copy_from_slice(y);
-            axpy(step, &dy, &mut trial);
-            let te = eval(&trial, false);
-            if te.in_domain
-                && te.value.is_finite()
-                && te.value <= e.value - options.armijo * step * decrement_sq
-            {
-                y.copy_from_slice(&trial);
-                accepted = true;
-                break;
+            ws.trial.copy_from_slice(y);
+            axpy(step, &ws.dy, &mut ws.trial);
+            match barrier_value(f0, fs, t, &ws.trial, &mut ws.probs) {
+                Some(tv)
+                    if tv.is_finite() && tv <= value - options.armijo * step * decrement_sq =>
+                {
+                    y.copy_from_slice(&ws.trial);
+                    accepted = true;
+                    break;
+                }
+                _ => step *= options.backtrack,
             }
-            step *= options.backtrack;
         }
         if !accepted {
             // No descent at the smallest step: we are at numerical precision.
@@ -746,6 +1060,113 @@ mod tests {
         let s = solve_with_start(&p, &[3.0], &opts()).unwrap();
         assert!((s.x[0] - 1.0).abs() < 1e-5);
         assert!((s.objective - 2.0).abs() < 1e-8);
+    }
+
+    /// min 2/x + 3/y s.t. x y <= c1, x + y <= c2 (coefficients vary).
+    fn drifting_problem(a: f64, b: f64, c1: f64, c2: f64) -> GpProblem {
+        let mut p = GpProblem::new(2);
+        let mut obj = mono(a, &[(0, -1.0)]);
+        obj.add(&mono(b, &[(1, -1.0)]));
+        p.set_objective(obj).unwrap();
+        p.add_constraint_le(mono(1.0, &[(0, 1.0), (1, 1.0)]), c1)
+            .unwrap();
+        let mut c = mono(1.0, &[(0, 1.0)]);
+        c.add(&mono(1.0, &[(1, 1.0)]));
+        p.add_constraint_le(c, c2).unwrap();
+        p
+    }
+
+    #[test]
+    fn compiled_solve_from_matches_solve_with_start() {
+        let p = drifting_problem(2.0, 3.0, 4.0, 5.0);
+        let cold = solve_with_start(&p, &[0.5, 0.5], &opts()).unwrap();
+        let compiled = CompiledGp::compile(&p).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let warm = compiled.solve_from(&[0.5, 0.5], &opts(), &mut ws).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-6 * cold.objective);
+        assert_eq!(
+            compiled
+                .solve_from(&[100.0, 100.0], &opts(), &mut ws)
+                .unwrap_err(),
+            GpError::InvalidStartingPoint
+        );
+    }
+
+    #[test]
+    fn update_from_tracks_coefficient_drift() {
+        let p = drifting_problem(2.0, 3.0, 4.0, 5.0);
+        let mut compiled = CompiledGp::compile(&p).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let drifted = drifting_problem(2.2, 2.9, 4.1, 4.9);
+        compiled.update_from(&drifted).unwrap();
+        let got = compiled.solve_from(&[0.5, 0.5], &opts(), &mut ws).unwrap();
+        let want = solve_with_start(&drifted, &[0.5, 0.5], &opts()).unwrap();
+        assert!(
+            (got.objective - want.objective).abs() < 1e-6 * want.objective,
+            "compiled {} vs fresh {}",
+            got.objective,
+            want.objective
+        );
+    }
+
+    #[test]
+    fn warm_solve_from_perturbed_optimum_agrees_with_cold() {
+        let p = drifting_problem(2.0, 3.0, 4.0, 5.0);
+        let prev = solve_with_start(&p, &[0.5, 0.5], &opts()).unwrap();
+        let drifted = drifting_problem(2.1, 3.05, 3.95, 5.02);
+        let cold = solve_with_start(&drifted, &[0.5, 0.5], &opts()).unwrap();
+        let compiled = CompiledGp::compile(&drifted).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let (warm, kind) = compiled
+            .solve_warm(&prev.x, &[0.5, 0.5], &opts(), &mut ws)
+            .unwrap();
+        assert_eq!(kind, WarmStart::Hit, "small drift should stay on rung 0");
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-5 * cold.objective,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert!(
+            drifted.max_violation(&warm.x) <= 0.0,
+            "warm must be feasible"
+        );
+        // The warm start should not pay more Newton steps than the cold one.
+        assert!(
+            warm.newton_steps <= cold.newton_steps,
+            "warm {} vs cold {} newton steps",
+            warm.newton_steps,
+            cold.newton_steps
+        );
+    }
+
+    #[test]
+    fn warm_solve_repairs_after_large_drift() {
+        let p = drifting_problem(2.0, 3.0, 4.0, 5.0);
+        let prev = solve_with_start(&p, &[0.5, 0.5], &opts()).unwrap();
+        // Shrink both budgets hard: the old optimum is far outside.
+        let drifted = drifting_problem(2.0, 3.0, 1.1, 2.0);
+        let compiled = CompiledGp::compile(&drifted).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let (warm, kind) = compiled
+            .solve_warm(&prev.x, &[0.4, 0.4], &opts(), &mut ws)
+            .unwrap();
+        assert_eq!(kind, WarmStart::Repaired);
+        let cold = solve_with_start(&drifted, &[0.4, 0.4], &opts()).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-5 * cold.objective);
+        assert!(drifted.max_violation(&warm.x) <= 0.0);
+    }
+
+    #[test]
+    fn warm_solve_rejects_useless_interior_point() {
+        let p = drifting_problem(2.0, 3.0, 4.0, 5.0);
+        let compiled = CompiledGp::compile(&p).unwrap();
+        let mut ws = SolveWorkspace::new();
+        // Both points violate x + y <= 5: every rung is infeasible.
+        let err = compiled
+            .solve_warm(&[10.0, 10.0], &[8.0, 8.0], &opts(), &mut ws)
+            .unwrap_err();
+        assert_eq!(err, GpError::InvalidStartingPoint);
     }
 
     #[test]

@@ -101,6 +101,61 @@ proptest! {
         prop_assert!(loose.objective <= tight.objective * (1.0 + 1e-6));
     }
 
+    /// Warm-started solves from a drifted previous optimum agree with a
+    /// cold solve of the same program and always return a feasible point,
+    /// whether the minimal blend sufficed (hit) or the drift forced a
+    /// deeper shrink toward the interior point (repair).
+    #[test]
+    fn warm_solve_agrees_with_cold_and_stays_feasible(
+        a in 0.2f64..8.0,
+        b in 0.2f64..8.0,
+        c1 in 1.0f64..10.0,
+        c2 in 2.0f64..12.0,
+        fa in 0.7f64..1.4,
+        fb in 0.7f64..1.4,
+        f1 in 0.7f64..1.4,
+        f2 in 0.7f64..1.4,
+    ) {
+        use pq_gp::{CompiledGp, SolveWorkspace};
+        // min a/x + b/y s.t. x y <= c1, x + y <= c2; the factors model
+        // data drift between consecutive DAB recomputations (up to
+        // +/-40%, far beyond what one validity window permits, so the
+        // repair rungs get exercised too).
+        let build = |a: f64, b: f64, c1: f64, c2: f64| {
+            let mut prob = GpProblem::new(2);
+            let mut obj = mono(a, &[(0, -1.0)]);
+            obj.add(&mono(b, &[(1, -1.0)]));
+            prob.set_objective(obj).unwrap();
+            prob.add_constraint_le(mono(1.0, &[(0, 1.0), (1, 1.0)]), c1).unwrap();
+            let mut c = mono(1.0, &[(0, 1.0)]);
+            c.add(&mono(1.0, &[(1, 1.0)]));
+            prob.add_constraint_le(c, c2).unwrap();
+            prob
+        };
+        // Scaled-down diagonal point: strictly inside both constraints.
+        let interior = |c1: f64, c2: f64| {
+            let s = 0.4 * c1.sqrt().min(c2 / 2.0);
+            [s, s]
+        };
+        let opts = SolverOptions::default();
+        let prev = solve_with_start(&build(a, b, c1, c2), &interior(c1, c2), &opts).unwrap();
+
+        let (dc1, dc2) = (c1 * f1, c2 * f2);
+        let drifted = build(a * fa, b * fb, dc1, dc2);
+        let cold = solve_with_start(&drifted, &interior(dc1, dc2), &opts).unwrap();
+
+        let compiled = CompiledGp::compile(&drifted).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let (warm, kind) = compiled
+            .solve_warm(&prev.x, &interior(dc1, dc2), &opts, &mut ws)
+            .unwrap();
+        prop_assert!(drifted.max_violation(&warm.x) <= 0.0,
+            "{kind:?} warm solution violates a constraint by {}",
+            drifted.max_violation(&warm.x));
+        prop_assert!((warm.objective - cold.objective).abs() <= 1e-5 * cold.objective,
+            "{kind:?} warm {} vs cold {}", warm.objective, cold.objective);
+    }
+
     /// The log transform preserves evaluation: posynomial value at x equals
     /// exp of the transformed value at ln x.
     #[test]

@@ -107,6 +107,18 @@ pub mod names {
     /// A metric consumer saw a counter name it does not recognize
     /// (schema drift between producer and consumer).
     pub const OBS_UNKNOWN_METRIC: &str = "obs.unknown_metric";
+    /// A cached recompute solved warm from the lightly blended previous
+    /// optimum (first rung of the warm-start ladder).
+    pub const SOLVE_WARM_HIT: &str = "solve.warm_hit";
+    /// A cached recompute needed the shrink-toward-interior repair before
+    /// a strictly feasible warm start was found.
+    pub const SOLVE_WARM_REPAIR: &str = "solve.warm_repair";
+    /// A cached recompute fell back to a cold phase-I solve after warm
+    /// repair failed.
+    pub const SOLVE_COLD_FALLBACK: &str = "solve.cold_fallback";
+    /// The first solve of a cache entry (install time; excluded from the
+    /// warm-hit-rate denominator).
+    pub const SOLVE_COLD_START: &str = "solve.cold_start";
 
     /// Label key for per-query attribution (value: decimal query index).
     pub const LABEL_QUERY: &str = "query";

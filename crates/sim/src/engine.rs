@@ -24,8 +24,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pq_core::{
-    aao, assign_unit, assignment_units, AssignmentStrategy, AssignmentUnit, DabError, PqHeuristic,
-    QueryAssignment, SolveContext,
+    aao, assign_unit_cached, assignment_units, default_recompute_threads, filter_changed,
+    recompute_parallel, AssignmentStrategy, AssignmentUnit, DabError, PqHeuristic, QueryAssignment,
+    RecomputeJob, SolveCache, SolveContext,
 };
 use pq_ddm::{DataDynamicsModel, RateEstimator, TraceSet};
 use pq_gp::SolverOptions;
@@ -87,6 +88,11 @@ pub struct SimConfig {
     pub loss_probability: f64,
     /// GP solver options for all recomputations.
     pub gp: SolverOptions,
+    /// Max worker threads for the recompute fan-out (capped at the
+    /// machine's available parallelism; `1` forces the serial path). The
+    /// simulated metrics are byte-identical for any value — parallelism
+    /// only changes wall-clock time.
+    pub threads: usize,
     /// Telemetry configuration (fully off by default). [`run`] builds an
     /// [`Obs`] handle from this and threads it through the coordinator
     /// and the GP solver; use [`run_observed`] to supply a handle
@@ -114,6 +120,7 @@ impl SimConfig {
             fidelity_sample_every: 1,
             loss_probability: 0.0,
             gp: SolverOptions::default(),
+            threads: default_recompute_threads(),
             obs: ObsConfig::default(),
         }
     }
@@ -196,6 +203,8 @@ struct Engine<'a> {
     /// strategies, two for Half-and-Half on mixed-sign queries).
     units: Vec<Vec<AssignmentUnit>>,
     assignments: Vec<Vec<QueryAssignment>>,
+    /// Warm-start caches, one per (query, unit).
+    cache: SolveCache,
     /// item -> indices of queries referencing it.
     item_queries: Vec<Vec<u32>>,
     /// Last query value pushed to each user.
@@ -258,6 +267,7 @@ impl<'a> Engine<'a> {
             source_values,
             units: Vec::new(),
             assignments: Vec::new(),
+            cache: SolveCache::new(),
             item_queries,
             last_user_value,
             queue: EventQueue::new(),
@@ -353,16 +363,28 @@ impl<'a> Engine<'a> {
                     .iter()
                     .map(|q| assignment_units(q, *strategy, *heuristic))
                     .collect();
+                let unit_counts: Vec<usize> = self.units.iter().map(Vec::len).collect();
+                self.cache.resize(&unit_counts);
                 let mut assignments = Vec::with_capacity(self.units.len());
                 for (qi, units) in self.units.iter().enumerate() {
-                    let ctx = self.solve_context_for(Some(qi as u32));
-                    let per_unit = units
-                        .iter()
-                        .map(|u| {
-                            assign_unit(u, &ctx, *strategy)
-                                .map_err(|source| SimError::Dab { query: qi, source })
-                        })
-                        .collect::<Result<Vec<_>, _>>()?;
+                    let mut per_unit = Vec::with_capacity(units.len());
+                    for (ui, u) in units.iter().enumerate() {
+                        let mut gp = self.cfg.gp.clone();
+                        gp.obs = self.obs.clone();
+                        gp.query = Some(qi as u32);
+                        let ctx = SolveContext {
+                            values: &self.coord_values,
+                            rates: &self.rates,
+                            ddm: self.cfg.ddm,
+                            gp,
+                        };
+                        // Seed the warm-start caches at install time so the
+                        // first in-run recompute already warm-starts.
+                        per_unit.push(
+                            assign_unit_cached(u, &ctx, *strategy, self.cache.unit_mut(qi, ui))
+                                .map_err(|source| SimError::Dab { query: qi, source })?,
+                        );
+                    }
                     assignments.push(per_unit);
                 }
                 self.assignments = assignments;
@@ -380,6 +402,8 @@ impl<'a> Engine<'a> {
                         )
                     })
                     .collect();
+                let unit_counts: Vec<usize> = self.units.iter().map(Vec::len).collect();
+                self.cache.resize(&unit_counts);
                 let ctx = self.solve_context();
                 self.assignments = aao(&self.cfg.queries, &ctx, *mu)
                     .map_err(|source| SimError::Dab { query: 0, source })?
@@ -541,6 +565,7 @@ impl<'a> Engine<'a> {
         let recomputes_before = self.metrics.recomputations;
 
         let affected: Vec<u32> = self.item_queries[item].clone();
+        let mut stale: Vec<(usize, usize)> = Vec::new();
         for &qi in &affected {
             let qi = qi as usize;
             let q = &self.cfg.queries[qi];
@@ -555,16 +580,18 @@ impl<'a> Engine<'a> {
                         e.with("query", qi).with("value", qv).with("t", now)
                     });
             }
-            // Recompute the DABs of any unit the refresh invalidated.
-            let stale: Vec<usize> = self.assignments[qi]
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| !a.is_valid_at(&self.coord_values))
-                .map(|(ui, _)| ui)
-                .collect();
-            for ui in stale {
-                self.recompute_unit(qi, ui, item, now)?;
+            // Collect every unit the refresh invalidated. Staleness only
+            // depends on each unit's own assignment and the updated
+            // coordinator values, so collecting first and solving as a
+            // batch is equivalent to solving inline.
+            for (ui, a) in self.assignments[qi].iter().enumerate() {
+                if !a.is_valid_at(&self.coord_values) {
+                    stale.push((qi, ui));
+                }
             }
+        }
+        if !stale.is_empty() {
+            self.recompute_stale(&stale, item, now)?;
         }
         // Occupy the coordinator: per-query checks plus one solver run per
         // recomputation. (DAB-change messages were scheduled from the
@@ -588,17 +615,22 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    /// Recomputes one stale assignment unit. `item` is the data item
-    /// whose refresh invalidated it — carried on the `dab.recompute`
-    /// event so traces attribute recomputation cost to its trigger.
-    fn recompute_unit(
+    /// Recomputes a batch of stale assignment units, fanning the
+    /// independent GP solves out over up to `cfg.threads` worker threads.
+    /// `item` is the data item whose refresh invalidated them — carried on
+    /// the `dab.recompute` events so traces attribute recomputation cost
+    /// to its trigger.
+    ///
+    /// Results merge back in batch order: counters, assignment installs
+    /// and DAB-change propagation (including its RNG draws) happen
+    /// serially in the same order the old solve-as-you-scan loop used, so
+    /// metrics are byte-identical for any thread count.
+    fn recompute_stale(
         &mut self,
-        qi: usize,
-        ui: usize,
+        stale: &[(usize, usize)],
         item: usize,
         now: f64,
     ) -> Result<(), SimError> {
-        let unit = &self.units[qi][ui];
         let strategy = match &self.cfg.strategy {
             SimStrategy::PerQuery { strategy, .. } => *strategy,
             // Between AAO periods, stale queries are re-solved individually
@@ -606,26 +638,64 @@ impl<'a> Engine<'a> {
             SimStrategy::AaoPeriodic { mu, .. } => AssignmentStrategy::DualDab { mu: *mu },
         };
         let started = Instant::now();
-        let new_assignment = assign_unit(unit, &self.solve_context_for(Some(qi as u32)), strategy)
-            .map_err(|source| SimError::Dab { query: qi, source })?;
-        self.note_solver_time(started);
-        self.metrics.recomputations += 1;
-        self.metrics.per_query_recomputations[qi] += 1;
-        self.c_recomputations.inc();
-        self.lc_recompute_by_query[qi].inc();
-        self.obs
-            .emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
-                e.with("query", qi)
-                    .with("unit", ui)
-                    .with("item", item)
-                    .with("reason", "validity")
-                    .with("t", now)
+        let mut jobs: Vec<RecomputeJob<'_>> = Vec::with_capacity(stale.len());
+        for &(qi, ui) in stale {
+            let mut gp = self.cfg.gp.clone();
+            gp.obs = self.obs.clone();
+            gp.query = Some(qi as u32);
+            let cache = self.cache.take(qi, ui);
+            jobs.push(RecomputeJob {
+                qi,
+                ui,
+                unit: &self.units[qi][ui],
+                ctx: SolveContext {
+                    values: &self.coord_values,
+                    rates: &self.rates,
+                    ddm: self.cfg.ddm,
+                    gp,
+                },
+                cache,
             });
-
-        let items: Vec<usize> = new_assignment.primary.keys().map(|i| i.index()).collect();
-        self.assignments[qi][ui] = new_assignment;
-        self.propagate_dab_changes(&items, now);
-        Ok(())
+        }
+        let done = recompute_parallel(jobs, strategy, self.cfg.threads);
+        self.note_solver_time(started);
+        let mut failure: Option<SimError> = None;
+        for d in done {
+            self.cache.put_back(d.qi, d.ui, d.cache);
+            match d.result {
+                Ok(new_assignment) if failure.is_none() => {
+                    self.metrics.recomputations += 1;
+                    self.metrics.per_query_recomputations[d.qi] += 1;
+                    self.c_recomputations.inc();
+                    self.lc_recompute_by_query[d.qi].inc();
+                    self.obs
+                        .emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
+                            e.with("query", d.qi)
+                                .with("unit", d.ui)
+                                .with("item", item)
+                                .with("reason", "validity")
+                                .with("t", now)
+                        });
+                    let items: Vec<usize> =
+                        new_assignment.primary.keys().map(|i| i.index()).collect();
+                    self.assignments[d.qi][d.ui] = new_assignment;
+                    self.propagate_dab_changes(&items, now);
+                }
+                Ok(_) => {}
+                Err(source) => {
+                    if failure.is_none() {
+                        failure = Some(SimError::Dab {
+                            query: d.qi,
+                            source,
+                        });
+                    }
+                }
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Re-derives installed filters for `items` and ships changes to the
@@ -634,10 +704,10 @@ impl<'a> Engine<'a> {
         for &item in items {
             let new_min = self.min_dab_for_item(item);
             let old = self.coord_dabs[item];
-            let changed = if old.is_finite() {
-                (new_min - old).abs() > 1e-12 * old.abs()
+            let changed = if old.is_finite() && new_min.is_finite() {
+                filter_changed(old, new_min)
             } else {
-                new_min.is_finite()
+                old.is_finite() != new_min.is_finite()
             };
             if changed {
                 self.coord_dabs[item] = new_min;
@@ -800,6 +870,36 @@ mod tests {
         a.solver_seconds = 0.0;
         b.solver_seconds = 0.0;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_recompute_fanout_matches_serial() {
+        // Two queries sharing item x1: a refresh of x1 can invalidate both
+        // at once, exercising the multi-job fan-out. The simulated metrics
+        // (messages, recomputations, filter changes, fidelity) must be
+        // byte-identical no matter how many workers run the solves.
+        let traces = TraceSet::new(vec![
+            Trace::sinusoid(20.0, 4.0, 400.0, 1200),
+            Trace::sinusoid(10.0, 3.0, 300.0, 1200),
+            Trace::sinusoid(15.0, 3.0, 350.0, 1200),
+        ]);
+        let queries = vec![
+            PolynomialQuery::portfolio([(1.0, x(0), x(1))], 6.0).unwrap(),
+            PolynomialQuery::portfolio([(1.0, x(1), x(2))], 6.0).unwrap(),
+        ];
+        let mut cfg = SimConfig::new(traces, queries);
+        cfg.delays = DelayConfig::planetlab_like();
+        let mut serial_cfg = cfg.clone();
+        serial_cfg.threads = 1;
+        let mut parallel_cfg = cfg;
+        parallel_cfg.threads = 8;
+        let mut serial = run(&serial_cfg).unwrap();
+        let mut parallel = run(&parallel_cfg).unwrap();
+        assert!(serial.recomputations > 0);
+        // Wall-clock solver time is the only nondeterministic field.
+        serial.solver_seconds = 0.0;
+        parallel.solver_seconds = 0.0;
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! algorithms; `Monitor` is the piece you would deploy.
 
 use pq_core::{
-    assign_unit, assignment_units, AssignmentStrategy, AssignmentUnit, DabError, PqHeuristic,
-    QueryAssignment, SolveContext,
+    assign_unit_cached, assignment_units, default_recompute_threads, filter_changed,
+    recompute_parallel, AssignmentStrategy, AssignmentUnit, DabError, PqHeuristic, QueryAssignment,
+    RecomputeJob, SolveCache, SolveContext,
 };
 use pq_ddm::DataDynamicsModel;
 use pq_gp::SolverOptions;
@@ -48,6 +49,12 @@ pub struct Monitor {
     units: Vec<Vec<AssignmentUnit>>,
     assignments: Vec<Vec<QueryAssignment>>,
     item_dabs: Vec<f64>,
+    /// For each item index, the queries referencing it (built at install).
+    item_queries: Vec<Vec<usize>>,
+    /// Warm-start caches, one per (query, unit).
+    cache: SolveCache,
+    /// Max worker threads for recompute fan-out (1 = serial).
+    threads: usize,
     installed: bool,
     /// Telemetry handle; threaded into every GP solve.
     obs: Obs,
@@ -76,9 +83,20 @@ impl Monitor {
             units: Vec::new(),
             assignments: Vec::new(),
             item_dabs: Vec::new(),
+            item_queries: Vec::new(),
+            cache: SolveCache::new(),
+            threads: default_recompute_threads(),
             installed: false,
             obs: Obs::null(),
         }
+    }
+
+    /// Caps the recompute fan-out at `threads` worker threads (also capped
+    /// at the machine's available parallelism). `1` forces the serial
+    /// path; results are identical either way.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Attaches a telemetry handle: install/refresh outcomes and all DAB
@@ -178,6 +196,17 @@ impl Monitor {
             .iter()
             .map(|q| assignment_units(q, self.strategy, self.heuristic))
             .collect();
+        // Shape the warm-start caches to the unit decomposition and index
+        // which queries reference each item (used by on_refresh to touch
+        // only affected queries instead of scanning all of them).
+        let unit_counts: Vec<usize> = self.units.iter().map(Vec::len).collect();
+        self.cache.resize(&unit_counts);
+        self.item_queries = vec![Vec::new(); self.values.len()];
+        for (qi, q) in self.queries.iter().enumerate() {
+            for it in q.items() {
+                self.item_queries[it.index()].push(qi);
+            }
+        }
         let mut assignments = Vec::with_capacity(self.units.len());
         for (qi, units) in self.units.iter().enumerate() {
             // Attribute the install-time solves to their query.
@@ -187,12 +216,16 @@ impl Monitor {
                 ddm: self.ddm,
                 gp: self.solver_options(Some(qi as u32)),
             };
-            assignments.push(
-                units
-                    .iter()
-                    .map(|u| assign_unit(u, &ctx, self.strategy))
-                    .collect::<Result<Vec<_>, _>>()?,
-            );
+            let mut per_query = Vec::with_capacity(units.len());
+            for (ui, u) in units.iter().enumerate() {
+                per_query.push(assign_unit_cached(
+                    u,
+                    &ctx,
+                    self.strategy,
+                    self.cache.unit_mut(qi, ui),
+                )?);
+            }
+            assignments.push(per_query);
         }
         self.assignments = assignments;
         self.item_dabs = vec![f64::INFINITY; self.values.len()];
@@ -268,45 +301,84 @@ impl Monitor {
         self.values[item.index()] = value;
         let mut outcome = RefreshOutcome::default();
 
-        for qi in 0..self.queries.len() {
+        // Only queries referencing the item can notify or go stale; the
+        // per-item index (built at install) avoids scanning every query.
+        let mut stale: Vec<(usize, usize)> = Vec::new();
+        for &qi in &self.item_queries[item.index()] {
             let q = &self.queries[qi];
-            if !q.items().contains(&item) {
-                continue;
-            }
             let qv = q.eval(&self.values);
             if (qv - self.last_notified[qi]).abs() > q.qab() {
                 self.last_notified[qi] = qv;
                 outcome.notify.push((QueryId(qi as u32), qv));
             }
-            let stale: Vec<usize> = self.assignments[qi]
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| !a.is_valid_at(&self.values))
-                .map(|(ui, _)| ui)
-                .collect();
-            if !stale.is_empty() {
-                let ctx = SolveContext {
-                    values: &self.values,
-                    rates: &self.rates,
-                    ddm: self.ddm,
-                    gp: self.solver_options(Some(qi as u32)),
-                };
-                for ui in stale {
-                    self.assignments[qi][ui] =
-                        assign_unit(&self.units[qi][ui], &ctx, self.strategy)?;
-                    self.obs.counter(names::DAB_RECOMPUTE).inc();
-                    self.obs
-                        .labeled_counter(names::DAB_RECOMPUTE, names::LABEL_QUERY, &qi.to_string())
-                        .inc();
-                    self.obs
-                        .emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
-                            e.with("query", qi)
-                                .with("unit", ui)
-                                .with("item", item.index())
-                                .with("reason", "validity")
-                        });
+            for (ui, a) in self.assignments[qi].iter().enumerate() {
+                if !a.is_valid_at(&self.values) {
+                    stale.push((qi, ui));
                 }
-                outcome.recomputed.push(QueryId(qi as u32));
+            }
+        }
+        if !stale.is_empty() {
+            // Fan the independent unit recomputes out over worker threads.
+            // Staleness depends only on each unit's own assignment and the
+            // (already updated) values, so collecting first then solving in
+            // parallel is equivalent to the old solve-as-you-scan loop; the
+            // results merge back in collection order, keeping counters,
+            // outcome lists and installed filters byte-identical to a
+            // serial run.
+            let mut jobs: Vec<RecomputeJob<'_>> = Vec::with_capacity(stale.len());
+            for &(qi, ui) in &stale {
+                let gp = self.solver_options(Some(qi as u32));
+                let cache = self.cache.take(qi, ui);
+                jobs.push(RecomputeJob {
+                    qi,
+                    ui,
+                    unit: &self.units[qi][ui],
+                    ctx: SolveContext {
+                        values: &self.values,
+                        rates: &self.rates,
+                        ddm: self.ddm,
+                        gp,
+                    },
+                    cache,
+                });
+            }
+            let done = recompute_parallel(jobs, self.strategy, self.threads);
+            let mut failure: Option<DabError> = None;
+            for d in done {
+                self.cache.put_back(d.qi, d.ui, d.cache);
+                match d.result {
+                    Ok(a) if failure.is_none() => {
+                        self.assignments[d.qi][d.ui] = a;
+                        self.obs.counter(names::DAB_RECOMPUTE).inc();
+                        self.obs
+                            .labeled_counter(
+                                names::DAB_RECOMPUTE,
+                                names::LABEL_QUERY,
+                                &d.qi.to_string(),
+                            )
+                            .inc();
+                        self.obs
+                            .emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
+                                e.with("query", d.qi)
+                                    .with("unit", d.ui)
+                                    .with("item", item.index())
+                                    .with("reason", "validity")
+                            });
+                        let id = QueryId(d.qi as u32);
+                        if outcome.recomputed.last() != Some(&id) {
+                            outcome.recomputed.push(id);
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        if failure.is_none() {
+                            failure = Some(e);
+                        }
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                return Err(e);
             }
         }
         // Attribution: this item's refresh forced recomputations.
@@ -337,17 +409,22 @@ impl Monitor {
             touched.sort_unstable();
             touched.dedup();
             for i in touched {
+                // Only queries referencing item i can contribute a primary
+                // DAB for it, so the min runs over the per-item index, not
+                // every assignment in the system.
                 let mut m = f64::INFINITY;
-                for qa in self.assignments.iter().flatten() {
-                    if let Some(b) = qa.primary_dab(ItemId(i as u32)) {
-                        m = m.min(b);
+                for &qi in &self.item_queries[i] {
+                    for qa in &self.assignments[qi] {
+                        if let Some(b) = qa.primary_dab(ItemId(i as u32)) {
+                            m = m.min(b);
+                        }
                     }
                 }
                 let old = self.item_dabs[i];
-                let changed = if old.is_finite() {
-                    (m - old).abs() > 1e-12 * old.abs()
+                let changed = if old.is_finite() && m.is_finite() {
+                    filter_changed(old, m)
                 } else {
-                    m.is_finite()
+                    old.is_finite() != m.is_finite()
                 };
                 if changed {
                     self.item_dabs[i] = m;
