@@ -1,0 +1,343 @@
+//! Naive vs compiled vs delta query-evaluation microbenchmark.
+//!
+//! Measures the coordinator's per-tick fidelity-sampling cost — reading
+//! every query's current value after a handful of item moves — under
+//! three evaluation regimes:
+//!
+//! * **naive ns/sample** — [`pq_poly::PolynomialQuery::eval`] walks the
+//!   term list of every query on every sample;
+//! * **compiled ns/sample** — [`pq_poly::EvalPlan::eval`] over the same
+//!   queries: flat storage, unrolled degree-1/2 kernels, no `powi`;
+//! * **delta ns/sample** — a [`pq_sim::DeltaView`] folds each item move
+//!   into the affected queries via the plans' inverted item → term
+//!   index (with the engine's periodic rebase), so a sample is an O(1)
+//!   read.
+//!
+//! Two workloads, written to `BENCH_eval.json`: the fig5-style portfolio
+//! mix and a large synthetic portfolio book (paper-sized 6-7-leg queries
+//! over a universe several times the fig5 scale) where per-tick churn
+//! touches a small fraction of the book and delta maintenance dominates.
+//!
+//! `--enforce` additionally replays a fixed-seed fig5-style simulation
+//! under [`pq_sim::EvalMode::Naive`] and [`pq_sim::EvalMode::Delta`] and
+//! requires byte-identical per-query violation counts — the compiled
+//! and delta paths must never flip a QAB comparison — plus a 5x delta
+//! speedup floor on the large workload.
+//!
+//! Usage: `evalbench [--quick] [--enforce] [--out PATH]`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use pq_bench::{fmt, print_table, Scale};
+use pq_core::{AssignmentStrategy, PqHeuristic};
+use pq_ddm::TraceSet;
+use pq_poly::{EvalPlan, ItemId, PolynomialQuery};
+use pq_sim::{run, DelayConfig, DeltaView, EvalMode, SimConfig, SimStrategy};
+use pq_workload::{WorkloadConfig, WorkloadGen};
+
+/// Speedup floor `--enforce` holds the delta path to on the large
+/// workload.
+const MIN_DELTA_SPEEDUP: f64 = 5.0;
+/// Rebase cadence used by the delta pass (the engine default).
+const REBASE_EVERY: usize = EvalMode::DEFAULT_REBASE_EVERY;
+
+struct Args {
+    quick: bool,
+    enforce: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        enforce: false,
+        out: "BENCH_eval.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--enforce" => args.enforce = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: evalbench [--quick] [--enforce] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Deterministic value stream: tick `t` moves `MOVES_PER_TICK` items by
+/// a few tenths of a percent. Plain splitmix-style hash — no shared RNG.
+fn hash2(a: u64, b: u64) -> u64 {
+    let mut s = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s ^= s >> 31;
+    s
+}
+
+const MOVES_PER_TICK: usize = 4;
+
+/// The items that move on tick `t` and their new values.
+fn moves_at(tick: usize, values: &[f64], out: &mut Vec<(usize, f64)>) {
+    out.clear();
+    for k in 0..MOVES_PER_TICK {
+        let h = hash2(tick as u64, k as u64);
+        let item = (h % values.len() as u64) as usize;
+        let u = (hash2(h, 0xA5) % 10_000) as f64 / 5_000.0 - 1.0;
+        out.push((item, values[item] * (1.0 + 0.003 * u)));
+    }
+}
+
+struct Measurement {
+    naive_ns: f64,
+    compiled_ns: f64,
+    delta_ns: f64,
+    samples: u64,
+    delta_updates: u64,
+}
+
+/// Runs all three regimes over the same `ticks`-long move stream,
+/// sampling every query once per tick.
+fn bench_workload(queries: &[PolynomialQuery], values0: &[f64], ticks: usize) -> Measurement {
+    let plans: Vec<EvalPlan> = queries
+        .iter()
+        .map(|q| EvalPlan::compile(q.poly()))
+        .collect();
+    // item -> queries containing it, mirroring the engine's index.
+    let item_queries: Vec<Vec<u32>> = (0..values0.len())
+        .map(|i| {
+            (0..plans.len() as u32)
+                .filter(|&qi| plans[qi as usize].delta_cost(ItemId(i as u32)) > 0)
+                .collect()
+        })
+        .collect();
+    let n_samples = (ticks * queries.len()) as u64;
+    let mut moved = Vec::with_capacity(MOVES_PER_TICK);
+
+    // Naive: full term-list walk per sample.
+    let mut values = values0.to_vec();
+    let started = Instant::now();
+    for tick in 0..ticks {
+        moves_at(tick, &values, &mut moved);
+        for &(item, v) in &moved {
+            values[item] = v;
+        }
+        for q in queries {
+            black_box(q.eval(&values));
+        }
+    }
+    let naive_ns = started.elapsed().as_nanos() as f64 / n_samples as f64;
+
+    // Compiled: full evaluation through the plans.
+    let mut values = values0.to_vec();
+    let started = Instant::now();
+    for tick in 0..ticks {
+        moves_at(tick, &values, &mut moved);
+        for &(item, v) in &moved {
+            values[item] = v;
+        }
+        for plan in &plans {
+            black_box(plan.eval(&values));
+        }
+    }
+    let compiled_ns = started.elapsed().as_nanos() as f64 / n_samples as f64;
+
+    // Delta: fold moves into a DeltaView, sample by reading the view.
+    let mut values = values0.to_vec();
+    let mut view = DeltaView::new(&plans, &values);
+    let mut delta_updates = 0u64;
+    let started = Instant::now();
+    for tick in 0..ticks {
+        moves_at(tick, &values, &mut moved);
+        for &(item, v) in &moved {
+            let old = values[item];
+            delta_updates += view.apply(&plans, &item_queries[item], &values, item, old, v);
+            values[item] = v;
+        }
+        if (tick + 1) % REBASE_EVERY == 0 {
+            view.rebase(&plans, &values);
+        }
+        for qi in 0..plans.len() {
+            black_box(view.value(qi));
+        }
+    }
+    let delta_ns = started.elapsed().as_nanos() as f64 / n_samples as f64;
+
+    Measurement {
+        naive_ns,
+        compiled_ns,
+        delta_ns,
+        samples: n_samples,
+        delta_updates,
+    }
+}
+
+/// Fig5-style simulation config with a selectable evaluation mode.
+fn fig5_config(scale: &Scale, n_queries: usize, eval: EvalMode) -> SimConfig {
+    let traces = scale.universe();
+    let queries = scale
+        .workload()
+        .portfolio_queries(n_queries, &traces.initial_values());
+    let mut cfg = SimConfig::new(traces, queries);
+    cfg.gp = scale.sim_gp_options();
+    cfg.strategy = SimStrategy::PerQuery {
+        strategy: AssignmentStrategy::DualDab { mu: 5.0 },
+        heuristic: PqHeuristic::DifferentSum,
+    };
+    cfg.delays = DelayConfig::planetlab_like();
+    cfg.mu_cost = 5.0;
+    cfg.eval = eval;
+    cfg
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = Scale::from_env();
+    let ticks = if args.quick { 2_000 } else { 10_000 };
+    let traces = scale.universe();
+    let values0 = traces.initial_values();
+
+    let n_fig5 = if args.quick { 50 } else { 200 };
+    let fig5_queries = scale.workload().portfolio_queries(n_fig5, &values0);
+
+    // The large synthetic book: a universe several times the fig5 scale
+    // with paper-sized queries (6-7 legs, 12-14 items). Per-tick churn
+    // touches a small fraction of the book, the regime delta maintenance
+    // is built for.
+    let n_large = if args.quick { 600 } else { 1_000 };
+    let large_items = if args.quick { 400 } else { 500 };
+    let large_values = TraceSet::stock_universe(large_items, 2, scale.seed).initial_values();
+    let large_queries = WorkloadGen::with_config(
+        WorkloadConfig {
+            n_items: large_items,
+            legs: 6..=7,
+            ..WorkloadConfig::default()
+        },
+        scale.seed ^ 0xE7A1,
+    )
+    .portfolio_queries(n_large, &large_values);
+
+    let m_fig5 = bench_workload(&fig5_queries, &values0, ticks);
+    let m_large = bench_workload(&large_queries, &large_values, ticks);
+
+    // Fig5 parity: identical seed, naive vs delta evaluation. Everything
+    // but wall-clock solver time must agree; the enforce gate pins the
+    // per-query violation counts byte-for-byte.
+    let n_parity = if args.quick { 10 } else { 32 };
+    let parity_naive = run(&fig5_config(&scale, n_parity, EvalMode::Naive)).expect("naive run");
+    let parity_delta = run(&fig5_config(
+        &scale,
+        n_parity,
+        EvalMode::Delta {
+            rebase_every: REBASE_EVERY,
+        },
+    ))
+    .expect("delta run");
+    let violations_match = parity_naive.per_query_violations == parity_delta.per_query_violations;
+    let notifications_match = parity_naive.user_notifications == parity_delta.user_notifications;
+
+    let row = |name: &str, m: &Measurement, n_queries: usize| {
+        vec![
+            name.to_string(),
+            n_queries.to_string(),
+            format!("{:.1}", m.naive_ns),
+            format!("{:.1}", m.compiled_ns),
+            format!("{:.1}", m.delta_ns),
+            fmt(m.naive_ns / m.compiled_ns),
+            fmt(m.naive_ns / m.delta_ns),
+        ]
+    };
+    print_table(
+        "evalbench: fidelity-sampling cost (ns/sample)",
+        &[
+            "workload",
+            "queries",
+            "naive",
+            "compiled",
+            "delta",
+            "compiled_x",
+            "delta_x",
+        ],
+        &[
+            row("fig5", &m_fig5, n_fig5),
+            row("large", &m_large, n_large),
+        ],
+    );
+    println!(
+        "\nfig5 parity (n={n_parity}): violations {} notifications {}",
+        if violations_match { "match" } else { "DIFFER" },
+        if notifications_match {
+            "match"
+        } else {
+            "DIFFER"
+        },
+    );
+
+    let wl_json = |name: &str, m: &Measurement, n_queries: usize| {
+        format!(
+            "  \"{name}\": {{\n    \"n_queries\": {n_queries},\n    \
+             \"ticks\": {ticks},\n    \"samples\": {},\n    \
+             \"naive_ns_per_sample\": {:.2},\n    \
+             \"compiled_ns_per_sample\": {:.2},\n    \
+             \"delta_ns_per_sample\": {:.2},\n    \
+             \"compiled_speedup\": {:.3},\n    \"delta_speedup\": {:.3},\n    \
+             \"delta_updates\": {}\n  }}",
+            m.samples,
+            m.naive_ns,
+            m.compiled_ns,
+            m.delta_ns,
+            m.naive_ns / m.compiled_ns,
+            m.naive_ns / m.delta_ns,
+            m.delta_updates,
+        )
+    };
+    let json = format!(
+        "{{\n  \"quick\": {},\n  \"rebase_every\": {REBASE_EVERY},\n\
+         {},\n{},\n  \"fig5_parity\": {{\n    \"n_queries\": {n_parity},\n    \
+         \"violations_match\": {violations_match},\n    \
+         \"notifications_match\": {notifications_match}\n  }}\n}}\n",
+        args.quick,
+        wl_json("fig5", &m_fig5, n_fig5),
+        wl_json("large", &m_large, n_large),
+    );
+    std::fs::write(&args.out, json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("wrote {}", args.out);
+
+    if args.enforce {
+        let mut failed = false;
+        let delta_speedup = m_large.naive_ns / m_large.delta_ns;
+        if delta_speedup < MIN_DELTA_SPEEDUP {
+            eprintln!(
+                "FAIL: delta speedup {delta_speedup:.2}x on the large workload \
+                 below the {MIN_DELTA_SPEEDUP}x floor"
+            );
+            failed = true;
+        }
+        if !violations_match {
+            eprintln!(
+                "FAIL: per-query violation counts differ between naive and delta \
+                 evaluation:\n  naive {:?}\n  delta {:?}",
+                parity_naive.per_query_violations, parity_delta.per_query_violations
+            );
+            failed = true;
+        }
+        if !notifications_match {
+            eprintln!(
+                "FAIL: user notifications differ between naive ({}) and delta ({})",
+                parity_naive.user_notifications, parity_delta.user_notifications
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("enforce: delta speedup {delta_speedup:.2}x and fig5 parity pass");
+    }
+}

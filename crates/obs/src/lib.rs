@@ -120,6 +120,16 @@ pub mod names {
     /// warm-hit-rate denominator).
     pub const SOLVE_COLD_START: &str = "solve.cold_start";
 
+    /// One query value updated incrementally from an item delta
+    /// (`O(affected terms)`; the compiled-plan fast path).
+    pub const EVAL_DELTA: &str = "eval.delta";
+    /// One full query evaluation (naive or compiled; the slow path the
+    /// delta maintenance avoids).
+    pub const EVAL_FULL: &str = "eval.full";
+    /// One periodic full-re-eval rebase of the incrementally maintained
+    /// query values (bounds float drift between rebases).
+    pub const EVAL_REBASE: &str = "eval.rebase";
+
     /// Label key for per-query attribution (value: decimal query index).
     pub const LABEL_QUERY: &str = "query";
     /// Label key for per-item attribution (value: decimal item index).

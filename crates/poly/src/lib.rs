@@ -6,6 +6,10 @@
 //! * [`item`] — data-item identities ([`ItemId`], [`ItemCatalog`]);
 //! * [`polynomial`] — sparse multivariate polynomials with integer
 //!   exponents, splitting `P = P1 - P2`, exact worst-case box deviation;
+//! * [`plan`] — compiled evaluation plans ([`EvalPlan`]): flat
+//!   structure-of-arrays terms, unrolled degree-1/2 kernels, an inverted
+//!   item → term index and exact `delta_eval` for incremental
+//!   maintenance of query values;
 //! * [`query`] — queries `P : B` with QABs, classification
 //!   (LAQ / PPQ / general PQ) and the paper's workload constructors
 //!   (portfolio, arbitrage, linear aggregate);
@@ -19,6 +23,7 @@ pub mod constraint;
 pub mod error;
 pub mod item;
 pub mod parse;
+pub mod plan;
 pub mod polynomial;
 pub mod query;
 
@@ -29,5 +34,6 @@ pub use constraint::{
 pub use error::PolyError;
 pub use item::{ItemCatalog, ItemId};
 pub use parse::parse_polynomial;
+pub use plan::EvalPlan;
 pub use polynomial::{PTerm, Polynomial};
 pub use query::{PolynomialQuery, QueryClass, QueryId};

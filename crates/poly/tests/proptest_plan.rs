@@ -1,0 +1,114 @@
+//! Property tests for compiled evaluation plans and delta maintenance.
+//!
+//! The simulator's incremental views rest on two properties checked
+//! here across random sparse polynomials up to degree 4:
+//!
+//! * [`EvalPlan::eval`] is *bit-identical* to the naive
+//!   [`Polynomial::eval`], so switching to the compiled path can never
+//!   flip a QAB comparison;
+//! * a long random sequence of [`EvalPlan::delta_eval`] updates folded
+//!   into a running sum (with rebases interleaved, as the engine does
+//!   every `rebase_every` ticks) stays within tolerance of a fresh
+//!   naive evaluation.
+
+use proptest::prelude::*;
+
+use pq_poly::{EvalPlan, ItemId, PTerm, Polynomial};
+
+const N_ITEMS: usize = 6;
+
+fn x(i: u32) -> ItemId {
+    ItemId(i)
+}
+
+/// Arbitrary sparse polynomial over `N_ITEMS` items with per-term total
+/// degree <= 4: up to three factors, each `x_i^e` with `e in 1..=2`
+/// (duplicate items merge, so shapes span constants through degree-4
+/// `General` terms).
+fn arb_poly() -> impl Strategy<Value = Polynomial> {
+    proptest::collection::vec(
+        (
+            (-20.0f64..20.0).prop_filter("nonzero", |c| c.abs() > 1e-3),
+            proptest::collection::vec((0u32..N_ITEMS as u32, 1u32..=2), 0..=2),
+        ),
+        1..8,
+    )
+    .prop_map(|terms| {
+        Polynomial::from_terms(
+            terms
+                .into_iter()
+                .map(|(c, vars)| PTerm::new(c, vars.into_iter().map(|(i, e)| (x(i), e))).unwrap()),
+        )
+    })
+    .prop_filter("non-zero polynomial", |p| !p.is_zero())
+}
+
+/// A random walk: which item moves, and the value it moves to.
+fn arb_updates(len: usize) -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::vec((0..N_ITEMS, -10.0f64..10.0), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Full compiled evaluation returns the exact same bits as naive.
+    #[test]
+    fn compiled_eval_is_bit_identical_to_naive(
+        p in arb_poly(),
+        v in proptest::collection::vec(-10.0f64..10.0, N_ITEMS),
+    ) {
+        let plan = EvalPlan::compile(&p);
+        prop_assert!(plan.degree() <= 4);
+        let compiled = plan.eval(&v);
+        let naive = p.eval(&v);
+        prop_assert_eq!(
+            compiled.to_bits(), naive.to_bits(),
+            "compiled {} vs naive {}", compiled, naive
+        );
+    }
+
+    /// A long delta-maintained running sum with interleaved rebases
+    /// tracks fresh naive evaluation within tolerance at every step.
+    #[test]
+    fn delta_sequence_with_rebases_tracks_naive(
+        p in arb_poly(),
+        v0 in proptest::collection::vec(-10.0f64..10.0, N_ITEMS),
+        updates in arb_updates(200),
+        rebase_every in 1usize..64,
+    ) {
+        let mut v = v0;
+        let plan = EvalPlan::compile(&p);
+        let mut running = plan.eval(&v);
+        for (step, &(item, new)) in updates.iter().enumerate() {
+            let old = v[item];
+            running += plan.delta_eval(&v, x(item as u32), old, new);
+            v[item] = new;
+            let naive = p.eval(&v);
+            prop_assert!(
+                (running - naive).abs() <= 1e-9 * (1.0 + naive.abs()),
+                "step {}: running {} vs naive {}", step, running, naive
+            );
+            if (step + 1) % rebase_every == 0 {
+                // The engine's periodic rebase: replace the running sum
+                // with a fresh full evaluation (bit-identical to naive).
+                running = plan.eval(&v);
+                prop_assert_eq!(running.to_bits(), naive.to_bits());
+            }
+        }
+    }
+
+    /// Deltas touch exactly the terms containing the item: items the
+    /// polynomial never references produce a delta of exactly zero.
+    #[test]
+    fn foreign_items_produce_zero_delta(
+        p in arb_poly(),
+        v in proptest::collection::vec(-10.0f64..10.0, N_ITEMS + 2),
+        old in -10.0f64..10.0,
+        new in -10.0f64..10.0,
+    ) {
+        let plan = EvalPlan::compile(&p);
+        let foreign = x(N_ITEMS as u32 + 1);
+        prop_assert_eq!(plan.terms_for(foreign), &[] as &[u32]);
+        prop_assert_eq!(plan.delta_eval(&v, foreign, old, new), 0.0);
+    }
+}

@@ -17,6 +17,7 @@
 //! trends across strategies and delays are what this reproduces (the
 //! paper makes the same caveat for its PlanetLab runs).
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -31,11 +32,47 @@ use pq_core::{
 use pq_ddm::{DataDynamicsModel, RateEstimator, TraceSet};
 use pq_gp::SolverOptions;
 use pq_obs::{names, Counter, EventKind, Obs, ObsConfig};
-use pq_poly::PolynomialQuery;
+use pq_poly::{EvalPlan, PolynomialQuery};
 
 use crate::delay::DelayConfig;
 use crate::event::{Event, EventQueue};
+use crate::incremental::DeltaView;
 use crate::metrics::SimMetrics;
+
+/// How the coordinator produces query values for per-refresh QAB checks
+/// and fidelity samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Re-evaluate `P(x)` from scratch with [`pq_poly::Polynomial::eval`]
+    /// at every use — `O(queries × terms)` per tick. Kept as the A/B
+    /// baseline for the `evalbench` parity gate.
+    Naive,
+    /// Maintain per-query values incrementally from item deltas through
+    /// a compiled [`EvalPlan`] (`O(affected terms)` per change, `O(1)`
+    /// per query per sample), with a full compiled re-evaluation every
+    /// `rebase_every` ticks to bound float drift. `0` disables the
+    /// periodic rebase.
+    Delta {
+        /// Full-re-eval rebase period in ticks (`0` = never).
+        rebase_every: usize,
+    },
+}
+
+impl EvalMode {
+    /// The default rebase period: drift after `K` ticks is at most about
+    /// `K × affected-queries × ulp(|P|)` (see [`crate::incremental`]),
+    /// which at `K = 512` stays ~9 orders of magnitude below the QAB
+    /// margins of the paper's workloads.
+    pub const DEFAULT_REBASE_EVERY: usize = 512;
+}
+
+impl Default for EvalMode {
+    fn default() -> Self {
+        EvalMode::Delta {
+            rebase_every: EvalMode::DEFAULT_REBASE_EVERY,
+        }
+    }
+}
 
 /// How the coordinator manages DABs across its queries.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +125,9 @@ pub struct SimConfig {
     pub loss_probability: f64,
     /// GP solver options for all recomputations.
     pub gp: SolverOptions,
+    /// Query-value evaluation strategy (delta-maintained by default;
+    /// [`EvalMode::Naive`] re-evaluates from scratch at every use).
+    pub eval: EvalMode,
     /// Max worker threads for the recompute fan-out (capped at the
     /// machine's available parallelism; `1` forces the serial path). The
     /// simulated metrics are byte-identical for any value — parallelism
@@ -120,6 +160,7 @@ impl SimConfig {
             fidelity_sample_every: 1,
             loss_probability: 0.0,
             gp: SolverOptions::default(),
+            eval: EvalMode::default(),
             threads: default_recompute_threads(),
             obs: ObsConfig::default(),
         }
@@ -207,6 +248,14 @@ struct Engine<'a> {
     cache: SolveCache,
     /// item -> indices of queries referencing it.
     item_queries: Vec<Vec<u32>>,
+    /// Compiled evaluation plans, one per query (same index space).
+    plans: Vec<EvalPlan>,
+    /// Delta-maintained query values at the source view (updated every
+    /// tick as the traces move). Only written in [`EvalMode::Delta`].
+    src_view: DeltaView,
+    /// Delta-maintained query values at the coordinator view (updated
+    /// only on `RefreshArrive`). Only written in [`EvalMode::Delta`].
+    coord_view: DeltaView,
     /// Last query value pushed to each user.
     last_user_value: Vec<f64>,
     queue: EventQueue,
@@ -215,6 +264,11 @@ struct Engine<'a> {
     /// The coordinator is busy (checking queries / re-solving DABs) until
     /// this time; refreshes arriving earlier wait in its queue.
     coordinator_busy_until: f64,
+    /// Refreshes that arrived while the coordinator was busy, held in
+    /// FIFO order and drained at `coordinator_busy_until` (a side buffer
+    /// instead of re-pushing into the heap, which churned the heap and
+    /// subtly reordered same-time arrivals).
+    deferred: VecDeque<(usize, f64)>,
     /// Telemetry handle; also injected into every GP solve via
     /// [`Engine::solve_context`].
     obs: Obs,
@@ -235,6 +289,12 @@ struct Engine<'a> {
     /// Per-item count of refreshes that forced at least one DAB
     /// recomputation (`dab.recompute_trigger`, key `item`).
     lc_trigger_by_item: Vec<Arc<Counter>>,
+    /// Incremental-evaluation counters: per-query delta updates, full
+    /// evaluations, and rebase passes (`eval.delta` / `eval.full` /
+    /// `eval.rebase`).
+    c_eval_delta: Arc<Counter>,
+    c_eval_full: Arc<Counter>,
+    c_eval_rebase: Arc<Counter>,
 }
 
 impl<'a> Engine<'a> {
@@ -255,7 +315,17 @@ impl<'a> Engine<'a> {
                 item_queries[item.index()].push(qi as u32);
             }
         }
-        let last_user_value = cfg.queries.iter().map(|q| q.eval(&source_values)).collect();
+        let plans: Vec<EvalPlan> = cfg
+            .queries
+            .iter()
+            .map(|q| EvalPlan::compile(q.poly()))
+            .collect();
+        // Both views start at the initial snapshot (coordinator and
+        // sources agree at t = 0); the compiled full evaluations here are
+        // bit-identical to `Polynomial::eval`.
+        let src_view = DeltaView::new(&plans, &source_values);
+        let coord_view = src_view.clone();
+        let last_user_value = src_view.values().to_vec();
         let mut engine = Engine {
             cfg,
             n_items,
@@ -265,6 +335,9 @@ impl<'a> Engine<'a> {
             coord_dabs: vec![f64::INFINITY; n_items],
             installed_dab: vec![f64::INFINITY; n_items],
             source_values,
+            plans,
+            src_view,
+            coord_view,
             units: Vec::new(),
             assignments: Vec::new(),
             cache: SolveCache::new(),
@@ -274,6 +347,7 @@ impl<'a> Engine<'a> {
             rng: StdRng::seed_from_u64(cfg.seed),
             metrics: SimMetrics::with_items(cfg.queries.len(), n_items),
             coordinator_busy_until: 0.0,
+            deferred: VecDeque::new(),
             c_refreshes: obs.counter(names::SIM_REFRESH),
             c_recomputations: obs.counter(names::DAB_RECOMPUTE),
             c_dab_changes: obs.counter(names::SIM_DAB_CHANGE),
@@ -300,8 +374,13 @@ impl<'a> Engine<'a> {
                     )
                 })
                 .collect(),
+            c_eval_delta: obs.counter(names::EVAL_DELTA),
+            c_eval_full: obs.counter(names::EVAL_FULL),
+            c_eval_rebase: obs.counter(names::EVAL_REBASE),
             obs,
         };
+        // The two initial full evaluations per query that seeded the views.
+        engine.c_eval_full.add(2 * engine.plans.len() as u64);
         engine
             .obs
             .emit_with(names::SIM_RUN_START, EventKind::Point, |e| {
@@ -457,23 +536,56 @@ impl<'a> Engine<'a> {
                     self.periodic_aao(now, *mu)?;
                 }
             }
-            // Sources observe the tick's values and push filtered changes.
+            // Sources observe the tick's values and push filtered changes;
+            // under delta evaluation each item's move folds `ΔP` into the
+            // source-view query values before the value lands.
+            let delta_mode = matches!(self.cfg.eval, EvalMode::Delta { .. });
+            let mut delta_updates = 0u64;
             for item in 0..self.n_items {
                 let v = self.cfg.traces.trace(item).at(tick);
+                let old = self.source_values[item];
+                if delta_mode {
+                    delta_updates += self.src_view.apply(
+                        &self.plans,
+                        &self.item_queries[item],
+                        &self.source_values,
+                        item,
+                        old,
+                        v,
+                    );
+                }
                 self.source_values[item] = v;
                 self.maybe_push(item, now);
             }
-            // Deliver everything due by this tick.
-            while let Some((t, event)) = self.queue.pop_until(now) {
+            if delta_updates > 0 {
+                self.c_eval_delta.add(delta_updates);
+            }
+            // Deliver everything due by this tick: heap events in time
+            // order, interleaved with busy-deferred refreshes that start
+            // the moment the coordinator frees up (heap events win ties,
+            // matching the arrival order a re-push would have produced).
+            loop {
+                if !self.deferred.is_empty()
+                    && self.coordinator_busy_until <= now
+                    && self
+                        .queue
+                        .peek_time()
+                        .is_none_or(|t| t > self.coordinator_busy_until)
+                {
+                    let (item, value) = self.deferred.pop_front().expect("non-empty");
+                    let t = self.coordinator_busy_until;
+                    self.on_refresh(item, value, t)?;
+                    continue;
+                }
+                let Some((t, event)) = self.queue.pop_until(now) else {
+                    break;
+                };
                 match event {
                     Event::RefreshArrive { item, value } => {
                         // Queueing at the coordinator: wait until it is
                         // free, then occupy it for the processing time.
                         if self.coordinator_busy_until > t {
-                            self.queue.push(
-                                self.coordinator_busy_until,
-                                Event::RefreshArrive { item, value },
-                            );
+                            self.deferred.push_back((item, value));
                             continue;
                         }
                         self.on_refresh(item, value, t)?;
@@ -484,13 +596,31 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
+            // Periodic full-re-eval rebase: discard the rounding drift
+            // the running sums accumulated, right before the sample reads
+            // them.
+            if let EvalMode::Delta { rebase_every } = self.cfg.eval {
+                if rebase_every > 0 && tick % rebase_every == 0 {
+                    self.src_view.rebase(&self.plans, &self.source_values);
+                    self.coord_view.rebase(&self.plans, &self.coord_values);
+                    self.c_eval_rebase.inc();
+                    self.c_eval_full.add(2 * self.plans.len() as u64);
+                }
+            }
             // Fidelity sample.
             if self.cfg.fidelity_sample_every > 0 && tick % self.cfg.fidelity_sample_every == 0 {
                 self.metrics.fidelity_samples += 1;
                 self.c_fidelity.inc();
                 for (qi, q) in self.cfg.queries.iter().enumerate() {
-                    let truth = q.eval(&self.source_values);
-                    let cached = q.eval(&self.coord_values);
+                    let (truth, cached) = match self.cfg.eval {
+                        EvalMode::Naive => {
+                            self.c_eval_full.add(2);
+                            (q.eval(&self.source_values), q.eval(&self.coord_values))
+                        }
+                        EvalMode::Delta { .. } => {
+                            (self.src_view.value(qi), self.coord_view.value(qi))
+                        }
+                    };
                     if (truth - cached).abs() > q.qab() {
                         self.metrics.per_query_violations[qi] += 1;
                         self.c_violations[qi].inc();
@@ -558,6 +688,20 @@ impl<'a> Engine<'a> {
             .emit_with(names::SIM_REFRESH, EventKind::Count, |e| {
                 e.with("item", item).with("value", value).with("t", now)
             });
+        if matches!(self.cfg.eval, EvalMode::Delta { .. }) {
+            let old = self.coord_values[item];
+            let n = self.coord_view.apply(
+                &self.plans,
+                &self.item_queries[item],
+                &self.coord_values,
+                item,
+                old,
+                value,
+            );
+            if n > 0 {
+                self.c_eval_delta.add(n);
+            }
+        }
         self.coord_values[item] = value;
         // One query-check service charge per refresh (the paper's 4 ms
         // mean covers processing an arriving refresh, §V-A).
@@ -570,7 +714,13 @@ impl<'a> Engine<'a> {
             let qi = qi as usize;
             let q = &self.cfg.queries[qi];
             // Notify the user if the cached query value moved past the QAB.
-            let qv = q.eval(&self.coord_values);
+            let qv = match self.cfg.eval {
+                EvalMode::Naive => {
+                    self.c_eval_full.inc();
+                    q.eval(&self.coord_values)
+                }
+                EvalMode::Delta { .. } => self.coord_view.value(qi),
+            };
             if (qv - self.last_user_value[qi]).abs() > q.qab() {
                 self.last_user_value[qi] = qv;
                 self.metrics.user_notifications += 1;
@@ -927,6 +1077,68 @@ mod tests {
             m.recomputations
         );
         assert_eq!(m.loss_in_fidelity_percent(), 0.0);
+    }
+
+    #[test]
+    fn delta_eval_matches_naive_metrics_exactly() {
+        // The delta-maintained query values must not change a single
+        // simulated decision: full metric equality (violations included)
+        // across evaluation modes, for delayed, lossy, and AAO configs.
+        let mut configs = vec![
+            small_config(DelayConfig::planetlab_like(), dual(5.0)),
+            small_config(DelayConfig::with_node_mean(2.0), optimal()),
+        ];
+        let mut lossy = small_config(DelayConfig::planetlab_like(), dual(1.0));
+        lossy.loss_probability = 0.3;
+        configs.push(lossy);
+        let mut aao = small_config(DelayConfig::planetlab_like(), dual(5.0));
+        aao.strategy = SimStrategy::AaoPeriodic {
+            period_ticks: 200,
+            mu: 5.0,
+        };
+        configs.push(aao);
+        for cfg in configs {
+            let mut naive_cfg = cfg.clone();
+            naive_cfg.eval = EvalMode::Naive;
+            let mut delta_cfg = cfg;
+            delta_cfg.eval = EvalMode::Delta { rebase_every: 256 };
+            let mut naive = run(&naive_cfg).unwrap();
+            let mut delta = run(&delta_cfg).unwrap();
+            // Wall-clock solver time is the only nondeterministic field.
+            naive.solver_seconds = 0.0;
+            delta.solver_seconds = 0.0;
+            assert_eq!(naive, delta);
+        }
+    }
+
+    #[test]
+    fn delta_mode_counts_deltas_and_rebases() {
+        let mut cfg = small_config(DelayConfig::zero(), dual(5.0));
+        cfg.eval = EvalMode::Delta { rebase_every: 100 };
+        let obs = Obs::null();
+        run_observed(&cfg, &obs).unwrap();
+        let snap = obs.snapshot();
+        let count = |n: &str| snap.counters.get(n).copied().unwrap_or(0);
+        assert!(count(names::EVAL_DELTA) > 0, "source moves fold deltas");
+        // 1199 post-zero ticks / 100 → 11 rebases, each re-evaluating
+        // both views; plus the two seeding evaluations per query.
+        assert_eq!(count(names::EVAL_REBASE), 11);
+        assert_eq!(count(names::EVAL_FULL), 2 + 11 * 2);
+    }
+
+    #[test]
+    fn naive_mode_counts_full_evaluations() {
+        let mut cfg = small_config(DelayConfig::zero(), dual(5.0));
+        cfg.eval = EvalMode::Naive;
+        let obs = Obs::null();
+        let m = run_observed(&cfg, &obs).unwrap();
+        let snap = obs.snapshot();
+        let count = |n: &str| snap.counters.get(n).copied().unwrap_or(0);
+        assert_eq!(count(names::EVAL_REBASE), 0);
+        // Two per fidelity sample, one per refresh-affected query, plus
+        // the two per-query view seedings.
+        assert!(count(names::EVAL_FULL) >= 2 * m.fidelity_samples);
+        assert_eq!(count(names::EVAL_DELTA), 0);
     }
 
     #[test]

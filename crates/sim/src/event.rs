@@ -85,6 +85,11 @@ impl EventQueue {
         }
     }
 
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -143,5 +148,16 @@ mod tests {
         assert!(q.pop_until(2.0).is_none());
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_sees_the_earliest_event() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(5.0, refresh(5));
+        q.push(1.0, refresh(1));
+        assert_eq!(q.peek_time(), Some(1.0));
+        q.pop_until(10.0);
+        assert_eq!(q.peek_time(), Some(5.0));
     }
 }

@@ -1,0 +1,190 @@
+//! Delta-maintained query values (the DBToaster idea, §PAPERS.md).
+//!
+//! The coordinator needs every query's value at two views of the data:
+//! the **source view** (true values, which move every tick) and the
+//! **coordinator view** (cached values, which move only when a refresh
+//! arrives). Re-evaluating `P(x)` from scratch at both views for every
+//! fidelity sample costs `O(queries × terms)` per tick even when almost
+//! nothing changed. A [`DeltaView`] instead keeps one maintained value
+//! per query and folds in `ΔP` from [`pq_poly::EvalPlan::delta_eval`]
+//! whenever an item moves — `O(terms containing the item)` per change,
+//! and `O(1)` per query per sample.
+//!
+//! Floating-point drift: each applied delta adds one rounding of the
+//! running sum (the per-term old/new contributions themselves round
+//! exactly as a full evaluation would). The drift is therefore bounded
+//! by roughly `n_applied × ulp(|P|)` since the last [`DeltaView::rebase`],
+//! which recomputes every value with the compiled full evaluation
+//! (bit-identical to the naive [`pq_poly::Polynomial::eval`]). The
+//! engine rebases every `rebase_every` ticks (see
+//! [`crate::engine::EvalMode`]), keeping the maintained values well
+//! inside the margins of any QAB comparison.
+
+use pq_poly::{EvalPlan, ItemId};
+
+/// Per-query values of one view, maintained incrementally.
+#[derive(Debug, Clone)]
+pub struct DeltaView {
+    qv: Vec<f64>,
+    /// Item-delta applications folded in since the last rebase (drives
+    /// the `eval.delta` counter and the drift bound).
+    deltas_since_rebase: u64,
+}
+
+impl DeltaView {
+    /// Builds a view over `plans`, fully evaluating each at `values`.
+    pub fn new(plans: &[EvalPlan], values: &[f64]) -> Self {
+        DeltaView {
+            qv: plans.iter().map(|p| p.eval(values)).collect(),
+            deltas_since_rebase: 0,
+        }
+    }
+
+    /// The maintained value of query `qi`.
+    #[inline]
+    pub fn value(&self, qi: usize) -> f64 {
+        self.qv[qi]
+    }
+
+    /// All maintained values, indexed by query.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.qv
+    }
+
+    /// Item-delta applications folded in since the last rebase.
+    #[inline]
+    pub fn deltas_since_rebase(&self) -> u64 {
+        self.deltas_since_rebase
+    }
+
+    /// Folds the move `old -> new` of `item` into every query in
+    /// `queries` (the prebuilt item → query index; each entry indexes
+    /// both `plans` and this view). `values` is the view's value array;
+    /// its `item` slot may hold either the old or the new value — the
+    /// delta uses the explicit `old`/`new` arguments.
+    ///
+    /// Returns the number of query values updated.
+    #[inline]
+    pub fn apply(
+        &mut self,
+        plans: &[EvalPlan],
+        queries: &[u32],
+        values: &[f64],
+        item: usize,
+        old: f64,
+        new: f64,
+    ) -> u64 {
+        if old == new {
+            return 0;
+        }
+        let id = ItemId(item as u32);
+        for &qi in queries {
+            let qi = qi as usize;
+            self.qv[qi] += plans[qi].delta_eval(values, id, old, new);
+        }
+        self.deltas_since_rebase += queries.len() as u64;
+        queries.len() as u64
+    }
+
+    /// Recomputes every value with a full compiled evaluation at
+    /// `values`, discarding accumulated rounding drift.
+    pub fn rebase(&mut self, plans: &[EvalPlan], values: &[f64]) {
+        for (qv, plan) in self.qv.iter_mut().zip(plans) {
+            *qv = plan.eval(values);
+        }
+        self.deltas_since_rebase = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_poly::{PTerm, Polynomial};
+
+    fn x(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    fn plans() -> Vec<EvalPlan> {
+        // q0 = 2 x0 x1, q1 = x1^2 - 3 x2, q2 = 4 (no items).
+        [
+            Polynomial::term(PTerm::new(2.0, [(x(0), 1), (x(1), 1)]).unwrap()),
+            Polynomial::from_terms([
+                PTerm::new(1.0, [(x(1), 2)]).unwrap(),
+                PTerm::new(-3.0, [(x(2), 1)]).unwrap(),
+            ]),
+            Polynomial::term(PTerm::constant(4.0).unwrap()),
+        ]
+        .iter()
+        .map(EvalPlan::compile)
+        .collect()
+    }
+
+    fn item_queries(plans: &[EvalPlan], n_items: usize) -> Vec<Vec<u32>> {
+        let mut idx = vec![Vec::new(); n_items];
+        for (qi, p) in plans.iter().enumerate() {
+            for (item, iq) in idx.iter_mut().enumerate() {
+                if !p.terms_for(ItemId(item as u32)).is_empty() {
+                    iq.push(qi as u32);
+                }
+            }
+        }
+        idx
+    }
+
+    #[test]
+    fn apply_tracks_full_reevaluation() {
+        let plans = plans();
+        let idx = item_queries(&plans, 3);
+        let mut values = vec![3.0, 4.0, 5.0];
+        let mut view = DeltaView::new(&plans, &values);
+        assert_eq!(view.values(), &[24.0, 1.0, 4.0]);
+
+        for (item, new) in [(0usize, 3.5), (1, -2.0), (2, 0.25), (1, 10.0)] {
+            let old = values[item];
+            view.apply(&plans, &idx[item], &values, item, old, new);
+            values[item] = new;
+            for (qi, plan) in plans.iter().enumerate() {
+                let full = plan.eval(&values);
+                assert!(
+                    (view.value(qi) - full).abs() <= 1e-9 * (1.0 + full.abs()),
+                    "q{qi}: {} vs {full}",
+                    view.value(qi)
+                );
+            }
+        }
+        assert!(view.deltas_since_rebase() > 0);
+    }
+
+    #[test]
+    fn noop_moves_cost_nothing() {
+        let plans = plans();
+        let idx = item_queries(&plans, 3);
+        let values = vec![3.0, 4.0, 5.0];
+        let mut view = DeltaView::new(&plans, &values);
+        assert_eq!(view.apply(&plans, &idx[0], &values, 0, 3.0, 3.0), 0);
+        assert_eq!(view.deltas_since_rebase(), 0);
+    }
+
+    #[test]
+    fn rebase_restores_bit_exact_values() {
+        let plans = plans();
+        let idx = item_queries(&plans, 3);
+        let mut values = vec![3.0, 4.0, 5.0];
+        let mut view = DeltaView::new(&plans, &values);
+        // A long drifting walk...
+        for k in 0..1000 {
+            let item = k % 3;
+            let old = values[item];
+            let new = old + 0.001 * (k as f64 % 7.0 - 3.0);
+            view.apply(&plans, &idx[item], &values, item, old, new);
+            values[item] = new;
+        }
+        view.rebase(&plans, &values);
+        assert_eq!(view.deltas_since_rebase(), 0);
+        for (qi, plan) in plans.iter().enumerate() {
+            assert_eq!(view.value(qi), plan.eval(&values), "q{qi} after rebase");
+        }
+    }
+}

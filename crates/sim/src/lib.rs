@@ -7,6 +7,9 @@
 //! * [`engine`] — the single-coordinator push-protocol simulation
 //!   (sources with DAB filters, refresh delivery, user notification,
 //!   validity-triggered DAB recomputation, fidelity sampling);
+//! * [`incremental`] — delta-maintained per-query values
+//!   ([`DeltaView`]) powering the engine's `O(affected terms)`
+//!   fidelity sampling and per-refresh checks (see [`EvalMode`]);
 //! * [`network`] — a dissemination tree of cooperating coordinators for
 //!   the Fig. 8(c) experiment;
 //! * [`metrics`] — the paper's four metrics (fidelity loss, refreshes,
@@ -22,11 +25,13 @@
 pub mod delay;
 pub mod engine;
 pub mod event;
+pub mod incremental;
 pub mod metrics;
 pub mod network;
 
 pub use delay::{DelayConfig, Pareto};
-pub use engine::{run, run_observed, SimConfig, SimError, SimStrategy};
+pub use engine::{run, run_observed, EvalMode, SimConfig, SimError, SimStrategy};
+pub use incremental::DeltaView;
 pub use metrics::SimMetrics;
 pub use network::{run_network, run_network_observed, NetworkConfig, NetworkMetrics};
 pub use pq_obs::{Obs, ObsConfig};

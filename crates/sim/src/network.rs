@@ -345,13 +345,18 @@ fn refresh_subtree_needs(nodes: &mut [Node], n_items: usize) {
     }
 }
 
-/// Cheap partial update after one query's DABs changed.
+/// Cheap partial update after one query's DABs changed: only the queries
+/// referencing each item (via the node's prebuilt `item_queries` index)
+/// can contribute to its need, so the scan skips the rest of the node's
+/// assignments entirely.
 fn update_needs_for_items(nodes: &mut [Node], items: &[usize]) {
     for c in (0..nodes.len()).rev() {
         for &i in items {
             let mut need = f64::INFINITY;
-            for qa in &nodes[c].assignments {
-                if let Some(b) = qa.primary_dab(pq_poly::ItemId(i as u32)) {
+            for &qi in &nodes[c].item_queries[i] {
+                if let Some(b) =
+                    nodes[c].assignments[qi as usize].primary_dab(pq_poly::ItemId(i as u32))
+                {
                     need = need.min(b);
                 }
             }
