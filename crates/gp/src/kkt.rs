@@ -17,7 +17,7 @@
 //! non-negative least squares (projected coordinate descent — problems
 //! here have few constraints) and report both residuals.
 
-use crate::linalg::{dot, norm2};
+use crate::linalg::{dot, norm2, Matrix};
 use crate::logsumexp::LogPosynomial;
 use crate::problem::GpProblem;
 
@@ -94,6 +94,20 @@ pub fn kkt_report(problem: &GpProblem, x: &[f64]) -> KktReport {
         }
     }
 
+    // The descent loop maintains `residual` incrementally; recompute it
+    // exactly as `g0 + G^T nu` before reporting, so the published number
+    // carries no accumulated update error.
+    let mut gt = Matrix::zeros(n, m);
+    for (i, g) in grads.iter().enumerate() {
+        for (j, &gj) in g.iter().enumerate() {
+            gt[(j, i)] = gj;
+        }
+    }
+    let mut correction = vec![0.0; n];
+    gt.matvec_into(&nu, &mut correction);
+    for ((r, &g), &c) in residual.iter_mut().zip(&g0).zip(&correction) {
+        *r = g + c;
+    }
     let stationarity = norm2(&residual);
     let complementarity = nu
         .iter()

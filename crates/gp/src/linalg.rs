@@ -60,12 +60,20 @@ impl Matrix {
 
     /// Matrix-vector product `self * x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n_cols, "matvec dimension mismatch");
         let mut out = vec![0.0; self.n_rows];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// Matrix-vector product `self * x` written into `out` — the
+    /// allocation-free variant of [`Matrix::matvec`] for hot paths that
+    /// own a reusable buffer.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.n_rows, "matvec output length mismatch");
         for (i, o) in out.iter_mut().enumerate() {
             *o = dot(self.row(i), x);
         }
-        out
     }
 
     /// Rank-one symmetric update `self += alpha * v * v^T`.
@@ -135,9 +143,11 @@ impl Matrix {
 
     /// In-place Cholesky factorization of a symmetric positive-definite
     /// matrix; on success the lower triangle holds `L` with `L L^T = A`.
+    /// Pair with [`Matrix::solve_factored`] to solve many right-hand
+    /// sides against one factorization without cloning the matrix.
     ///
     /// Returns `false` if the matrix is not numerically positive definite.
-    fn cholesky_in_place(&mut self) -> bool {
+    pub fn factor_in_place(&mut self) -> bool {
         assert_eq!(self.n_rows, self.n_cols);
         let n = self.n_rows;
         for j in 0..n {
@@ -167,36 +177,34 @@ impl Matrix {
     ///
     /// Returns `None` if the factorization fails (matrix not PD).
     pub fn cholesky_solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        let mut scratch = Matrix::zeros(self.n_rows, self.n_cols);
+        let mut x = Vec::new();
+        if self.cholesky_solve_into(b, &mut scratch, &mut x) {
+            Some(x)
+        } else {
+            None
+        }
+    }
+
+    /// Allocation-free variant of [`Matrix::cholesky_solve`]: factors into
+    /// `scratch` (resized as needed) and writes the solution into `x`.
+    /// Returns `false` if the matrix is not numerically positive definite.
+    pub fn cholesky_solve_into(&self, b: &[f64], scratch: &mut Matrix, x: &mut Vec<f64>) -> bool {
         assert_eq!(self.n_rows, self.n_cols);
         assert_eq!(b.len(), self.n_rows);
-        let mut l = self.clone();
-        if !l.cholesky_in_place() {
-            return None;
+        scratch.clone_from(self);
+        if !scratch.factor_in_place() {
+            return false;
         }
-        let n = self.n_rows;
-        // Forward substitution: L z = b.
-        let mut z = b.to_vec();
-        for i in 0..n {
-            let mut s = z[i];
-            for k in 0..i {
-                s -= l[(i, k)] * z[k];
-            }
-            z[i] = s / l[(i, i)];
-        }
-        // Back substitution: L^T x = z.
-        for i in (0..n).rev() {
-            let mut s = z[i];
-            for k in (i + 1)..n {
-                s -= l[(k, i)] * z[k];
-            }
-            z[i] = s / l[(i, i)];
-        }
-        Some(z)
+        x.clear();
+        x.extend_from_slice(b);
+        scratch.solve_factored(x);
+        true
     }
 
     /// Forward/back substitution with an already-factored `L` (as left by
-    /// [`Matrix::cholesky_in_place`]), overwriting `z` with the solution.
-    fn solve_factored(&self, z: &mut [f64]) {
+    /// [`Matrix::factor_in_place`]), overwriting `z` with the solution.
+    pub fn solve_factored(&self, z: &mut [f64]) {
         let n = self.n_rows;
         debug_assert_eq!(z.len(), n);
         for i in 0..n {
@@ -251,7 +259,7 @@ impl Matrix {
             if reg > 0.0 {
                 scratch.add_diagonal(reg);
             }
-            if scratch.cholesky_in_place() {
+            if scratch.factor_in_place() {
                 x.clear();
                 x.extend_from_slice(b);
                 scratch.solve_factored(x);
@@ -407,5 +415,51 @@ mod tests {
         a.row_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
         let y = a.matvec(&[1.0, 1.0, 1.0]);
         assert_eq!(y, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn matvec_into_reuses_buffer_and_matches_matvec() {
+        let mut a = Matrix::zeros(2, 3);
+        a.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        a.row_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
+        let mut out = vec![99.0, 99.0];
+        a.matvec_into(&[0.5, -1.0, 2.0], &mut out);
+        assert_eq!(out, a.matvec(&[0.5, -1.0, 2.0]));
+    }
+
+    #[test]
+    fn one_factorization_solves_many_rhs() {
+        // A = [[4,2],[2,3]]; factor once, solve two right-hand sides, and
+        // check each against the cloning cholesky_solve path bit-for-bit.
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 4.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 3.0;
+        let mut l = a.clone();
+        assert!(l.factor_in_place());
+        for b in [[2.0, 1.0], [-1.0, 5.0]] {
+            let mut z = b.to_vec();
+            l.solve_factored(&mut z);
+            assert_eq!(z, a.cholesky_solve(&b).unwrap());
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_into_matches_allocating_solve() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 4.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 3.0;
+        let mut scratch = Matrix::zeros(0, 0);
+        let mut x = Vec::new();
+        assert!(a.cholesky_solve_into(&[2.0, 1.0], &mut scratch, &mut x));
+        assert_eq!(x, a.cholesky_solve(&[2.0, 1.0]).unwrap());
+
+        let mut bad = Matrix::zeros(2, 2);
+        bad[(0, 0)] = 1.0;
+        bad[(1, 1)] = -1.0;
+        assert!(!bad.cholesky_solve_into(&[1.0, 1.0], &mut scratch, &mut x));
     }
 }

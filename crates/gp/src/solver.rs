@@ -728,6 +728,12 @@ fn phase_one(fs: &[LogPosynomial], n: usize, options: &SolverOptions) -> Result<
     let mut z = vec![0.0; n + 1];
     z[n] = worst + 1.0;
 
+    // Newton-step scratch, reused across all centering iterations.
+    let mut rhs = vec![0.0; n + 1];
+    let mut dz = Vec::new();
+    let mut trial = vec![0.0; n + 1];
+    let mut chol = Matrix::zeros(n + 1, n + 1);
+
     let margin = 1e-6;
     let mut t = 1.0;
     for _ in 0..options.max_outer_iterations {
@@ -743,10 +749,12 @@ fn phase_one(fs: &[LogPosynomial], n: usize, options: &SolverOptions) -> Result<
                 return Err(GpError::NumericalFailure("phase-I left domain"));
             }
             let hess = e.hess.expect("hessian requested");
-            let rhs: Vec<f64> = e.grad.iter().map(|g| -g).collect();
-            let dz = hess
-                .cholesky_solve_regularized(&rhs)
-                .ok_or(GpError::NumericalFailure("phase-I newton unsolvable"))?;
+            for (r, g) in rhs.iter_mut().zip(&e.grad) {
+                *r = -g;
+            }
+            if !hess.cholesky_solve_regularized_into(&rhs, &mut chol, &mut dz) {
+                return Err(GpError::NumericalFailure("phase-I newton unsolvable"));
+            }
             let decrement_sq = -dot(&e.grad, &dz);
             options
                 .obs
@@ -761,7 +769,6 @@ fn phase_one(fs: &[LogPosynomial], n: usize, options: &SolverOptions) -> Result<
             }
             let mut step = 1.0;
             let mut moved = false;
-            let mut trial = vec![0.0; n + 1];
             for _ in 0..60 {
                 trial.copy_from_slice(&z);
                 axpy(step, &dz, &mut trial);

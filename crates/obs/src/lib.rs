@@ -130,6 +130,19 @@ pub mod names {
     /// query values (bounds float drift between rebases).
     pub const EVAL_REBASE: &str = "eval.rebase";
 
+    /// One event pushed into the simulator scheduler (heap or wheel).
+    pub const SCHED_PUSH: &str = "sched.push";
+    /// One event popped from the simulator scheduler.
+    pub const SCHED_POP: &str = "sched.pop";
+    /// One timer-wheel cascade: a higher-level slot re-filed into finer
+    /// buckets as simulated time advanced past its span.
+    pub const SCHED_CASCADE: &str = "sched.cascade";
+    /// One batched-ingestion drain: same-time `RefreshArrive` events
+    /// applied through a single fused delta sweep.
+    pub const INGEST_BATCH: &str = "ingest.batch";
+    /// Histogram of refreshes per ingestion batch.
+    pub const INGEST_BATCH_SIZE: &str = "ingest.batch_size";
+
     /// Label key for per-query attribution (value: decimal query index).
     pub const LABEL_QUERY: &str = "query";
     /// Label key for per-item attribution (value: decimal item index).

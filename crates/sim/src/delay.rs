@@ -45,6 +45,12 @@ impl Pareto {
         }
     }
 
+    /// True if every sample is exactly 0 (and drawing one consumes no
+    /// randomness) — the predicate batched ingestion relies on.
+    pub fn is_zero(&self) -> bool {
+        self.scale == 0.0
+    }
+
     /// Draws one sample.
     pub fn sample(&self, rng: &mut StdRng) -> f64 {
         if self.scale == 0.0 {
@@ -102,6 +108,15 @@ impl DelayConfig {
             user_push: z,
             recompute_service: z,
         }
+    }
+
+    /// True when the coordinator's service times (`coordinator_check`
+    /// and `recompute_service`) are identically zero, so `busy_until`
+    /// can never advance past the current event time and same-instant
+    /// refreshes may be ingested as one batch without changing any
+    /// outcome (see DESIGN.md §12).
+    pub fn is_service_free(&self) -> bool {
+        self.coordinator_check.is_zero() && self.recompute_service.is_zero()
     }
 
     /// Same shape as [`DelayConfig::planetlab_like`] but with the given

@@ -31,13 +31,15 @@ use pq_core::{
 };
 use pq_ddm::{DataDynamicsModel, RateEstimator, TraceSet};
 use pq_gp::SolverOptions;
-use pq_obs::{names, Counter, EventKind, Obs, ObsConfig};
+use pq_obs::{names, Counter, EventKind, Histogram, Obs, ObsConfig};
 use pq_poly::{EvalPlan, PolynomialQuery};
 
 use crate::delay::DelayConfig;
-use crate::event::{Event, EventQueue};
+use crate::event::Event;
 use crate::incremental::DeltaView;
 use crate::metrics::SimMetrics;
+use crate::table::{Bitset, ItemTable};
+use crate::wheel::{Scheduler, SimQueue};
 
 /// How the coordinator produces query values for per-refresh QAB checks
 /// and fidelity samples.
@@ -111,6 +113,11 @@ pub struct SimConfig {
     pub rate_estimator: RateEstimator,
     /// Delay model.
     pub delays: DelayConfig,
+    /// Event-queue backend. [`Scheduler::Heap`] (default) and
+    /// [`Scheduler::Wheel`] produce byte-identical metrics on a fixed
+    /// seed; the wheel trades the heap's `O(log n)` push/pop for `O(1)`
+    /// amortized bucket filing.
+    pub scheduler: Scheduler,
     /// Accounting cost of one recomputation, in messages (metric 4).
     pub mu_cost: f64,
     /// RNG seed for delays.
@@ -155,6 +162,7 @@ impl SimConfig {
             ddm: DataDynamicsModel::Monotonic,
             rate_estimator: RateEstimator::SampledAverage { interval_ticks: 60 },
             delays: DelayConfig::planetlab_like(),
+            scheduler: Scheduler::Heap,
             mu_cost: 5.0,
             seed: 42,
             fidelity_sample_every: 1,
@@ -230,16 +238,10 @@ struct Engine<'a> {
     cfg: &'a SimConfig,
     n_items: usize,
     rates: Vec<f64>,
-    /// True values at the sources (current tick).
-    source_values: Vec<f64>,
-    /// Value each source last pushed.
-    last_pushed: Vec<f64>,
-    /// Filter width currently installed at each source.
-    installed_dab: Vec<f64>,
-    /// Values cached at the coordinator.
-    coord_values: Vec<f64>,
-    /// The coordinator's target filter per item (min across queries).
-    coord_dabs: Vec<f64>,
+    /// Structure-of-arrays per-item state: source values, last-pushed
+    /// values, installed DABs, coordinator values and DABs as flat
+    /// columns (plus the dirty bits batched ingestion uses).
+    items: ItemTable,
     /// Independently maintained assignment units per query (one for most
     /// strategies, two for Half-and-Half on mixed-sign queries).
     units: Vec<Vec<AssignmentUnit>>,
@@ -258,7 +260,7 @@ struct Engine<'a> {
     coord_view: DeltaView,
     /// Last query value pushed to each user.
     last_user_value: Vec<f64>,
-    queue: EventQueue,
+    queue: SimQueue,
     rng: StdRng,
     metrics: SimMetrics,
     /// The coordinator is busy (checking queries / re-solving DABs) until
@@ -269,6 +271,19 @@ struct Engine<'a> {
     /// instead of re-pushing into the heap, which churned the heap and
     /// subtly reordered same-time arrivals).
     deferred: VecDeque<(usize, f64)>,
+    /// Reusable scratch: affected-query list of the refresh being
+    /// processed (replaces a per-refresh `item_queries[item].clone()`).
+    scratch_affected: Vec<u32>,
+    /// Reusable scratch: stale `(query, unit)` pairs of one refresh.
+    scratch_stale: Vec<(usize, usize)>,
+    /// Reusable scratch: item lists for DAB propagation (replaces the
+    /// per-call `(0..n_items).collect()` / `primary.keys().collect()`).
+    scratch_items: Vec<usize>,
+    /// The refresh batch being ingested (batched ingestion only).
+    batch: Vec<(usize, f64)>,
+    /// Per-query membership marks for the current batch: a batch only
+    /// admits refreshes whose affected query sets are pairwise disjoint.
+    query_mark: Bitset,
     /// Telemetry handle; also injected into every GP solve via
     /// [`Engine::solve_context`].
     obs: Obs,
@@ -295,6 +310,13 @@ struct Engine<'a> {
     c_eval_delta: Arc<Counter>,
     c_eval_full: Arc<Counter>,
     c_eval_rebase: Arc<Counter>,
+    /// Scheduler counters: events pushed into / popped from the queue.
+    c_sched_push: Arc<Counter>,
+    c_sched_pop: Arc<Counter>,
+    /// Batched-ingestion telemetry: one count + one size sample per
+    /// batch drained.
+    c_ingest_batch: Arc<Counter>,
+    h_ingest_batch_size: Arc<Histogram>,
 }
 
 impl<'a> Engine<'a> {
@@ -326,15 +348,12 @@ impl<'a> Engine<'a> {
         let src_view = DeltaView::new(&plans, &source_values);
         let coord_view = src_view.clone();
         let last_user_value = src_view.values().to_vec();
+        let n_queries = cfg.queries.len();
         let mut engine = Engine {
             cfg,
             n_items,
             rates,
-            last_pushed: source_values.clone(),
-            coord_values: source_values.clone(),
-            coord_dabs: vec![f64::INFINITY; n_items],
-            installed_dab: vec![f64::INFINITY; n_items],
-            source_values,
+            items: ItemTable::new(&source_values),
             plans,
             src_view,
             coord_view,
@@ -343,11 +362,16 @@ impl<'a> Engine<'a> {
             cache: SolveCache::new(),
             item_queries,
             last_user_value,
-            queue: EventQueue::new(),
+            queue: SimQueue::new(cfg.scheduler),
             rng: StdRng::seed_from_u64(cfg.seed),
             metrics: SimMetrics::with_items(cfg.queries.len(), n_items),
             coordinator_busy_until: 0.0,
             deferred: VecDeque::new(),
+            scratch_affected: Vec::new(),
+            scratch_stale: Vec::new(),
+            scratch_items: Vec::new(),
+            batch: Vec::new(),
+            query_mark: Bitset::new(n_queries),
             c_refreshes: obs.counter(names::SIM_REFRESH),
             c_recomputations: obs.counter(names::DAB_RECOMPUTE),
             c_dab_changes: obs.counter(names::SIM_DAB_CHANGE),
@@ -377,6 +401,10 @@ impl<'a> Engine<'a> {
             c_eval_delta: obs.counter(names::EVAL_DELTA),
             c_eval_full: obs.counter(names::EVAL_FULL),
             c_eval_rebase: obs.counter(names::EVAL_REBASE),
+            c_sched_push: obs.counter(names::SCHED_PUSH),
+            c_sched_pop: obs.counter(names::SCHED_POP),
+            c_ingest_batch: obs.counter(names::INGEST_BATCH),
+            h_ingest_batch_size: obs.histogram(names::INGEST_BATCH_SIZE),
             obs,
         };
         // The two initial full evaluations per query that seeded the views.
@@ -413,7 +441,7 @@ impl<'a> Engine<'a> {
         gp.obs = self.obs.clone();
         gp.query = query;
         SolveContext {
-            values: &self.coord_values,
+            values: self.items.coord_values(),
             rates: &self.rates,
             ddm: self.cfg.ddm,
             gp,
@@ -452,7 +480,7 @@ impl<'a> Engine<'a> {
                         gp.obs = self.obs.clone();
                         gp.query = Some(qi as u32);
                         let ctx = SolveContext {
-                            values: &self.coord_values,
+                            values: self.items.coord_values(),
                             rates: &self.rates,
                             ddm: self.cfg.ddm,
                             gp,
@@ -495,17 +523,18 @@ impl<'a> Engine<'a> {
         self.note_solver_time(started);
         // Synchronous installation at t = 0 (steady-state start, §V-A).
         self.recompute_coord_dabs_all();
-        self.installed_dab = self.coord_dabs.clone();
+        self.items.install_all_dabs();
         Ok(())
     }
 
     fn recompute_coord_dabs_all(&mut self) {
-        self.coord_dabs = vec![f64::INFINITY; self.n_items];
+        self.items.reset_coord_dabs();
         for per_query in &self.assignments {
             for qa in per_query {
                 for (&item, &b) in &qa.primary {
-                    let d = &mut self.coord_dabs[item.index()];
-                    *d = d.min(b);
+                    let i = item.index();
+                    let d = self.items.coord_dab(i);
+                    self.items.set_coord_dab(i, d.min(b));
                 }
             }
         }
@@ -526,7 +555,15 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> Result<SimMetrics, SimError> {
-        self.installed_dab = self.coord_dabs.clone();
+        self.items.install_all_dabs();
+        // Batched ingestion is only sound when the coordinator's service
+        // times are identically zero: then `busy_until` never outruns
+        // event time, nothing is ever deferred, and same-instant
+        // refreshes with disjoint query sets can be fused (§DESIGN 12).
+        let batching = self.cfg.delays.is_service_free();
+        // A same-time event popped while collecting a batch but not
+        // admissible into it; processed before touching the queue again.
+        let mut pending: Option<(f64, Event)> = None;
         let n_ticks = self.cfg.traces.n_ticks();
         for tick in 1..n_ticks {
             let now = tick as f64;
@@ -543,18 +580,18 @@ impl<'a> Engine<'a> {
             let mut delta_updates = 0u64;
             for item in 0..self.n_items {
                 let v = self.cfg.traces.trace(item).at(tick);
-                let old = self.source_values[item];
+                let old = self.items.value(item);
                 if delta_mode {
                     delta_updates += self.src_view.apply(
                         &self.plans,
                         &self.item_queries[item],
-                        &self.source_values,
+                        self.items.values(),
                         item,
                         old,
                         v,
                     );
                 }
-                self.source_values[item] = v;
+                self.items.set_value(item, v);
                 self.maybe_push(item, now);
             }
             if delta_updates > 0 {
@@ -565,19 +602,30 @@ impl<'a> Engine<'a> {
             // the moment the coordinator frees up (heap events win ties,
             // matching the arrival order a re-push would have produced).
             loop {
+                let next_time = pending
+                    .as_ref()
+                    .map(|&(t, _)| t)
+                    .or_else(|| self.queue.peek_time());
                 if !self.deferred.is_empty()
                     && self.coordinator_busy_until <= now
-                    && self
-                        .queue
-                        .peek_time()
-                        .is_none_or(|t| t > self.coordinator_busy_until)
+                    && next_time.is_none_or(|t| t > self.coordinator_busy_until)
                 {
                     let (item, value) = self.deferred.pop_front().expect("non-empty");
                     let t = self.coordinator_busy_until;
                     self.on_refresh(item, value, t)?;
                     continue;
                 }
-                let Some((t, event)) = self.queue.pop_until(now) else {
+                let next = match pending.take() {
+                    Some(held) => Some(held),
+                    None => {
+                        let popped = self.queue.pop_until(now);
+                        if popped.is_some() {
+                            self.c_sched_pop.inc();
+                        }
+                        popped
+                    }
+                };
+                let Some((t, event)) = next else {
                     break;
                 };
                 match event {
@@ -588,10 +636,14 @@ impl<'a> Engine<'a> {
                             self.deferred.push_back((item, value));
                             continue;
                         }
-                        self.on_refresh(item, value, t)?;
+                        if batching {
+                            pending = self.collect_and_ingest_batch(item, value, t, now)?;
+                        } else {
+                            self.on_refresh(item, value, t)?;
+                        }
                     }
                     Event::DabChangeArrive { item, dab } => {
-                        self.installed_dab[item] = dab;
+                        self.items.set_installed_dab(item, dab);
                         self.maybe_push(item, t);
                     }
                 }
@@ -601,8 +653,9 @@ impl<'a> Engine<'a> {
             // them.
             if let EvalMode::Delta { rebase_every } = self.cfg.eval {
                 if rebase_every > 0 && tick % rebase_every == 0 {
-                    self.src_view.rebase(&self.plans, &self.source_values);
-                    self.coord_view.rebase(&self.plans, &self.coord_values);
+                    self.src_view.rebase(&self.plans, self.items.values());
+                    self.coord_view
+                        .rebase(&self.plans, self.items.coord_values());
                     self.c_eval_rebase.inc();
                     self.c_eval_full.add(2 * self.plans.len() as u64);
                 }
@@ -615,7 +668,10 @@ impl<'a> Engine<'a> {
                     let (truth, cached) = match self.cfg.eval {
                         EvalMode::Naive => {
                             self.c_eval_full.add(2);
-                            (q.eval(&self.source_values), q.eval(&self.coord_values))
+                            (
+                                q.eval(self.items.values()),
+                                q.eval(self.items.coord_values()),
+                            )
                         }
                         EvalMode::Delta { .. } => {
                             (self.src_view.value(qi), self.coord_view.value(qi))
@@ -635,6 +691,12 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        // The wheel only knows its cascade total at the end of the run
+        // (0 for the heap backend).
+        let cascades = self.queue.cascades();
+        if cascades > 0 {
+            self.obs.counter(names::SCHED_CASCADE).add(cascades);
+        }
         self.obs
             .emit_with(names::SIM_RUN_END, EventKind::Point, |e| {
                 e.with("refreshes", self.metrics.refreshes)
@@ -652,14 +714,15 @@ impl<'a> Engine<'a> {
 
     /// Source-side filter: push when the value escapes the installed DAB.
     fn maybe_push(&mut self, item: usize, now: f64) {
-        let v = self.source_values[item];
-        let dab = self.installed_dab[item];
-        if dab.is_finite() && (v - self.last_pushed[item]).abs() > dab {
-            self.last_pushed[item] = v;
+        let v = self.items.value(item);
+        let dab = self.items.installed_dab(item);
+        if dab.is_finite() && (v - self.items.last_pushed(item)).abs() > dab {
+            self.items.set_last_pushed(item, v);
             if self.drop_message() {
                 return;
             }
             let delay = self.cfg.delays.node_to_node.sample(&mut self.rng);
+            self.c_sched_push.inc();
             self.queue
                 .push(now + delay, Event::RefreshArrive { item, value: v });
         }
@@ -679,7 +742,9 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn on_refresh(&mut self, item: usize, value: f64, now: f64) -> Result<(), SimError> {
+    /// Arrival bookkeeping for one refresh (metrics, attribution, trace
+    /// event) — everything that happens before the value is applied.
+    fn note_refresh_arrival(&mut self, item: usize, value: f64, now: f64) {
         self.metrics.refreshes += 1;
         self.metrics.per_item_refreshes[item] += 1;
         self.c_refreshes.inc();
@@ -688,12 +753,18 @@ impl<'a> Engine<'a> {
             .emit_with(names::SIM_REFRESH, EventKind::Count, |e| {
                 e.with("item", item).with("value", value).with("t", now)
             });
+    }
+
+    /// The per-event refresh path: apply the value, then check/notify/
+    /// recompute.
+    fn on_refresh(&mut self, item: usize, value: f64, now: f64) -> Result<(), SimError> {
+        self.note_refresh_arrival(item, value, now);
         if matches!(self.cfg.eval, EvalMode::Delta { .. }) {
-            let old = self.coord_values[item];
+            let old = self.items.coord_value(item);
             let n = self.coord_view.apply(
                 &self.plans,
                 &self.item_queries[item],
-                &self.coord_values,
+                self.items.coord_values(),
                 item,
                 old,
                 value,
@@ -702,14 +773,118 @@ impl<'a> Engine<'a> {
                 self.c_eval_delta.add(n);
             }
         }
-        self.coord_values[item] = value;
+        self.items.set_coord_value(item, value);
+        self.process_refresh(item, now)
+    }
+
+    /// Collects every queued `RefreshArrive` at the same instant `t`
+    /// whose affected query sets are pairwise disjoint from the batch so
+    /// far, then ingests the batch through one fused sweep. The first
+    /// event not admitted (different time/type, duplicate item, or
+    /// overlapping queries) is returned so the caller processes it next
+    /// — pop order is never reordered.
+    fn collect_and_ingest_batch(
+        &mut self,
+        item: usize,
+        value: f64,
+        t: f64,
+        now: f64,
+    ) -> Result<Option<(f64, Event)>, SimError> {
+        let mut batch = std::mem::take(&mut self.batch);
+        debug_assert!(batch.is_empty());
+        batch.push((item, value));
+        self.items.mark_dirty(item);
+        for &qi in &self.item_queries[item] {
+            self.query_mark.set(qi as usize);
+        }
+        let mut held = None;
+        while self.queue.peek_time() == Some(t) {
+            let Some((t2, event)) = self.queue.pop_until(now) else {
+                break;
+            };
+            self.c_sched_pop.inc();
+            match event {
+                Event::RefreshArrive {
+                    item: item2,
+                    value: value2,
+                } if !self.items.is_dirty(item2)
+                    && self.item_queries[item2]
+                        .iter()
+                        .all(|&qi| !self.query_mark.get(qi as usize)) =>
+                {
+                    batch.push((item2, value2));
+                    self.items.mark_dirty(item2);
+                    for &qi in &self.item_queries[item2] {
+                        self.query_mark.set(qi as usize);
+                    }
+                }
+                other => {
+                    held = Some((t2, other));
+                    break;
+                }
+            }
+        }
+        for &(i, _) in &batch {
+            self.items.clear_dirty(i);
+            for &qi in &self.item_queries[i] {
+                self.query_mark.clear(qi as usize);
+            }
+        }
+        let result = self.ingest_batch(&batch, t);
+        batch.clear();
+        self.batch = batch;
+        result?;
+        Ok(held)
+    }
+
+    /// Ingests a batch of same-instant refreshes: phase A applies every
+    /// value through one fused delta sweep (in arrival order), phase B
+    /// runs the per-refresh check/notify/recompute pipeline in the same
+    /// arrival order. Because admitted refreshes touch pairwise-disjoint
+    /// query sets and the delay model is service-free, this is
+    /// outcome-identical to the per-event path (DESIGN.md §12).
+    fn ingest_batch(&mut self, batch: &[(usize, f64)], now: f64) -> Result<(), SimError> {
+        self.metrics.ingest_batches += 1;
+        self.c_ingest_batch.inc();
+        self.h_ingest_batch_size.record(batch.len() as u64);
+        for &(item, value) in batch {
+            self.note_refresh_arrival(item, value, now);
+        }
+        if matches!(self.cfg.eval, EvalMode::Delta { .. }) {
+            let n = self.coord_view.apply_batch(
+                &self.plans,
+                &self.item_queries,
+                self.items.coord_values_mut(),
+                batch,
+            );
+            if n > 0 {
+                self.c_eval_delta.add(n);
+            }
+        } else {
+            for &(item, value) in batch {
+                self.items.set_coord_value(item, value);
+            }
+        }
+        for &(item, _) in batch {
+            self.process_refresh(item, now)?;
+        }
+        Ok(())
+    }
+
+    /// Post-apply half of a refresh: QAB notification, staleness
+    /// collection, DAB recomputation, trigger attribution, and the
+    /// coordinator-occupancy accounting.
+    fn process_refresh(&mut self, item: usize, now: f64) -> Result<(), SimError> {
         // One query-check service charge per refresh (the paper's 4 ms
         // mean covers processing an arriving refresh, §V-A).
         let mut service = self.cfg.delays.coordinator_check.sample(&mut self.rng);
         let recomputes_before = self.metrics.recomputations;
 
-        let affected: Vec<u32> = self.item_queries[item].clone();
-        let mut stale: Vec<(usize, usize)> = Vec::new();
+        let mut affected = std::mem::take(&mut self.scratch_affected);
+        affected.clear();
+        affected.extend_from_slice(&self.item_queries[item]);
+        let mut stale = std::mem::take(&mut self.scratch_stale);
+        stale.clear();
         for &qi in &affected {
             let qi = qi as usize;
             let q = &self.cfg.queries[qi];
@@ -717,7 +892,7 @@ impl<'a> Engine<'a> {
             let qv = match self.cfg.eval {
                 EvalMode::Naive => {
                     self.c_eval_full.inc();
-                    q.eval(&self.coord_values)
+                    q.eval(self.items.coord_values())
                 }
                 EvalMode::Delta { .. } => self.coord_view.value(qi),
             };
@@ -735,14 +910,20 @@ impl<'a> Engine<'a> {
             // coordinator values, so collecting first and solving as a
             // batch is equivalent to solving inline.
             for (ui, a) in self.assignments[qi].iter().enumerate() {
-                if !a.is_valid_at(&self.coord_values) {
+                if !a.is_valid_at(self.items.coord_values()) {
                     stale.push((qi, ui));
                 }
             }
         }
-        if !stale.is_empty() {
-            self.recompute_stale(&stale, item, now)?;
-        }
+        self.scratch_affected = affected;
+        let result = if stale.is_empty() {
+            Ok(())
+        } else {
+            self.recompute_stale(&stale, item, now)
+        };
+        stale.clear();
+        self.scratch_stale = stale;
+        result?;
         // Occupy the coordinator: per-query checks plus one solver run per
         // recomputation. (DAB-change messages were scheduled from the
         // processing start — a slight idealization.)
@@ -799,7 +980,7 @@ impl<'a> Engine<'a> {
                 ui,
                 unit: &self.units[qi][ui],
                 ctx: SolveContext {
-                    values: &self.coord_values,
+                    values: self.items.coord_values(),
                     rates: &self.rates,
                     ddm: self.cfg.ddm,
                     gp,
@@ -826,10 +1007,12 @@ impl<'a> Engine<'a> {
                                 .with("reason", "validity")
                                 .with("t", now)
                         });
-                    let items: Vec<usize> =
-                        new_assignment.primary.keys().map(|i| i.index()).collect();
+                    let mut changed = std::mem::take(&mut self.scratch_items);
+                    changed.clear();
+                    changed.extend(new_assignment.primary.keys().map(|i| i.index()));
                     self.assignments[d.qi][d.ui] = new_assignment;
-                    self.propagate_dab_changes(&items, now);
+                    self.propagate_dab_changes(&changed, now);
+                    self.scratch_items = changed;
                 }
                 Ok(_) => {}
                 Err(source) => {
@@ -853,14 +1036,14 @@ impl<'a> Engine<'a> {
     fn propagate_dab_changes(&mut self, items: &[usize], now: f64) {
         for &item in items {
             let new_min = self.min_dab_for_item(item);
-            let old = self.coord_dabs[item];
+            let old = self.items.coord_dab(item);
             let changed = if old.is_finite() && new_min.is_finite() {
                 filter_changed(old, new_min)
             } else {
                 old.is_finite() != new_min.is_finite()
             };
             if changed {
-                self.coord_dabs[item] = new_min;
+                self.items.set_coord_dab(item, new_min);
                 self.metrics.dab_change_messages += 1;
                 self.c_dab_changes.inc();
                 self.obs
@@ -871,6 +1054,7 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 let delay = self.cfg.delays.node_to_node.sample(&mut self.rng);
+                self.c_sched_push.inc();
                 self.queue
                     .push(now + delay, Event::DabChangeArrive { item, dab: new_min });
             }
@@ -897,8 +1081,11 @@ impl<'a> Engine<'a> {
                 });
         }
         self.assignments = ca.per_query.into_iter().map(|a| vec![a]).collect();
-        let items: Vec<usize> = (0..self.n_items).collect();
-        self.propagate_dab_changes(&items, now);
+        let mut all_items = std::mem::take(&mut self.scratch_items);
+        all_items.clear();
+        all_items.extend(0..self.n_items);
+        self.propagate_dab_changes(&all_items, now);
+        self.scratch_items = all_items;
         Ok(())
     }
 }
@@ -1258,6 +1445,79 @@ mod tests {
         assert_eq!(count(names::SIM_RUN_START), 1);
         assert_eq!(count(names::SIM_RUN_END), 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wheel_scheduler_matches_heap_exactly() {
+        // The tentpole contract: the timer wheel must not change a
+        // single metric, under zero and heavy-tailed delays alike.
+        for delays in [DelayConfig::zero(), DelayConfig::planetlab_like()] {
+            for strategy in [dual(5.0), optimal()] {
+                let mut heap_cfg = small_config(delays, strategy.clone());
+                heap_cfg.scheduler = Scheduler::Heap;
+                let mut wheel_cfg = heap_cfg.clone();
+                wheel_cfg.scheduler = Scheduler::Wheel;
+                let mut h = run(&heap_cfg).unwrap();
+                let mut w = run(&wheel_cfg).unwrap();
+                // Wall-clock solver time is the only nondeterministic
+                // field.
+                h.solver_seconds = 0.0;
+                w.solver_seconds = 0.0;
+                assert_eq!(h, w, "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batching_engages_only_under_service_free_delays() {
+        let free = run(&small_config(DelayConfig::zero(), dual(5.0))).unwrap();
+        assert!(free.ingest_batches > 0, "zero delays must batch");
+        assert!(free.ingest_batches <= free.refreshes);
+        let busy = run(&small_config(DelayConfig::planetlab_like(), dual(5.0))).unwrap();
+        assert_eq!(
+            busy.ingest_batches, 0,
+            "nonzero service times must fall back to per-event ingestion"
+        );
+    }
+
+    #[test]
+    fn disjoint_queries_fuse_same_tick_refreshes() {
+        // Two queries over disjoint item sets: same-tick refreshes of
+        // items belonging to different queries are admitted into one
+        // batch, so there are strictly fewer batches than refreshes.
+        let traces = TraceSet::new(vec![
+            Trace::sinusoid(20.0, 3.0, 400.0, 1200),
+            Trace::sinusoid(10.0, 2.0, 300.0, 1200),
+            Trace::sinusoid(15.0, 2.5, 350.0, 1200),
+            Trace::sinusoid(12.0, 2.0, 320.0, 1200),
+        ]);
+        let queries = vec![
+            PolynomialQuery::portfolio([(1.0, x(0), x(1))], 8.0).unwrap(),
+            PolynomialQuery::portfolio([(1.0, x(2), x(3))], 8.0).unwrap(),
+        ];
+        let mut cfg = SimConfig::new(traces, queries);
+        cfg.delays = DelayConfig::zero();
+        let obs = Obs::null();
+        let m = run_observed(&cfg, &obs).unwrap();
+        assert!(m.ingest_batches > 0);
+        assert!(
+            m.ingest_batches < m.refreshes,
+            "disjoint queries must fuse: {} batches for {} refreshes",
+            m.ingest_batches,
+            m.refreshes
+        );
+        let snap = obs.snapshot();
+        let count = |n: &str| snap.counters.get(n).copied().unwrap_or(0);
+        // Zero delays: every scheduled event is delivered the same tick.
+        assert_eq!(count(names::SCHED_PUSH), count(names::SCHED_POP));
+        assert!(count(names::SCHED_PUSH) > 0);
+        // Every refresh flows through exactly one batch.
+        let h = snap
+            .histograms
+            .get(names::INGEST_BATCH_SIZE)
+            .expect("batch size histogram recorded");
+        assert_eq!(h.count, m.ingest_batches);
+        assert_eq!(h.sum, m.refreshes);
     }
 
     #[test]

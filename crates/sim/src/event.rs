@@ -140,6 +140,12 @@ mod tests {
     }
 
     #[test]
+    fn same_tick_is_fifo() {
+        use crate::wheel::{assert_fifo_within_tick, Scheduler, SimQueue};
+        assert_fifo_within_tick(&mut SimQueue::new(Scheduler::Heap));
+    }
+
+    #[test]
     fn horizon_is_respected() {
         let mut q = EventQueue::new();
         q.push(1.0, refresh(1));

@@ -87,6 +87,29 @@ impl DeltaView {
         queries.len() as u64
     }
 
+    /// Folds a batch of moves `(item, new_value)` into the view in
+    /// order, writing each new value into `values` as it is applied so
+    /// later moves in the batch see earlier ones — bit-identical to the
+    /// equivalent sequence of [`DeltaView::apply`] calls followed by
+    /// per-item stores. `item_queries` is the full item → query index
+    /// (one entry per item). Returns the total number of query values
+    /// updated, matching the sum of the per-move `apply` returns.
+    pub fn apply_batch(
+        &mut self,
+        plans: &[EvalPlan],
+        item_queries: &[Vec<u32>],
+        values: &mut [f64],
+        moves: &[(usize, f64)],
+    ) -> u64 {
+        let mut updated = 0;
+        for &(item, new) in moves {
+            let old = values[item];
+            updated += self.apply(plans, &item_queries[item], values, item, old, new);
+            values[item] = new;
+        }
+        updated
+    }
+
     /// Recomputes every value with a full compiled evaluation at
     /// `values`, discarding accumulated rounding drift.
     pub fn rebase(&mut self, plans: &[EvalPlan], values: &[f64]) {
@@ -165,6 +188,34 @@ mod tests {
         let mut view = DeltaView::new(&plans, &values);
         assert_eq!(view.apply(&plans, &idx[0], &values, 0, 3.0, 3.0), 0);
         assert_eq!(view.deltas_since_rebase(), 0);
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_applies() {
+        let plans = plans();
+        let idx = item_queries(&plans, 3);
+        let moves = [(0usize, 3.5), (1, -2.0), (2, 0.25), (1, 10.0)];
+
+        let mut seq_values = vec![3.0, 4.0, 5.0];
+        let mut seq_view = DeltaView::new(&plans, &seq_values);
+        let mut seq_updated = 0;
+        for &(item, new) in &moves {
+            let old = seq_values[item];
+            seq_updated += seq_view.apply(&plans, &idx[item], &seq_values, item, old, new);
+            seq_values[item] = new;
+        }
+
+        let mut batch_values = vec![3.0, 4.0, 5.0];
+        let mut batch_view = DeltaView::new(&plans, &batch_values);
+        let batch_updated = batch_view.apply_batch(&plans, &idx, &mut batch_values, &moves);
+
+        assert_eq!(batch_updated, seq_updated);
+        assert_eq!(batch_values, seq_values);
+        assert_eq!(batch_view.values(), seq_view.values());
+        assert_eq!(
+            batch_view.deltas_since_rebase(),
+            seq_view.deltas_since_rebase()
+        );
     }
 
     #[test]

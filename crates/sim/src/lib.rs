@@ -28,10 +28,15 @@ pub mod event;
 pub mod incremental;
 pub mod metrics;
 pub mod network;
+pub mod table;
+pub mod wheel;
 
 pub use delay::{DelayConfig, Pareto};
 pub use engine::{run, run_observed, EvalMode, SimConfig, SimError, SimStrategy};
+pub use event::{Event, EventQueue};
 pub use incremental::DeltaView;
 pub use metrics::SimMetrics;
 pub use network::{run_network, run_network_observed, NetworkConfig, NetworkMetrics};
 pub use pq_obs::{Obs, ObsConfig};
+pub use table::{Bitset, ItemTable};
+pub use wheel::{Scheduler, SimQueue, TimerWheel};

@@ -102,18 +102,76 @@ impl NetworkMetrics {
 }
 
 struct Node {
-    /// Cached values at this coordinator.
-    values: Vec<f64>,
-    /// Value last forwarded to this node by its parent, per item.
-    last_delivered: Vec<f64>,
     /// Own queries and their assignments.
     queries: Vec<PolynomialQuery>,
     assignments: Vec<QueryAssignment>,
     /// item -> own-query indices.
     item_queries: Vec<Vec<u32>>,
-    /// This subtree's tightest filter need per item (min over own queries
-    /// and all descendants).
+}
+
+/// Flat structure-of-arrays per-(node, item) state: one shared
+/// allocation per column (row-major by node, stride `n_items`) instead
+/// of three Vecs per node, so the delivery recursion and the bottom-up
+/// need sweeps walk contiguous rows.
+struct NodeState {
+    n_items: usize,
+    /// Cached values at each coordinator.
+    values: Vec<f64>,
+    /// Value last forwarded to each node by its parent, per item.
+    last_delivered: Vec<f64>,
+    /// Each subtree's tightest filter need per item (min over the node's
+    /// own queries and all descendants).
     subtree_need: Vec<f64>,
+}
+
+impl NodeState {
+    fn new(n_nodes: usize, initial: &[f64]) -> Self {
+        let n_items = initial.len();
+        let mut values = Vec::with_capacity(n_nodes * n_items);
+        for _ in 0..n_nodes {
+            values.extend_from_slice(initial);
+        }
+        NodeState {
+            n_items,
+            last_delivered: values.clone(),
+            subtree_need: vec![f64::INFINITY; n_nodes * n_items],
+            values,
+        }
+    }
+
+    #[inline]
+    fn values(&self, c: usize) -> &[f64] {
+        &self.values[c * self.n_items..(c + 1) * self.n_items]
+    }
+
+    #[inline]
+    fn set_value(&mut self, c: usize, item: usize, v: f64) {
+        self.values[c * self.n_items + item] = v;
+    }
+
+    #[inline]
+    fn last_delivered(&self, c: usize, item: usize) -> f64 {
+        self.last_delivered[c * self.n_items + item]
+    }
+
+    #[inline]
+    fn set_last_delivered(&mut self, c: usize, item: usize, v: f64) {
+        self.last_delivered[c * self.n_items + item] = v;
+    }
+
+    #[inline]
+    fn need(&self, c: usize, item: usize) -> f64 {
+        self.subtree_need[c * self.n_items + item]
+    }
+
+    #[inline]
+    fn set_need(&mut self, c: usize, item: usize, v: f64) {
+        self.subtree_need[c * self.n_items + item] = v;
+    }
+
+    fn copy_needs(&mut self, c: usize, need: &[f64]) {
+        self.subtree_need[c * self.n_items..(c + 1) * self.n_items].copy_from_slice(need);
+    }
 }
 
 /// Pre-created telemetry handles for the network run: the delivery
@@ -219,15 +277,13 @@ pub fn run_network_observed(cfg: &NetworkConfig, obs: &Obs) -> Result<NetworkMet
             }
         }
         nodes.push(Node {
-            values: initial.clone(),
-            last_delivered: initial.clone(),
             queries: queries.clone(),
             assignments,
             item_queries,
-            subtree_need: vec![f64::INFINITY; n_items],
         });
     }
-    refresh_subtree_needs(&mut nodes, n_items);
+    let mut state = NodeState::new(n_nodes, &initial);
+    refresh_subtree_needs(&nodes, &mut state);
 
     // Tick loop: values propagate root-down through per-edge filters.
     let n_ticks = cfg.traces.n_ticks();
@@ -237,10 +293,20 @@ pub fn run_network_observed(cfg: &NetworkConfig, obs: &Obs) -> Result<NetworkMet
         for item in 0..n_items {
             let v = values[item];
             // Source -> root edge uses the whole network's need.
-            let need = nodes[0].subtree_need[item];
+            let need = state.need(0, item);
             if need.is_finite() && (v - source_pushed[item]).abs() > need {
                 source_pushed[item] = v;
-                deliver(&mut nodes, 0, item, v, cfg, &rates, &mut metrics, &net_obs)?;
+                deliver(
+                    &mut nodes,
+                    &mut state,
+                    0,
+                    item,
+                    v,
+                    cfg,
+                    &rates,
+                    &mut metrics,
+                    &net_obs,
+                )?;
             }
         }
     }
@@ -252,6 +318,7 @@ pub fn run_network_observed(cfg: &NetworkConfig, obs: &Obs) -> Result<NetworkMet
 #[allow(clippy::too_many_arguments)]
 fn deliver(
     nodes: &mut [Node],
+    state: &mut NodeState,
     c: usize,
     item: usize,
     value: f64,
@@ -268,21 +335,21 @@ fn deliver(
         .emit_with(names::SIM_REFRESH, EventKind::Count, |e| {
             e.with("node", c).with("item", item).with("value", value)
         });
-    nodes[c].values[item] = value;
-    nodes[c].last_delivered[item] = value;
+    state.set_value(c, item, value);
+    state.set_last_delivered(c, item, value);
 
     // Recompute own stale queries.
     let stale: Vec<u32> = nodes[c].item_queries[item]
         .iter()
         .copied()
-        .filter(|&qi| !nodes[c].assignments[qi as usize].is_valid_at(&nodes[c].values))
+        .filter(|&qi| !nodes[c].assignments[qi as usize].is_valid_at(state.values(c)))
         .collect();
     for qi in stale {
         let qi = qi as usize;
         let mut gp = cfg.gp.clone();
         gp.obs = net_obs.obs.clone();
         let ctx = SolveContext {
-            values: &nodes[c].values,
+            values: state.values(c),
             rates,
             ddm: cfg.ddm,
             gp,
@@ -308,7 +375,7 @@ fn deliver(
         // (one per edge on the path whose need changed).
         metrics.dab_change_messages += changed_items.len() as u64;
         net_obs.c_dab_changes.add(changed_items.len() as u64);
-        update_needs_for_items(nodes, &changed_items);
+        update_needs_for_items(nodes, state, &changed_items);
     }
 
     // Forward down the binary tree.
@@ -316,18 +383,21 @@ fn deliver(
         if child >= nodes.len() {
             continue;
         }
-        let need = nodes[child].subtree_need[item];
-        if need.is_finite() && (value - nodes[child].last_delivered[item]).abs() > need {
-            deliver(nodes, child, item, value, cfg, rates, metrics, net_obs)?;
+        let need = state.need(child, item);
+        if need.is_finite() && (value - state.last_delivered(child, item)).abs() > need {
+            deliver(
+                nodes, state, child, item, value, cfg, rates, metrics, net_obs,
+            )?;
         }
     }
     Ok(())
 }
 
 /// Recomputes `subtree_need` bottom-up for every node and item.
-fn refresh_subtree_needs(nodes: &mut [Node], n_items: usize) {
+fn refresh_subtree_needs(nodes: &[Node], state: &mut NodeState) {
+    let mut need = vec![f64::INFINITY; state.n_items];
     for c in (0..nodes.len()).rev() {
-        let mut need = vec![f64::INFINITY; n_items];
+        need.fill(f64::INFINITY);
         for qa in &nodes[c].assignments {
             for (&it, &b) in &qa.primary {
                 let d = &mut need[it.index()];
@@ -336,12 +406,12 @@ fn refresh_subtree_needs(nodes: &mut [Node], n_items: usize) {
         }
         for child in [2 * c + 1, 2 * c + 2] {
             if child < nodes.len() {
-                for (n, cn) in need.iter_mut().zip(&nodes[child].subtree_need) {
-                    *n = n.min(*cn);
+                for (i, n) in need.iter_mut().enumerate() {
+                    *n = n.min(state.need(child, i));
                 }
             }
         }
-        nodes[c].subtree_need = need;
+        state.copy_needs(c, &need);
     }
 }
 
@@ -349,7 +419,7 @@ fn refresh_subtree_needs(nodes: &mut [Node], n_items: usize) {
 /// referencing each item (via the node's prebuilt `item_queries` index)
 /// can contribute to its need, so the scan skips the rest of the node's
 /// assignments entirely.
-fn update_needs_for_items(nodes: &mut [Node], items: &[usize]) {
+fn update_needs_for_items(nodes: &[Node], state: &mut NodeState, items: &[usize]) {
     for c in (0..nodes.len()).rev() {
         for &i in items {
             let mut need = f64::INFINITY;
@@ -362,10 +432,10 @@ fn update_needs_for_items(nodes: &mut [Node], items: &[usize]) {
             }
             for child in [2 * c + 1, 2 * c + 2] {
                 if child < nodes.len() {
-                    need = need.min(nodes[child].subtree_need[i]);
+                    need = need.min(state.need(child, i));
                 }
             }
-            nodes[c].subtree_need[i] = need;
+            state.set_need(c, i, need);
         }
     }
 }

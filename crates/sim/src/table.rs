@@ -1,0 +1,256 @@
+//! Structure-of-arrays per-item state.
+//!
+//! The engine used to hold five parallel `Vec<f64>` fields plus ad-hoc
+//! flags scattered across `Engine`; [`ItemTable`] gathers them into one
+//! struct of flat columns so the hot loop walks contiguous memory
+//! (drift sweep, DAB filter, staleness checks) and so whole columns can
+//! be handed to the evaluator as slices without re-assembling state.
+//! [`Bitset`] is the companion flat bit column used for per-item dirty
+//! bits and per-query membership marks during batched ingestion.
+
+/// A flat bit column (one `u64` word per 64 bits).
+#[derive(Debug, Clone, Default)]
+pub struct Bitset {
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    /// An all-clear bitset holding `n_bits` bits.
+    pub fn new(n_bits: usize) -> Self {
+        Bitset {
+            words: vec![0; n_bits.div_ceil(64)],
+        }
+    }
+
+    /// True if bit `i` is set.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+/// Structure-of-arrays item state: one flat column per attribute,
+/// indexed by item id.
+///
+/// Columns:
+/// - `values`: true source value of each item (what the trace drifts);
+/// - `last_pushed`: last value the source actually sent upstream;
+/// - `installed_dab`: the DAB filter width currently installed at the
+///   source (infinite until the coordinator's first DAB message lands);
+/// - `coord_values`: the coordinator's view of each item (lags `values`
+///   by the push filter and network delay);
+/// - `coord_dabs`: the DAB the coordinator most recently computed;
+/// - a dirty [`Bitset`] used transiently by batched ingestion.
+#[derive(Debug, Clone)]
+pub struct ItemTable {
+    values: Vec<f64>,
+    last_pushed: Vec<f64>,
+    installed_dab: Vec<f64>,
+    coord_values: Vec<f64>,
+    coord_dabs: Vec<f64>,
+    dirty: Bitset,
+}
+
+impl ItemTable {
+    /// A table where every view of each item starts at its initial
+    /// trace value and no DAB is installed yet.
+    pub fn new(initial: &[f64]) -> Self {
+        let n = initial.len();
+        ItemTable {
+            values: initial.to_vec(),
+            last_pushed: initial.to_vec(),
+            installed_dab: vec![f64::INFINITY; n],
+            coord_values: initial.to_vec(),
+            coord_dabs: vec![f64::INFINITY; n],
+            dirty: Bitset::new(n),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the table holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The true source value column.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The true source value of `item`.
+    #[inline]
+    pub fn value(&self, item: usize) -> f64 {
+        self.values[item]
+    }
+
+    /// Overwrites the true source value of `item`.
+    #[inline]
+    pub fn set_value(&mut self, item: usize, v: f64) {
+        self.values[item] = v;
+    }
+
+    /// The last value pushed upstream by `item`'s source.
+    #[inline]
+    pub fn last_pushed(&self, item: usize) -> f64 {
+        self.last_pushed[item]
+    }
+
+    /// Records that `item`'s source just pushed `v`.
+    #[inline]
+    pub fn set_last_pushed(&mut self, item: usize, v: f64) {
+        self.last_pushed[item] = v;
+    }
+
+    /// The DAB currently installed at `item`'s source.
+    #[inline]
+    pub fn installed_dab(&self, item: usize) -> f64 {
+        self.installed_dab[item]
+    }
+
+    /// Installs a new DAB at `item`'s source.
+    #[inline]
+    pub fn set_installed_dab(&mut self, item: usize, dab: f64) {
+        self.installed_dab[item] = dab;
+    }
+
+    /// The coordinator-side value column (what queries are evaluated
+    /// against).
+    #[inline]
+    pub fn coord_values(&self) -> &[f64] {
+        &self.coord_values
+    }
+
+    /// Mutable coordinator-side value column (for fused batch applies).
+    #[inline]
+    pub fn coord_values_mut(&mut self) -> &mut [f64] {
+        &mut self.coord_values
+    }
+
+    /// The coordinator's view of `item`.
+    #[inline]
+    pub fn coord_value(&self, item: usize) -> f64 {
+        self.coord_values[item]
+    }
+
+    /// Overwrites the coordinator's view of `item`.
+    #[inline]
+    pub fn set_coord_value(&mut self, item: usize, v: f64) {
+        self.coord_values[item] = v;
+    }
+
+    /// The coordinator-computed DAB for `item`.
+    #[inline]
+    pub fn coord_dab(&self, item: usize) -> f64 {
+        self.coord_dabs[item]
+    }
+
+    /// Overwrites the coordinator-computed DAB for `item`.
+    #[inline]
+    pub fn set_coord_dab(&mut self, item: usize, dab: f64) {
+        self.coord_dabs[item] = dab;
+    }
+
+    /// Resets every coordinator DAB to infinity (ahead of a full
+    /// recomputation pass).
+    pub fn reset_coord_dabs(&mut self) {
+        self.coord_dabs.fill(f64::INFINITY);
+    }
+
+    /// Installs every coordinator DAB at its source at once (the
+    /// zero-delay bootstrap before the run starts).
+    pub fn install_all_dabs(&mut self) {
+        self.installed_dab.copy_from_slice(&self.coord_dabs);
+    }
+
+    /// True if `item`'s dirty bit is set.
+    #[inline]
+    pub fn is_dirty(&self, item: usize) -> bool {
+        self.dirty.get(item)
+    }
+
+    /// Sets `item`'s dirty bit.
+    #[inline]
+    pub fn mark_dirty(&mut self, item: usize) {
+        self.dirty.set(item);
+    }
+
+    /// Clears `item`'s dirty bit.
+    #[inline]
+    pub fn clear_dirty(&mut self, item: usize) {
+        self.dirty.clear(item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_set_get_clear() {
+        let mut b = Bitset::new(130);
+        assert!(!b.get(0) && !b.get(64) && !b.get(129));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(63) && !b.get(65) && !b.get(128));
+        b.clear(64);
+        assert!(!b.get(64) && b.get(0) && b.get(129));
+        b.clear_all();
+        assert!(!b.get(0) && !b.get(129));
+    }
+
+    #[test]
+    fn table_starts_consistent_and_updates_columns() {
+        let mut t = ItemTable::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.coord_values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.last_pushed(1), 2.0);
+        assert!(t.installed_dab(0).is_infinite());
+        assert!(t.coord_dab(2).is_infinite());
+
+        t.set_value(0, 9.0);
+        t.set_last_pushed(0, 9.0);
+        t.set_coord_value(0, 9.0);
+        t.set_coord_dab(0, 0.5);
+        assert_eq!(t.value(0), 9.0);
+        assert_eq!(t.coord_value(0), 9.0);
+        assert_eq!(t.coord_dab(0), 0.5);
+        assert!(t.installed_dab(0).is_infinite());
+        t.install_all_dabs();
+        assert_eq!(t.installed_dab(0), 0.5);
+        assert!(t.installed_dab(1).is_infinite());
+        t.reset_coord_dabs();
+        assert!(t.coord_dab(0).is_infinite());
+
+        assert!(!t.is_dirty(2));
+        t.mark_dirty(2);
+        assert!(t.is_dirty(2));
+        t.clear_dirty(2);
+        assert!(!t.is_dirty(2));
+    }
+}

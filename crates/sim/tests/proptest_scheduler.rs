@@ -1,0 +1,173 @@
+//! Property tests for the timer-wheel scheduler.
+//!
+//! The wheel's contract is *exactness*, not mere approximate ordering:
+//! for any interleaving of pushes and pops it must emit the identical
+//! event stream as the binary-heap [`EventQueue`], and a full simulation
+//! run under [`Scheduler::Wheel`] must produce byte-identical
+//! [`pq_sim::SimMetrics`] to [`Scheduler::Heap`] on the same seed.
+
+use proptest::prelude::*;
+
+use pq_core::{AssignmentStrategy, PqHeuristic};
+use pq_ddm::{Trace, TraceSet};
+use pq_poly::{ItemId, PolynomialQuery};
+use pq_sim::{
+    run, DelayConfig, Event, EventQueue, Scheduler, SimConfig, SimQueue, SimStrategy, TimerWheel,
+};
+
+/// One step of an adversarial queue workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push an event `offset` seconds after the last popped time.
+    Push(f64),
+    /// Pop the earliest event (if any).
+    Pop,
+}
+
+/// Offsets mixing exact quantum-aligned collisions (multiples of the
+/// wheel's 1/64 s quantum, including zero), arbitrary sub-quantum floats,
+/// and far-future jumps that land in higher levels or the overflow list.
+fn offset_from(kind: u32, k: u32, f: f64) -> f64 {
+    match kind % 13 {
+        0..=3 => 0.0,
+        4..=7 => k as f64 / 64.0,
+        8..=11 => f * 30.0,
+        _ => 1_000.0 + f * 399_000.0,
+    }
+}
+
+/// Push about 3/5 of the time, pop the rest; pushes draw from
+/// [`offset_from`]'s mixture.
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u32..5, 0u32..13, 0u32..512, 0.0f64..1.0).prop_map(|(op, kind, k, f)| {
+            if op < 3 {
+                Op::Push(offset_from(kind, k, f))
+            } else {
+                Op::Pop
+            }
+        }),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The wheel pops the identical `(time, event)` stream as the heap
+    /// for any interleaving of pushes and pops.
+    #[test]
+    fn wheel_and_heap_pop_identical_streams(ops in arb_ops()) {
+        let mut heap = EventQueue::new();
+        let mut wheel = TimerWheel::new();
+        let mut now = 0.0_f64;
+        let mut next_id = 0usize;
+        for op in &ops {
+            match *op {
+                Op::Push(offset) => {
+                    let time = now + offset;
+                    let ev = Event::RefreshArrive { item: next_id, value: time };
+                    next_id += 1;
+                    heap.push(time, ev.clone());
+                    wheel.push(time, ev);
+                }
+                Op::Pop => {
+                    let h = heap.pop_until(f64::INFINITY);
+                    let w = wheel.pop_until(f64::INFINITY);
+                    prop_assert_eq!(&h, &w);
+                    if let Some((t, _)) = h {
+                        now = t;
+                    }
+                }
+            }
+            prop_assert_eq!(heap.len(), wheel.len());
+        }
+        // Drain whatever is left; the tails must match event for event.
+        loop {
+            let h = heap.pop_until(f64::INFINITY);
+            let w = wheel.pop_until(f64::INFINITY);
+            prop_assert_eq!(&h, &w);
+            if h.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// `SimQueue::Wheel` agrees with the heap on `peek_time` as well as
+    /// the popped stream under a bounded-horizon drain (the engine's
+    /// access pattern: peek, then pop everything up to the next tick).
+    #[test]
+    fn sim_queue_agrees_under_horizon_drains(ops in arb_ops(), horizon_step in 0.25f64..8.0) {
+        let mut heap = SimQueue::new(Scheduler::Heap);
+        let mut wheel = SimQueue::new(Scheduler::Wheel);
+        let mut now = 0.0_f64;
+        let mut next_id = 0usize;
+        for op in &ops {
+            match *op {
+                Op::Push(offset) => {
+                    let time = now + offset;
+                    let ev = Event::RefreshArrive { item: next_id, value: time };
+                    next_id += 1;
+                    heap.push(time, ev.clone());
+                    wheel.push(time, ev);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(heap.peek_time(), wheel.peek_time());
+                    let horizon = now + horizon_step;
+                    while let Some((t, ev)) = heap.pop_until(horizon) {
+                        prop_assert_eq!(wheel.pop_until(horizon), Some((t, ev)));
+                    }
+                    prop_assert_eq!(wheel.pop_until(horizon), None);
+                    now = horizon;
+                }
+            }
+        }
+    }
+}
+
+fn x(i: u32) -> ItemId {
+    ItemId(i)
+}
+
+proptest! {
+    // Each case runs two full simulations (with GP solves), so keep the
+    // case count low; the queue-level tests above carry the volume.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Full-simulation determinism: heap and wheel produce byte-identical
+    /// metrics on random small configurations, with and without delays.
+    #[test]
+    fn full_sim_metrics_are_scheduler_invariant(
+        seed in 0u64..1_000,
+        mu in 1.0f64..10.0,
+        period in 150.0f64..500.0,
+        amplitude in 1.0f64..4.0,
+        ticks in 300usize..600,
+        planetlab in (0u32..2).prop_map(|b| b == 1),
+    ) {
+        let traces = TraceSet::new(vec![
+            Trace::sinusoid(20.0, amplitude, period, ticks),
+            Trace::sinusoid(10.0, amplitude * 0.7, period * 0.8, ticks),
+        ]);
+        let queries = vec![PolynomialQuery::portfolio([(1.0, x(0), x(1))], 8.0).unwrap()];
+        let mut cfg = SimConfig::new(traces, queries);
+        cfg.seed = seed;
+        cfg.strategy = SimStrategy::PerQuery {
+            strategy: AssignmentStrategy::DualDab { mu },
+            heuristic: PqHeuristic::DifferentSum,
+        };
+        cfg.delays = if planetlab {
+            DelayConfig::planetlab_like()
+        } else {
+            DelayConfig::zero()
+        };
+        cfg.scheduler = Scheduler::Heap;
+        let mut h = run(&cfg).unwrap();
+        cfg.scheduler = Scheduler::Wheel;
+        let mut w = run(&cfg).unwrap();
+        // Wall-clock solver time is the only nondeterministic field.
+        h.solver_seconds = 0.0;
+        w.solver_seconds = 0.0;
+        prop_assert_eq!(h, w);
+    }
+}
