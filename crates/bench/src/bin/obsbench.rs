@@ -1,0 +1,404 @@
+//! Telemetry-plane overhead benchmark (registry lookups vs pre-resolved
+//! handles vs thread-sharded collectors).
+//!
+//! Replays a coordinator-style hot loop — drift a random item, fold the
+//! delta into two accumulator queries, check a staleness bound — over
+//! 1k / 100k / 1M item universes, instrumented four ways:
+//!
+//! * **off** — the bare workload, no telemetry calls at all: the
+//!   baseline every other variant is charged against;
+//! * **registry** — per-event by-name lookups (`obs.counter(name)`)
+//!   through the registry mutex, the naive way to instrument;
+//! * **handles** — per-event increments on pre-resolved shared
+//!   [`pq_obs::Counter`]/[`pq_obs::Histogram`] `Arc`s (one atomic
+//!   `fetch_add` per event, no lock);
+//! * **sharded** — the shipped discipline: a thread-private
+//!   [`pq_obs::LocalCollector`] over interned slot ids, adds amortized
+//!   over each ingestion batch, one causal [`pq_obs::Timer`] span per
+//!   tick, and the sampling profiler running at ~97 Hz throughout.
+//!
+//! Each instrumented run must still account for every event in the
+//! final snapshot (fidelity is asserted, not assumed). `--enforce`
+//! additionally requires the sharded variant's overhead over `off` to
+//! stay under 3% on the 1M-item workload.
+//!
+//! Usage: `obsbench [--quick] [--enforce] [--out PATH]`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use pq_bench::{fmt, print_table};
+use pq_obs::{names, start_profiler, Obs};
+
+/// Overhead ceiling (percent over the uninstrumented loop) `--enforce`
+/// holds the sharded plane to on the largest workload.
+const MAX_SHARDED_OVERHEAD_PCT: f64 = 3.0;
+/// Events folded per ingestion batch (the granularity the engine's
+/// batched refresh ingestion drains at).
+const BATCH: usize = 64;
+/// Events per simulated tick (one recompute-batch span each).
+const TICK: usize = 1024;
+/// Profiler rate for the sharded variant; prime, so samples do not
+/// phase-lock with the tick cadence.
+const PROFILE_HZ: u32 = 97;
+
+struct Args {
+    quick: bool,
+    enforce: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        enforce: false,
+        out: "BENCH_obs.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--enforce" => args.enforce = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: obsbench [--quick] [--enforce] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Plain splitmix-style hash — deterministic drift with no shared RNG.
+fn hash2(a: u64, b: u64) -> u64 {
+    let mut s = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s ^= s >> 31;
+    s
+}
+
+/// The synthetic universe: random-access item state plus per-query
+/// accumulators, sized so the larger workloads leave cache and the
+/// per-event cost approaches the engine's real (memory-bound) regime.
+struct Workload {
+    n_items: usize,
+    n_queries: usize,
+    events: usize,
+}
+
+impl Workload {
+    fn new(n_items: usize, events: usize) -> Self {
+        Workload {
+            n_items,
+            n_queries: (n_items / 8).max(4),
+            events,
+        }
+    }
+
+    fn initial(&self) -> Vec<f64> {
+        (0..self.n_items).map(|i| 100.0 + (i % 50) as f64).collect()
+    }
+}
+
+/// Per-event coordinator work shared by every variant: drift one item,
+/// run the delta through a dependent multiply-add chain (the shape of a
+/// compiled-plan fold across a query's product legs), fold the result
+/// into two accumulator queries, and check a staleness bound.
+#[inline]
+fn step(i: u64, values: &mut [f64], qacc: &mut [f64], stale: &mut u64) {
+    let h = hash2(i, 0x0B5);
+    let item = (h % values.len() as u64) as usize;
+    let delta = ((h >> 8) % 10_000) as f64 / 5_000.0 - 1.0;
+    values[item] += delta;
+    let mut fold = delta;
+    for _ in 0..12 {
+        fold = fold.mul_add(0.999_999_94, values[item] * 1e-9);
+    }
+    let q1 = ((h >> 20) % qacc.len() as u64) as usize;
+    let q2 = ((h >> 40) % qacc.len() as u64) as usize;
+    qacc[q1] += fold * values[item];
+    qacc[q2] -= delta;
+    if qacc[q1].abs() > 1e6 {
+        qacc[q1] = 0.0;
+        *stale += 1;
+    }
+}
+
+/// Order-independent digest of the end state, for asserting that every
+/// variant performed the identical workload.
+fn digest(values: &[f64], qacc: &[f64], stale: u64) -> u64 {
+    let sum: f64 = values.iter().sum::<f64>() + qacc.iter().sum::<f64>();
+    sum.to_bits() ^ stale
+}
+
+fn run_off(w: &Workload) -> (u64, f64) {
+    let mut values = w.initial();
+    let mut qacc = vec![0.0; w.n_queries];
+    let mut stale = 0u64;
+    let started = Instant::now();
+    for i in 0..w.events as u64 {
+        step(i, &mut values, &mut qacc, &mut stale);
+    }
+    let secs = started.elapsed().as_secs_f64();
+    black_box(&qacc);
+    (digest(&values, &qacc, stale), secs)
+}
+
+fn run_registry(w: &Workload) -> (u64, f64) {
+    let obs = Obs::null();
+    let mut values = w.initial();
+    let mut qacc = vec![0.0; w.n_queries];
+    let mut stale = 0u64;
+    let started = Instant::now();
+    let mut i = 0u64;
+    while (i as usize) < w.events {
+        let _tick_span = obs.timed(names::SIM_RECOMPUTE_BATCH);
+        let tick_end = (i as usize + TICK).min(w.events) as u64;
+        while i < tick_end {
+            let batch_end = (i + BATCH as u64).min(tick_end);
+            let n = batch_end - i;
+            while i < batch_end {
+                step(i, &mut values, &mut qacc, &mut stale);
+                obs.counter(names::SIM_REFRESH).inc();
+                i += 1;
+            }
+            obs.histogram(names::INGEST_BATCH_SIZE).record(n);
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        obs.snapshot().counters[names::SIM_REFRESH],
+        w.events as u64,
+        "registry variant must account for every event"
+    );
+    (digest(&values, &qacc, stale), secs)
+}
+
+fn run_handles(w: &Workload) -> (u64, f64) {
+    let obs = Obs::null();
+    let c_refresh = obs.counter(names::SIM_REFRESH);
+    let h_batch = obs.histogram(names::INGEST_BATCH_SIZE);
+    let t_tick = obs.timer(names::SIM_RECOMPUTE_BATCH);
+    let mut values = w.initial();
+    let mut qacc = vec![0.0; w.n_queries];
+    let mut stale = 0u64;
+    let started = Instant::now();
+    let mut i = 0u64;
+    while (i as usize) < w.events {
+        let _tick_span = t_tick.start(&obs);
+        let tick_end = (i as usize + TICK).min(w.events) as u64;
+        while i < tick_end {
+            let batch_end = (i + BATCH as u64).min(tick_end);
+            let n = batch_end - i;
+            while i < batch_end {
+                step(i, &mut values, &mut qacc, &mut stale);
+                c_refresh.inc();
+                i += 1;
+            }
+            h_batch.record(n);
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        obs.snapshot().counters[names::SIM_REFRESH],
+        w.events as u64,
+        "handles variant must account for every event"
+    );
+    (digest(&values, &qacc, stale), secs)
+}
+
+fn run_sharded(w: &Workload) -> (u64, f64, u64) {
+    let obs = Obs::null();
+    let c_refresh = obs.counter_id(names::SIM_REFRESH);
+    let h_batch = obs.histogram_id(names::INGEST_BATCH_SIZE);
+    let t_tick = obs.timer(names::SIM_RECOMPUTE_BATCH);
+    let collector = obs.collector();
+    let profiler = start_profiler(&obs, PROFILE_HZ);
+    let mut values = w.initial();
+    let mut qacc = vec![0.0; w.n_queries];
+    let mut stale = 0u64;
+    let started = Instant::now();
+    let mut i = 0u64;
+    while (i as usize) < w.events {
+        let _tick_span = t_tick.start(&obs);
+        let tick_end = (i as usize + TICK).min(w.events) as u64;
+        while i < tick_end {
+            let batch_end = (i + BATCH as u64).min(tick_end);
+            let n = batch_end - i;
+            while i < batch_end {
+                step(i, &mut values, &mut qacc, &mut stale);
+                i += 1;
+            }
+            collector.add(c_refresh, n);
+            collector.record(h_batch, n);
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    profiler.stop();
+    let snapshot = obs.snapshot();
+    assert_eq!(
+        snapshot.counters[names::SIM_REFRESH],
+        w.events as u64,
+        "sharded variant must account for every event"
+    );
+    let samples = snapshot
+        .counters
+        .get(names::PROFILE_SAMPLES)
+        .copied()
+        .unwrap_or(0);
+    (digest(&values, &qacc, stale), secs, samples)
+}
+
+struct Measurement {
+    n_items: usize,
+    events: usize,
+    off_ns: f64,
+    registry_ns: f64,
+    handles_ns: f64,
+    sharded_ns: f64,
+    profile_samples: u64,
+}
+
+impl Measurement {
+    fn overhead_pct(&self, variant_ns: f64) -> f64 {
+        100.0 * (variant_ns - self.off_ns) / self.off_ns
+    }
+}
+
+fn bench_size(n_items: usize, events: usize, reps: usize) -> Measurement {
+    let w = Workload::new(n_items, events);
+    let (mut off_s, mut reg_s, mut han_s, mut sha_s) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let mut profile_samples = 0u64;
+    let mut expected = None;
+    // Min over repetitions: telemetry overhead is a floor property, and
+    // the min strips scheduler and allocator noise from both sides.
+    for _ in 0..reps {
+        let (d0, s0) = run_off(&w);
+        let (d1, s1) = run_registry(&w);
+        let (d2, s2) = run_handles(&w);
+        let (d3, s3, samples) = run_sharded(&w);
+        let expected = *expected.get_or_insert(d0);
+        assert!(
+            d0 == expected && d1 == expected && d2 == expected && d3 == expected,
+            "variants must perform the identical workload"
+        );
+        off_s = off_s.min(s0);
+        reg_s = reg_s.min(s1);
+        han_s = han_s.min(s2);
+        sha_s = sha_s.min(s3);
+        profile_samples = profile_samples.max(samples);
+    }
+    let per = |s: f64| s * 1e9 / events.max(1) as f64;
+    Measurement {
+        n_items,
+        events,
+        off_ns: per(off_s),
+        registry_ns: per(reg_s),
+        handles_ns: per(han_s),
+        sharded_ns: per(sha_s),
+        profile_samples,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let events = if args.quick { 1_000_000 } else { 4_000_000 };
+    let reps = if args.quick { 5 } else { 7 };
+    let sizes = [1_000usize, 100_000, 1_000_000];
+
+    let measurements: Vec<Measurement> =
+        sizes.iter().map(|&n| bench_size(n, events, reps)).collect();
+
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.n_items.to_string(),
+                m.events.to_string(),
+                format!("{:.1}", m.off_ns),
+                format!("{:.1}", m.registry_ns),
+                format!("{:.1}", m.handles_ns),
+                format!("{:.1}", m.sharded_ns),
+                fmt(m.overhead_pct(m.registry_ns)),
+                fmt(m.overhead_pct(m.handles_ns)),
+                fmt(m.overhead_pct(m.sharded_ns)),
+                m.profile_samples.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "obsbench: telemetry cost per event (ns) and overhead vs off (%)",
+        &[
+            "items",
+            "events",
+            "off",
+            "registry",
+            "handles",
+            "sharded",
+            "registry_pct",
+            "handles_pct",
+            "sharded_pct",
+            "samples",
+        ],
+        &rows,
+    );
+
+    let size_json = |m: &Measurement| {
+        format!(
+            "    {{\n      \"n_items\": {},\n      \"events\": {},\n      \
+             \"off_ns_per_event\": {:.2},\n      \
+             \"registry_ns_per_event\": {:.2},\n      \
+             \"handles_ns_per_event\": {:.2},\n      \
+             \"sharded_ns_per_event\": {:.2},\n      \
+             \"registry_overhead_pct\": {:.3},\n      \
+             \"handles_overhead_pct\": {:.3},\n      \
+             \"sharded_overhead_pct\": {:.3},\n      \
+             \"profile_samples\": {}\n    }}",
+            m.n_items,
+            m.events,
+            m.off_ns,
+            m.registry_ns,
+            m.handles_ns,
+            m.sharded_ns,
+            m.overhead_pct(m.registry_ns),
+            m.overhead_pct(m.handles_ns),
+            m.overhead_pct(m.sharded_ns),
+            m.profile_samples,
+        )
+    };
+    let json = format!(
+        "{{\n  \"quick\": {},\n  \"profile_hz\": {PROFILE_HZ},\n  \
+         \"max_sharded_overhead_pct\": {MAX_SHARDED_OVERHEAD_PCT},\n  \
+         \"sizes\": [\n{}\n  ]\n}}\n",
+        args.quick,
+        measurements
+            .iter()
+            .map(size_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    std::fs::write(&args.out, json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("wrote {}", args.out);
+
+    if args.enforce {
+        let largest = measurements.last().expect("at least one size");
+        let overhead = largest.overhead_pct(largest.sharded_ns);
+        if overhead >= MAX_SHARDED_OVERHEAD_PCT {
+            eprintln!(
+                "FAIL: sharded telemetry overhead {overhead:.2}% on the {}-item \
+                 workload breaches the {MAX_SHARDED_OVERHEAD_PCT}% ceiling",
+                largest.n_items
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "enforce: sharded telemetry overhead {overhead:.2}% under the \
+             {MAX_SHARDED_OVERHEAD_PCT}% ceiling"
+        );
+    }
+}

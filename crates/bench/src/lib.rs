@@ -29,6 +29,10 @@
 //! | `PQ_OBS_STDERR=0` | Silence the per-run `bench.run` progress lines on stderr (default: on) |
 //! | `PQ_OBS_JSONL=path` | Record the **full** event trace (simulator, DAB, GP solver) as JSON Lines at `path`; analyze with `pq-trace` |
 //! | `PQ_OBS_ADDR=host:port` | Serve live `/metrics` (Prometheus text) and `/snapshot` (JSON) endpoints for the run's lifetime, e.g. `127.0.0.1:9464` |
+//! | `PQ_OBS_PROFILE_HZ=n` | Run the sampling profiler at `n` Hz for the process lifetime; `profile.sample` events land in the JSONL trace, rendered by `pq-trace profile` |
+//! | `PQ_OBS_AUDIT=1` | Enable the continuous fidelity audit (shadow naive evaluation of sampled queries) at its defaults; see [`audit_from_env`] |
+//! | `PQ_OBS_AUDIT_EVERY=n` | Audit cadence: shadow-evaluate every `n`-th tick (default 16); implies `PQ_OBS_AUDIT=1` |
+//! | `PQ_OBS_AUDIT_SAMPLE=n` | Queries shadow-evaluated per audited tick, round-robin (default 4); implies `PQ_OBS_AUDIT=1` |
 
 pub mod heuristics;
 
@@ -150,7 +154,44 @@ pub fn obs_from_env() -> Obs {
             .unwrap_or_else(|e| panic!("PQ_OBS_ADDR={addr}: {e}"))
             .detach();
     }
+    if let Ok(hz) = std::env::var("PQ_OBS_PROFILE_HZ") {
+        let hz: u32 = hz
+            .parse()
+            .unwrap_or_else(|e| panic!("PQ_OBS_PROFILE_HZ={hz}: {e}"));
+        pq_obs::start_profiler(&obs, hz).detach();
+    }
     obs
+}
+
+/// Continuous fidelity-audit configuration from the environment, for
+/// wiring into [`pq_sim::SimConfig::audit`]. Returns `Some` when any of
+/// `PQ_OBS_AUDIT=1`, `PQ_OBS_AUDIT_EVERY=n`, or `PQ_OBS_AUDIT_SAMPLE=n`
+/// is set; cadence/sample-size default to [`pq_sim::AuditConfig`]'s
+/// defaults (every 16th tick, 4 queries round-robin). Denser sampling
+/// tightens divergence-detection latency at a cost linear in naive
+/// re-evaluations; the audit is read-only either way, so simulation
+/// metrics are byte-identical with it on or off.
+pub fn audit_from_env() -> Option<pq_sim::AuditConfig> {
+    let on = std::env::var_os("PQ_OBS_AUDIT").is_some_and(|v| v != "0");
+    let every = std::env::var("PQ_OBS_AUDIT_EVERY").ok().map(|s| {
+        s.parse()
+            .unwrap_or_else(|e| panic!("PQ_OBS_AUDIT_EVERY={s}: {e}"))
+    });
+    let sample = std::env::var("PQ_OBS_AUDIT_SAMPLE").ok().map(|s| {
+        s.parse()
+            .unwrap_or_else(|e| panic!("PQ_OBS_AUDIT_SAMPLE={s}: {e}"))
+    });
+    if !on && every.is_none() && sample.is_none() {
+        return None;
+    }
+    let mut cfg = pq_sim::AuditConfig::default();
+    if let Some(every) = every {
+        cfg.every = every;
+    }
+    if let Some(sample) = sample {
+        cfg.sample = sample;
+    }
+    Some(cfg)
 }
 
 /// Emits the `bench.run` data point for one finished simulation run.

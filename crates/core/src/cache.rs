@@ -31,6 +31,29 @@ pub struct UnitCache {
     compiled: Option<pq_gp::CompiledGp>,
     last_x: Vec<f64>,
     ws: SolveWorkspace,
+    /// `solve.*` outcome counters, resolved through the registry once
+    /// per unit instead of once per solve (the recompute hot path).
+    counters: Option<SolveCounters>,
+}
+
+/// Pre-resolved handles for the four `solve.*` outcome counters.
+#[derive(Debug, Clone)]
+struct SolveCounters {
+    warm_hit: std::sync::Arc<pq_obs::Counter>,
+    warm_repair: std::sync::Arc<pq_obs::Counter>,
+    cold_fallback: std::sync::Arc<pq_obs::Counter>,
+    cold_start: std::sync::Arc<pq_obs::Counter>,
+}
+
+impl SolveCounters {
+    fn resolve(obs: &pq_obs::Obs) -> Self {
+        SolveCounters {
+            warm_hit: obs.counter(names::SOLVE_WARM_HIT),
+            warm_repair: obs.counter(names::SOLVE_WARM_REPAIR),
+            cold_fallback: obs.counter(names::SOLVE_COLD_FALLBACK),
+            cold_start: obs.counter(names::SOLVE_COLD_START),
+        }
+    }
 }
 
 impl UnitCache {
@@ -64,6 +87,10 @@ pub(crate) fn solve_cached(
     options: &SolverOptions,
     cache: &mut UnitCache,
 ) -> Result<GpSolution, DabError> {
+    if cache.counters.is_none() {
+        cache.counters = Some(SolveCounters::resolve(&options.obs));
+    }
+    let counters = cache.counters.clone().expect("resolved above");
     let compiled = match cache.compiled.as_mut() {
         Some(c) => {
             c.update_from(problem)?;
@@ -74,21 +101,21 @@ pub(crate) fn solve_cached(
     let solution = if cache.last_x.len() == problem.n_vars() {
         match compiled.solve_warm(&cache.last_x, interior, options, &mut cache.ws) {
             Ok((sol, WarmStart::Hit)) => {
-                options.obs.counter(names::SOLVE_WARM_HIT).inc();
+                counters.warm_hit.inc();
                 sol
             }
             Ok((sol, WarmStart::Repaired)) => {
-                options.obs.counter(names::SOLVE_WARM_REPAIR).inc();
+                counters.warm_repair.inc();
                 sol
             }
             Err(_) => {
                 // Repair exhausted: pay the full cold phase-I price.
-                options.obs.counter(names::SOLVE_COLD_FALLBACK).inc();
+                counters.cold_fallback.inc();
                 pq_gp::solve(problem, options)?
             }
         }
     } else {
-        options.obs.counter(names::SOLVE_COLD_START).inc();
+        counters.cold_start.inc();
         match compiled.solve_from(interior, options, &mut cache.ws) {
             Ok(sol) => sol,
             Err(_) => pq_gp::solve(problem, options)?,
@@ -225,9 +252,14 @@ pub fn recompute_parallel(
     let mut jobs: Vec<Option<RecomputeJob<'_>>> = jobs.into_iter().map(Some).collect();
     let mut slots: Vec<Option<RecomputeDone>> = Vec::new();
     slots.resize_with(n, || None);
+    // Spans opened by workers (gp.solve etc.) parent under whatever span
+    // the dispatching thread has open, keeping the fan-out causally
+    // attributed in traces.
+    let causal = pq_obs::SpanContext::current();
     std::thread::scope(|s| {
         for (job_chunk, slot_chunk) in jobs.chunks_mut(chunk).zip(slots.chunks_mut(chunk)) {
             s.spawn(move || {
+                let _causal = causal.enter();
                 for (job, slot) in job_chunk.iter_mut().zip(slot_chunk) {
                     let job = job.take().expect("job taken once");
                     *slot = Some(run_job(job, strategy));

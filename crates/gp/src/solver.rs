@@ -53,6 +53,14 @@ pub struct SolverOptions {
     /// and the `gp.solve` labeled counter tallies per-query solves, so
     /// cost rollups can answer "whose recomputations eat the budget?".
     pub query: Option<u32>,
+    /// Pre-resolved handle for this query's `gp.solve` labeled counter.
+    /// Callers that solve in a loop (the simulator) set this once per
+    /// query so the per-solve hot path never touches the registry
+    /// mutex; when unset the counter is resolved per solve.
+    pub query_counter: Option<std::sync::Arc<pq_obs::Counter>>,
+    /// Pre-resolved `gp.solve` span timer (see [`Obs::timer`]); same
+    /// caching contract as [`SolverOptions::query_counter`].
+    pub solve_timer: Option<pq_obs::Timer>,
 }
 
 impl Default for SolverOptions {
@@ -68,25 +76,39 @@ impl Default for SolverOptions {
             backtrack: 0.5,
             obs: Obs::null(),
             query: None,
+            query_counter: None,
+            solve_timer: None,
         }
     }
 }
 
 /// Starts the `gp.solve` span, tagged with the originating query when
 /// the caller attributed the solve, and tallies the per-query labeled
-/// counter.
+/// counter. Prefers the pre-resolved handles in the options (set once
+/// per query by looping callers) over per-solve registry resolution.
 fn solve_span(options: &SolverOptions) -> pq_obs::TimedGuard {
     match options.query {
         Some(q) => {
-            options
-                .obs
-                .labeled_counter(names::GP_SOLVE, names::LABEL_QUERY, &q.to_string())
-                .inc();
-            options
-                .obs
-                .timed_labeled(names::GP_SOLVE, names::LABEL_QUERY, u64::from(q))
+            match &options.query_counter {
+                Some(counter) => counter.inc(),
+                None => options
+                    .obs
+                    .labeled_counter(names::GP_SOLVE, names::LABEL_QUERY, &q.to_string())
+                    .inc(),
+            }
+            match &options.solve_timer {
+                Some(timer) => timer.start_labeled(&options.obs, names::LABEL_QUERY, u64::from(q)),
+                None => {
+                    options
+                        .obs
+                        .timed_labeled(names::GP_SOLVE, names::LABEL_QUERY, u64::from(q))
+                }
+            }
         }
-        None => options.obs.timed(names::GP_SOLVE),
+        None => match &options.solve_timer {
+            Some(timer) => timer.start(&options.obs),
+            None => options.obs.timed(names::GP_SOLVE),
+        },
     }
 }
 

@@ -36,15 +36,21 @@ pub mod event;
 pub mod jsonl;
 pub mod registry;
 pub mod serve;
+pub mod sharded;
+pub mod span;
 pub mod subscriber;
 pub mod text;
 
 pub use event::{Event, EventKind, Value};
 pub use jsonl::{parse, to_json, JsonError, JsonlWriter};
 pub use registry::{
-    Counter, Histogram, HistogramSummary, LabeledCounterSnapshot, Registry, Snapshot,
+    Counter, Gauge, Histogram, HistogramSummary, LabeledCounterSnapshot, Registry, Snapshot,
 };
 pub use serve::MetricsServer;
+pub use sharded::{
+    CounterId, HistogramId, LocalCollector, COUNTER_SLOTS, HISTOGRAM_SLOTS, SHARD_OVERFLOW,
+};
+pub use span::{start_profiler, Profiler, SpanContext, SpanContextGuard, SpanId, MAX_SPAN_DEPTH};
 pub use subscriber::{
     Fanout, NullSubscriber, PrefixFilter, RingBufferSubscriber, StderrSubscriber, Subscriber,
 };
@@ -143,6 +149,31 @@ pub mod names {
     /// Histogram of refreshes per ingestion batch.
     pub const INGEST_BATCH_SIZE: &str = "ingest.batch_size";
 
+    /// One parallel DAB recompute batch dispatched by the simulator
+    /// (span; parent of the fanned-out `gp.solve` spans).
+    pub const SIM_RECOMPUTE_BATCH: &str = "sim.recompute_batch";
+
+    /// One profiler sample of a thread's span stack (Point event with a
+    /// folded `stack` field — see [`crate::span`]).
+    pub const PROFILE_SAMPLE: &str = "profile.sample";
+    /// Total thread-stack samples the profiler has taken.
+    pub const PROFILE_SAMPLES: &str = "profile.samples";
+    /// Nanoseconds the profiler spent sampling (its self-overhead).
+    pub const PROFILE_OVERHEAD_NS: &str = "profile.overhead_ns";
+
+    /// One fidelity-audit shadow evaluation of a sampled query.
+    pub const AUDIT_SAMPLE: &str = "audit.sample";
+    /// The audited delta-maintained value or violation decision diverged
+    /// from the naive shadow evaluation (structured Point event + counter).
+    pub const AUDIT_DIVERGENCE: &str = "audit.divergence";
+    /// Gauge: percentage of audited samples where the coordinator value
+    /// violated its QAB against the naive source truth (the live fig5 curve).
+    pub const AUDIT_FIDELITY_LOSS_PCT: &str = "audit.fidelity_loss_pct";
+    /// Gauge: largest |delta-maintained − naive| drift seen so far.
+    pub const AUDIT_DRIFT_MAX: &str = "audit.drift_max";
+    /// Gauge: total cost (refreshes + μ·recomputations) per refresh.
+    pub const AUDIT_COST_PER_REFRESH: &str = "audit.cost_per_refresh";
+
     /// Label key for per-query attribution (value: decimal query index).
     pub const LABEL_QUERY: &str = "query";
     /// Label key for per-item attribution (value: decimal item index).
@@ -165,12 +196,22 @@ pub struct ObsConfig {
     /// lifetime of the process — see [`serve`]. The conventional
     /// environment variable is `PQ_OBS_ADDR`.
     pub addr: Option<String>,
+    /// Run the sampling profiler at this rate (samples per second,
+    /// clamped to `1..=1000`) for the lifetime of the process — see
+    /// [`span`]. The conventional environment variable is
+    /// `PQ_OBS_PROFILE_HZ`.
+    pub profile_hz: Option<u32>,
 }
 
 impl ObsConfig {
-    /// Whether this config produces any subscriber or server at all.
+    /// Whether this config produces any subscriber, server, or
+    /// profiler at all.
     pub fn is_off(&self) -> bool {
-        self.jsonl.is_none() && self.ring.is_none() && !self.stderr && self.addr.is_none()
+        self.jsonl.is_none()
+            && self.ring.is_none()
+            && !self.stderr
+            && self.addr.is_none()
+            && self.profile_hz.is_none()
     }
 }
 
@@ -255,6 +296,9 @@ impl Obs {
         if let Some(addr) = &config.addr {
             serve::spawn(obs.clone(), addr)?.detach();
         }
+        if let Some(hz) = config.profile_hz {
+            span::start_profiler(&obs, hz).detach();
+        }
         Ok(obs)
     }
 
@@ -303,17 +347,50 @@ impl Obs {
         self.inner.registry.labeled_counter(name, key, value)
     }
 
+    /// The gauge named `name` in this handle's registry.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.inner.registry.gauge(name)
+    }
+
+    /// Interns `name` into a fixed sharded counter slot for lock-free
+    /// recording through a [`LocalCollector`] — see [`sharded`].
+    pub fn counter_id(&self, name: &str) -> CounterId {
+        self.inner.registry.counter_id(name)
+    }
+
+    /// Interns `name` into a fixed sharded histogram slot — see
+    /// [`sharded`].
+    pub fn histogram_id(&self, name: &str) -> HistogramId {
+        self.inner.registry.histogram_id(name)
+    }
+
+    /// A thread-private collector cell merged into this handle's
+    /// snapshots; obtain one per worker thread — see [`sharded`].
+    pub fn collector(&self) -> LocalCollector {
+        self.inner.registry.collector()
+    }
+
+    /// Pre-resolves the `<name>_ns` histogram and span frame for a
+    /// timing span started many times: build the [`Timer`] once on the
+    /// setup path, then [`Timer::start`] per measurement without
+    /// touching the registry lock.
+    pub fn timer(&self, name: &str) -> Timer {
+        let metric = format!("{name}_ns");
+        Timer {
+            hist: self.histogram(&metric),
+            metric: Arc::from(metric),
+            name: Arc::from(name),
+        }
+    }
+
     /// Starts a timing span for `name` (e.g. [`names::GP_SOLVE`]).
     /// When the guard drops, the elapsed nanoseconds are recorded in
     /// the `<name>_ns` histogram and — if a subscriber is listening —
-    /// emitted as a `<name>_ns` timing event with a `dur_ns` field.
+    /// emitted as a `<name>_ns` timing event with `dur_ns`, `span_id`,
+    /// and (when nested) `parent` fields. The span participates in
+    /// causal parenting and profiler sampling — see [`span`].
     pub fn timed(&self, name: &str) -> TimedGuard {
-        TimedGuard {
-            obs: self.clone(),
-            metric: format!("{name}_ns"),
-            label: None,
-            start: Instant::now(),
-        }
+        self.timer(name).start(self)
     }
 
     /// Like [`Obs::timed`], but the emitted timing event carries an
@@ -321,12 +398,7 @@ impl Obs {
     /// analysis can split span durations per query or per item. The
     /// histogram itself stays unlabeled — one series per span name.
     pub fn timed_labeled(&self, name: &str, key: &'static str, value: u64) -> TimedGuard {
-        TimedGuard {
-            obs: self.clone(),
-            metric: format!("{name}_ns"),
-            label: Some((key, value)),
-            start: Instant::now(),
-        }
+        self.timer(name).start_labeled(self, key, value)
     }
 
     /// A point-in-time copy of every metric in this handle's registry.
@@ -340,22 +412,78 @@ impl Obs {
     }
 }
 
-/// Span guard returned by [`Obs::timed`]; records on drop.
+/// A reusable timing-span template: the `<name>_ns` histogram handle
+/// and names, resolved once. Cloning shares the handles.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    metric: Arc<str>,
+    name: Arc<str>,
+    hist: Arc<Histogram>,
+}
+
+impl Timer {
+    /// Starts one timing span; same semantics as [`Obs::timed`] minus
+    /// the per-call registry resolution.
+    pub fn start(&self, obs: &Obs) -> TimedGuard {
+        self.start_inner(obs, None)
+    }
+
+    /// Starts one labeled timing span; see [`Obs::timed_labeled`].
+    pub fn start_labeled(&self, obs: &Obs, key: &'static str, value: u64) -> TimedGuard {
+        self.start_inner(obs, Some((key, value)))
+    }
+
+    fn start_inner(&self, obs: &Obs, label: Option<(&'static str, u64)>) -> TimedGuard {
+        let (span_id, parent) = span::push_span(&self.name);
+        TimedGuard {
+            obs: obs.clone(),
+            metric: self.metric.clone(),
+            hist: self.hist.clone(),
+            label,
+            span_id,
+            parent,
+            start: Instant::now(),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Span guard returned by [`Obs::timed`]; records on drop. Not `Send`:
+/// the span is tracked on the opening thread's stack, so the guard
+/// must drop there too (move a [`SpanContext`] instead to cross
+/// threads).
 #[derive(Debug)]
 pub struct TimedGuard {
     obs: Obs,
-    metric: String,
+    metric: Arc<str>,
+    hist: Arc<Histogram>,
     label: Option<(&'static str, u64)>,
+    span_id: SpanId,
+    parent: Option<SpanId>,
     start: Instant,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl TimedGuard {
+    /// This span's process-unique id (e.g. to hand to a [`SpanContext`]
+    /// consumer out of band).
+    pub fn span_id(&self) -> SpanId {
+        self.span_id
+    }
 }
 
 impl Drop for TimedGuard {
     fn drop(&mut self) {
         let dur_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.obs.histogram(&self.metric).record(dur_ns);
+        span::pop_span();
+        self.hist.record(dur_ns);
         if self.obs.enabled(&self.metric) {
-            let mut event =
-                Event::new(self.metric.clone(), EventKind::Timing).with("dur_ns", dur_ns);
+            let mut event = Event::new(self.metric.to_string(), EventKind::Timing)
+                .with("dur_ns", dur_ns)
+                .with("span_id", self.span_id.0);
+            if let Some(SpanId(parent)) = self.parent {
+                event = event.with("parent", parent);
+            }
             if let Some((key, value)) = self.label {
                 event = event.with(key, value);
             }
@@ -460,5 +588,44 @@ mod tests {
         let a = now_ns();
         let b = now_ns();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn nested_timed_guards_emit_parented_span_events() {
+        let (obs, ring) = Obs::ring(16);
+        {
+            let _outer = obs.timed("outer_span");
+            let _inner = obs.timed("inner_span");
+        }
+        let events = ring.events();
+        // Guards drop inner-first.
+        assert_eq!(events[0].target, "inner_span_ns");
+        assert_eq!(events[1].target, "outer_span_ns");
+        let outer_id = match events[1].field("span_id") {
+            Some(&Value::U64(id)) => id,
+            other => panic!("outer span_id missing: {other:?}"),
+        };
+        assert_eq!(events[1].field("parent"), None);
+        assert_eq!(events[0].field("parent"), Some(&Value::U64(outer_id)));
+    }
+
+    #[test]
+    fn timer_reuses_handles_across_starts() {
+        let (obs, ring) = Obs::ring(16);
+        let timer = obs.timer("reused_span");
+        for _ in 0..3 {
+            let _g = timer.start(&obs);
+        }
+        assert_eq!(obs.snapshot().histograms["reused_span_ns"].count, 3);
+        assert_eq!(ring.events().len(), 3);
+        // Distinct spans each time.
+        let ids: Vec<_> = ring
+            .events()
+            .iter()
+            .map(|e| e.field("span_id").cloned())
+            .collect();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.iter().all(|i| i.is_some()));
+        assert_ne!(ids[0], ids[1]);
     }
 }

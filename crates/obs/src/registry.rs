@@ -17,6 +17,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::sharded::{CounterId, HistogramId, LocalCollector, ShardSet};
+
 /// A monotonically increasing event tally.
 #[derive(Debug, Default)]
 pub struct Counter {
@@ -119,52 +121,120 @@ impl Histogram {
     /// of the bucket containing the rank-`ceil(q * count)` sample,
     /// clamped to the exact observed min/max. Zero if empty.
     pub fn quantile(&self, q: f64) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                let lo = self.min.load(Ordering::Relaxed);
-                let hi = self.max.load(Ordering::Relaxed);
-                return bucket_upper(i).clamp(lo, hi);
-            }
-        }
-        self.max.load(Ordering::Relaxed)
+        HistAcc::of(self).quantile(q)
     }
 
     /// A point-in-time summary of this histogram.
     pub fn summary(&self) -> HistogramSummary {
-        let count = self.count();
+        HistAcc::of(self).summary()
+    }
+}
+
+/// A plain-data accumulation of histogram contents, used wherever
+/// several histograms (per-thread shard cells, retired cells, the
+/// shared handle) must merge into one [`HistogramSummary`]. All
+/// summary/quantile math lives here so the merged and single-histogram
+/// paths cannot drift.
+#[derive(Debug, Clone)]
+pub(crate) struct HistAcc {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    /// `u64::MAX` sentinel while empty, like [`Histogram::min`].
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistAcc {
+    fn default() -> Self {
+        HistAcc {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistAcc {
+    pub(crate) fn of(h: &Histogram) -> Self {
+        let mut acc = HistAcc::default();
+        acc.absorb(h);
+        acc
+    }
+
+    /// Folds a live histogram's current contents into this accumulation.
+    pub(crate) fn absorb(&mut self, h: &Histogram) {
+        for (slot, bucket) in self.buckets.iter_mut().zip(&h.buckets) {
+            *slot += bucket.load(Ordering::Relaxed);
+        }
+        self.count += h.count();
+        self.sum = self.sum.wrapping_add(h.sum());
+        self.min = self.min.min(h.min.load(Ordering::Relaxed));
+        self.max = self.max.max(h.max.load(Ordering::Relaxed));
+    }
+
+    /// Folds another accumulation into this one.
+    pub(crate) fn merge(&mut self, other: &HistAcc) {
+        for (slot, n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *slot += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.count == 0 && self.buckets.iter().all(|&n| n == 0)
+    }
+
+    fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        // Guard the never-recorded sentinel: a concurrent recorder may
+        // have bumped `count` before publishing `min`, and `clamp`
+        // requires `lo <= hi`.
+        let lo = if self.min == u64::MAX { 0 } else { self.min };
+        let hi = self.max.max(lo);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).clamp(lo, hi);
+            }
+        }
+        self.max
+    }
+
+    pub(crate) fn summary(&self) -> HistogramSummary {
         let mut buckets = Vec::new();
         let mut cumulative = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            let n = bucket.load(Ordering::Relaxed);
+        for (i, &n) in self.buckets.iter().enumerate() {
             if n > 0 {
                 cumulative += n;
                 buckets.push((bucket_upper(i), cumulative));
             }
         }
         HistogramSummary {
-            count,
-            sum: self.sum(),
-            mean: if count == 0 {
+            count: self.count,
+            sum: self.sum,
+            mean: if self.count == 0 {
                 0.0
             } else {
-                self.sum() as f64 / count as f64
+                self.sum as f64 / self.count as f64
             },
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
-            min: if count == 0 {
-                0
-            } else {
-                self.min.load(Ordering::Relaxed)
-            },
-            max: self.max.load(Ordering::Relaxed),
+            // Sentinel, not `count == 0`: a registered-but-never-recorded
+            // histogram (and a snapshot racing a first `record`) must
+            // report 0, never the `u64::MAX` sentinel.
+            min: if self.min == u64::MAX { 0 } else { self.min },
+            max: self.max,
             buckets,
         }
     }
@@ -196,6 +266,26 @@ pub struct HistogramSummary {
     pub buckets: Vec<(u64, u64)>,
 }
 
+/// A last-write-wins floating-point level (e.g. `audit.drift_max`):
+/// the one metric kind that may go down. Stored as `f64` bits in an
+/// atomic, so `set` is a relaxed store and never locks.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 until first set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
 /// Maximum distinct label values per labeled-counter family; further
 /// values fold into the [`LABEL_OVERFLOW`] counter.
 pub const LABEL_CAPACITY: usize = 1024;
@@ -211,12 +301,15 @@ struct LabeledFamily {
     values: BTreeMap<String, Arc<Counter>>,
 }
 
-/// Get-or-create storage for named counters and histograms.
+/// Get-or-create storage for named counters, histograms, and gauges,
+/// plus the thread-sharded collector cells (see [`crate::sharded`]).
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     labeled: Mutex<BTreeMap<String, LabeledFamily>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    shards: Arc<ShardSet>,
 }
 
 impl Registry {
@@ -279,22 +372,58 @@ impl Registry {
             .clone()
     }
 
-    /// Values of all metrics at this moment, sorted by name.
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        if let Some(g) = map.get(name) {
+            return g.clone();
+        }
+        let g = Arc::new(Gauge::default());
+        map.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// Interns `name` into a fixed sharded counter slot — resolve once
+    /// at registration, then record through a [`LocalCollector`].
+    pub fn counter_id(&self, name: &str) -> CounterId {
+        self.shards.counter_id(name)
+    }
+
+    /// Interns `name` into a fixed sharded histogram slot.
+    pub fn histogram_id(&self, name: &str) -> HistogramId {
+        self.shards.histogram_id(name)
+    }
+
+    /// A new thread-private collector cell whose contents merge into
+    /// this registry's snapshots. See [`crate::sharded`].
+    pub fn collector(&self) -> LocalCollector {
+        self.shards.collector()
+    }
+
+    /// Values of all metrics at this moment, sorted by name. Sharded
+    /// collector cells are merged in by name, so consumers see one
+    /// total per metric regardless of how it was recorded.
     pub fn snapshot(&self) -> Snapshot {
+        let mut counters: BTreeMap<String, u64> = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let mut hist_accs: BTreeMap<String, HistAcc> = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), HistAcc::of(v)))
+            .collect();
+        self.shards.merge_into(&mut counters, &mut hist_accs);
         Snapshot {
-            counters: self
-                .counters
-                .lock()
-                .unwrap()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
-            histograms: self
-                .histograms
-                .lock()
-                .unwrap()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.summary()))
+            counters,
+            histograms: hist_accs
+                .into_iter()
+                .map(|(k, acc)| (k, acc.summary()))
                 .collect(),
             labeled: self
                 .labeled
@@ -314,6 +443,13 @@ impl Registry {
                         },
                     )
                 })
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
                 .collect(),
         }
     }
@@ -359,6 +495,8 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramSummary>,
     /// Labeled-counter families by name (see [`Registry::labeled_counter`]).
     pub labeled: BTreeMap<String, LabeledCounterSnapshot>,
+    /// Gauge levels by name (see [`Registry::gauge`]).
+    pub gauges: BTreeMap<String, f64>,
 }
 
 #[cfg(test)]
@@ -507,5 +645,67 @@ mod tests {
         let registry = Registry::default();
         registry.labeled_counter("m", "query", "0");
         registry.labeled_counter("m", "item", "0");
+    }
+
+    #[test]
+    fn registered_but_never_recorded_histogram_reports_zero_min() {
+        let registry = Registry::default();
+        let _h = registry.histogram("gp.solve_ns");
+        let s = registry.snapshot();
+        let summary = &s.histograms["gp.solve_ns"];
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.min, 0, "never the u64::MAX sentinel");
+        assert_eq!(summary.max, 0);
+    }
+
+    #[test]
+    fn gauges_snapshot_last_written_value() {
+        let registry = Registry::default();
+        let g = registry.gauge("audit.drift_max");
+        assert_eq!(g.get(), 0.0);
+        g.set(0.25);
+        g.set(0.125); // gauges may go down
+        registry.gauge("audit.fidelity_loss_pct").set(1.5);
+        let s = registry.snapshot();
+        assert_eq!(s.gauges["audit.drift_max"], 0.125);
+        assert_eq!(s.gauges["audit.fidelity_loss_pct"], 1.5);
+    }
+
+    #[test]
+    fn sharded_and_handle_counts_merge_under_one_name() {
+        let registry = Registry::default();
+        registry.counter("sim.refresh").add(2);
+        let id = registry.counter_id("sim.refresh");
+        let hid = registry.histogram_id("gp.solve_ns");
+        registry.histogram("gp.solve_ns").record(10);
+        let local = registry.collector();
+        local.add(id, 5);
+        local.record(hid, 1000);
+        let s = registry.snapshot();
+        assert_eq!(s.counters["sim.refresh"], 7);
+        let h = &s.histograms["gp.solve_ns"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 1010, 10, 1000));
+        drop(local);
+        // Retired cells keep contributing to later snapshots.
+        assert_eq!(registry.snapshot().counters["sim.refresh"], 7);
+    }
+
+    #[test]
+    fn merged_histogram_quantiles_match_single_histogram() {
+        let registry = Registry::default();
+        let hid = registry.histogram_id("h");
+        let a = registry.collector();
+        let b = registry.collector();
+        let single = Histogram::default();
+        for v in 1..=1000u64 {
+            if v % 2 == 0 {
+                a.record(hid, v)
+            } else {
+                b.record(hid, v)
+            }
+            single.record(v);
+        }
+        let merged = registry.snapshot().histograms["h"].clone();
+        assert_eq!(merged, single.summary());
     }
 }

@@ -1,0 +1,326 @@
+//! Thread-sharded metric collectors: lock-free hot-path recording.
+//!
+//! The handle-based path in [`crate::registry`] is already lock-free
+//! *per increment*, but every handle shares one cache line per metric —
+//! with a coordinator on every core (ROADMAP item 1) the `lock xadd`
+//! traffic on hot counters serializes the fleet. This module shards the
+//! storage instead of the lock: each thread obtains a
+//! [`LocalCollector`] holding a private cell of atomics, metric names
+//! are interned **once at registration** into fixed slots
+//! ([`CounterId`] / [`HistogramId`]), and the hot path is a relaxed
+//! add into memory no other thread writes. Snapshots merge every live
+//! cell plus a retired accumulator back into the ordinary
+//! [`crate::Snapshot`] maps, so `/metrics`, `/snapshot`, and JSONL
+//! consumers cannot tell sharded and handle-based metrics apart.
+//!
+//! Guarantees, enforced by the stress tests:
+//!
+//! * **No lost or double-counted increments.** A dropping collector
+//!   folds its cell into the retired accumulator under the same lock a
+//!   snapshot takes, so every increment lands in exactly one snapshot
+//!   term.
+//! * **Monotone totals.** Each cell slot only grows, and retirement
+//!   moves a cell's value atomically (with respect to snapshots) from
+//!   the live sum into the retired sum — successive snapshots of a
+//!   counter never decrease.
+//!
+//! Slot capacity is fixed ([`COUNTER_SLOTS`] / [`HISTOGRAM_SLOTS`]);
+//! registrations past capacity all share the reserved
+//! [`SHARD_OVERFLOW`] slot, mirroring the labeled-counter `_other`
+//! convention, so a runaway registration loop degrades attribution but
+//! never drops counts or balloons memory.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::registry::{HistAcc, Histogram};
+
+/// Fixed number of sharded counter slots per registry (slot 0 is the
+/// [`SHARD_OVERFLOW`] slot).
+pub const COUNTER_SLOTS: usize = 256;
+
+/// Fixed number of sharded histogram slots per registry (slot 0 is the
+/// [`SHARD_OVERFLOW`] slot).
+pub const HISTOGRAM_SLOTS: usize = 64;
+
+/// Metric name under which registrations past slot capacity accumulate.
+pub const SHARD_OVERFLOW: &str = "obs.shard_overflow";
+
+/// A fixed counter slot, resolved once by [`crate::Obs::counter_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(pub(crate) u16);
+
+/// A fixed histogram slot, resolved once by
+/// [`crate::Obs::histogram_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramId(pub(crate) u16);
+
+/// One thread's private metric storage.
+struct Cell {
+    counters: Vec<AtomicU64>,
+    histograms: Vec<Histogram>,
+}
+
+impl Cell {
+    fn new() -> Self {
+        Cell {
+            counters: (0..COUNTER_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            histograms: (0..HISTOGRAM_SLOTS).map(|_| Histogram::default()).collect(),
+        }
+    }
+}
+
+/// Everything a snapshot must see atomically: the live cells and the
+/// totals folded out of already-dropped collectors.
+struct Merged {
+    cells: Vec<Arc<Cell>>,
+    retired_counters: Vec<u64>,
+    retired_histograms: Vec<HistAcc>,
+}
+
+/// Shared sharded state owned by a [`crate::Registry`].
+pub(crate) struct ShardSet {
+    /// Slot assignment, append-only; locked at registration and
+    /// snapshot time only.
+    counter_names: Mutex<Vec<String>>,
+    histogram_names: Mutex<Vec<String>>,
+    merged: Mutex<Merged>,
+}
+
+impl Default for ShardSet {
+    fn default() -> Self {
+        ShardSet {
+            counter_names: Mutex::new(vec![SHARD_OVERFLOW.to_string()]),
+            histogram_names: Mutex::new(vec![SHARD_OVERFLOW.to_string()]),
+            merged: Mutex::new(Merged {
+                cells: Vec::new(),
+                retired_counters: vec![0; COUNTER_SLOTS],
+                retired_histograms: (0..HISTOGRAM_SLOTS).map(|_| HistAcc::default()).collect(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSet")
+            .field("counters", &self.counter_names.lock().unwrap().len())
+            .field("histograms", &self.histogram_names.lock().unwrap().len())
+            .field("cells", &self.merged.lock().unwrap().cells.len())
+            .finish()
+    }
+}
+
+fn intern(names: &Mutex<Vec<String>>, capacity: usize, name: &str) -> u16 {
+    let mut names = names.lock().unwrap();
+    if let Some(i) = names.iter().position(|n| n == name) {
+        return i as u16;
+    }
+    if names.len() >= capacity {
+        return 0; // the SHARD_OVERFLOW slot
+    }
+    names.push(name.to_string());
+    (names.len() - 1) as u16
+}
+
+impl ShardSet {
+    pub(crate) fn counter_id(&self, name: &str) -> CounterId {
+        CounterId(intern(&self.counter_names, COUNTER_SLOTS, name))
+    }
+
+    pub(crate) fn histogram_id(&self, name: &str) -> HistogramId {
+        HistogramId(intern(&self.histogram_names, HISTOGRAM_SLOTS, name))
+    }
+
+    pub(crate) fn collector(self: &Arc<Self>) -> LocalCollector {
+        let cell = Arc::new(Cell::new());
+        self.merged.lock().unwrap().cells.push(cell.clone());
+        LocalCollector {
+            cell,
+            shards: self.clone(),
+        }
+    }
+
+    /// Merges every live cell and the retired accumulator into the
+    /// snapshot maps. Counter totals add onto existing entries of the
+    /// same name; histogram data folds into an existing handle-based
+    /// histogram's accumulation when names collide.
+    pub(crate) fn merge_into(
+        &self,
+        counters: &mut BTreeMap<String, u64>,
+        histograms: &mut BTreeMap<String, HistAcc>,
+    ) {
+        let counter_names = self.counter_names.lock().unwrap().clone();
+        let histogram_names = self.histogram_names.lock().unwrap().clone();
+        let merged = self.merged.lock().unwrap();
+        for (slot, name) in counter_names.iter().enumerate() {
+            let mut total = merged.retired_counters[slot];
+            for cell in &merged.cells {
+                total += cell.counters[slot].load(Ordering::Relaxed);
+            }
+            // The overflow slot only appears once something landed in it.
+            if slot == 0 && total == 0 {
+                continue;
+            }
+            *counters.entry(name.clone()).or_insert(0) += total;
+        }
+        for (slot, name) in histogram_names.iter().enumerate() {
+            let mut acc = merged.retired_histograms[slot].clone();
+            for cell in &merged.cells {
+                acc.absorb(&cell.histograms[slot]);
+            }
+            if slot == 0 && acc.is_empty() {
+                continue;
+            }
+            match histograms.get_mut(name) {
+                Some(existing) => existing.merge(&acc),
+                None => {
+                    histograms.insert(name.clone(), acc);
+                }
+            }
+        }
+    }
+
+    fn retire(&self, cell: &Arc<Cell>) {
+        let mut merged = self.merged.lock().unwrap();
+        // Fold while still holding the lock: a snapshot sees the cell
+        // either live or retired, never both and never neither.
+        for (slot, c) in cell.counters.iter().enumerate() {
+            merged.retired_counters[slot] += c.load(Ordering::Relaxed);
+        }
+        for (slot, h) in cell.histograms.iter().enumerate() {
+            merged.retired_histograms[slot].absorb(h);
+        }
+        merged.cells.retain(|other| !Arc::ptr_eq(other, cell));
+    }
+}
+
+/// A thread-private metric cell: relaxed atomic writes into storage no
+/// other thread touches, merged into snapshots on demand and folded
+/// into the registry's retired accumulator on drop.
+///
+/// Obtain one per worker thread via [`crate::Obs::collector`] and keep
+/// it for the thread's lifetime — creation and drop both take the
+/// registry's shard lock.
+pub struct LocalCollector {
+    cell: Arc<Cell>,
+    shards: Arc<ShardSet>,
+}
+
+impl std::fmt::Debug for LocalCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalCollector").finish()
+    }
+}
+
+impl LocalCollector {
+    /// Adds one to the counter in slot `id`.
+    #[inline]
+    pub fn inc(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Adds `n` to the counter in slot `id`.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.cell.counters[id.0 as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one sample into the histogram in slot `id`.
+    #[inline]
+    pub fn record(&self, id: HistogramId, v: u64) {
+        self.cell.histograms[id.0 as usize].record(v);
+    }
+}
+
+impl Drop for LocalCollector {
+    fn drop(&mut self) {
+        self.shards.retire(&self.cell);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards() -> Arc<ShardSet> {
+        Arc::new(ShardSet::default())
+    }
+
+    #[test]
+    fn ids_are_stable_per_name() {
+        let s = shards();
+        let a = s.counter_id("sim.refresh");
+        let b = s.counter_id("dab.recompute");
+        assert_ne!(a, b);
+        assert_eq!(s.counter_id("sim.refresh"), a);
+        assert_eq!(s.histogram_id("x"), s.histogram_id("x"));
+    }
+
+    #[test]
+    fn collector_counts_merge_into_snapshot_maps() {
+        let s = shards();
+        let refresh = s.counter_id("sim.refresh");
+        let solve = s.histogram_id("gp.solve_ns");
+        let c = s.collector();
+        c.add(refresh, 5);
+        c.record(solve, 100);
+        c.record(solve, 900);
+
+        let mut counters = BTreeMap::new();
+        counters.insert("sim.refresh".to_string(), 2u64); // a handle-based total
+        let mut hists = BTreeMap::new();
+        s.merge_into(&mut counters, &mut hists);
+        assert_eq!(counters["sim.refresh"], 7);
+        let h = hists["gp.solve_ns"].summary();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 1000, 100, 900));
+    }
+
+    #[test]
+    fn dropped_collectors_retain_their_counts() {
+        let s = shards();
+        let id = s.counter_id("c");
+        {
+            let c = s.collector();
+            c.add(id, 3);
+        }
+        let c2 = s.collector();
+        c2.add(id, 4);
+        let mut counters = BTreeMap::new();
+        let mut hists = BTreeMap::new();
+        s.merge_into(&mut counters, &mut hists);
+        assert_eq!(counters["c"], 7);
+    }
+
+    #[test]
+    fn registrations_past_capacity_share_the_overflow_slot() {
+        let s = shards();
+        let mut overflowed = None;
+        for i in 0..COUNTER_SLOTS + 5 {
+            let id = s.counter_id(&format!("c{i}"));
+            if id.0 == 0 {
+                overflowed.get_or_insert(i);
+            }
+        }
+        // Slot 0 is reserved, so capacity-1 names fit before overflow.
+        assert_eq!(overflowed, Some(COUNTER_SLOTS - 1));
+        let c = s.collector();
+        c.inc(CounterId(0));
+        let mut counters = BTreeMap::new();
+        let mut hists = BTreeMap::new();
+        s.merge_into(&mut counters, &mut hists);
+        assert_eq!(counters[SHARD_OVERFLOW], 1);
+    }
+
+    #[test]
+    fn empty_overflow_slot_stays_out_of_snapshots() {
+        let s = shards();
+        let _c = s.collector();
+        let mut counters = BTreeMap::new();
+        let mut hists = BTreeMap::new();
+        s.merge_into(&mut counters, &mut hists);
+        assert!(counters.is_empty());
+        assert!(hists.is_empty());
+    }
+}

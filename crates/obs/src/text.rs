@@ -50,11 +50,30 @@ pub fn render_prometheus(snapshot: &Snapshot) -> String {
         let _ = writeln!(out, "# TYPE {metric}_max gauge");
         let _ = writeln!(out, "{metric}_max {}", h.max);
     }
+    for (name, &value) in &snapshot.gauges {
+        let metric = format!("pq_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {}", prom_f64(value));
+    }
     out
 }
 
+/// Renders a gauge value for the text exposition format (which spells
+/// non-finite values out, unlike JSON).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
 /// Renders a snapshot as one JSON object:
-/// `{"counters":{...},"labeled":{...},"histograms":{...}}`.
+/// `{"counters":{...},"labeled":{...},"histograms":{...},"gauges":{...}}`.
 pub fn render_json(snapshot: &Snapshot) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\"counters\":{");
@@ -108,6 +127,13 @@ pub fn render_json(snapshot: &Snapshot) -> String {
             let _ = write!(out, "[{le},{cumulative}]");
         }
         out.push_str("]}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, &value)) in snapshot.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(name), json_f64(value));
     }
     out.push_str("}}");
     out
@@ -254,7 +280,36 @@ mod tests {
         assert_eq!(render_prometheus(&snap), "");
         assert_eq!(
             render_json(&snap),
-            "{\"counters\":{},\"labeled\":{},\"histograms\":{}}"
+            "{\"counters\":{},\"labeled\":{},\"histograms\":{},\"gauges\":{}}"
         );
+    }
+
+    #[test]
+    fn gauges_render_in_both_formats() {
+        let obs = Obs::null();
+        obs.gauge("audit.drift_max").set(0.125);
+        obs.gauge("audit.fidelity_loss_pct").set(3.0);
+        let snap = obs.snapshot();
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE pq_audit_drift_max gauge\n"));
+        assert!(text.contains("pq_audit_drift_max 0.125\n"));
+        assert!(text.contains("pq_audit_fidelity_loss_pct 3\n"));
+        let json = render_json(&snap);
+        assert!(
+            json.contains("\"gauges\":{\"audit.drift_max\":0.125,\"audit.fidelity_loss_pct\":3.0}")
+        );
+    }
+
+    #[test]
+    fn never_recorded_histogram_renders_without_sentinel_min() {
+        let obs = Obs::null();
+        let _ = obs.histogram("empty_ns");
+        let text = render_prometheus(&obs.snapshot());
+        assert!(
+            !text.contains(&u64::MAX.to_string()),
+            "sentinel leaked: {text}"
+        );
+        let json = render_json(&obs.snapshot());
+        assert!(json.contains("\"empty_ns\":{\"count\":0,\"sum\":0,\"mean\":0.0,\"p50\":0,\"p95\":0,\"p99\":0,\"min\":0,\"max\":0,\"buckets\":[]}"));
     }
 }

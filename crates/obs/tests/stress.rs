@@ -1,0 +1,105 @@
+//! Concurrency stress for the registry/collector merge: writer threads
+//! hammer handle-based and sharded counters + histograms while a reader
+//! snapshots continuously. Asserts the two guarantees the sharded plane
+//! documents: no lost (or double-counted) increments, and monotone
+//! totals across successive snapshots — including across collector
+//! retirement, which moves a cell's counts from the live sum into the
+//! retired accumulator mid-run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use pq_obs::Obs;
+
+const WRITERS: usize = 8;
+const ROUNDS: u64 = 20_000;
+
+#[test]
+fn concurrent_writers_lose_nothing_and_totals_stay_monotone() {
+    let obs = Obs::null();
+    let counter_id = obs.counter_id("stress.sharded");
+    let hist_id = obs.histogram_id("stress.sharded_ns");
+    let handle_counter = obs.counter("stress.handle");
+    let handle_hist = obs.histogram("stress.handle_ns");
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        let mut writers = Vec::new();
+        for w in 0..WRITERS {
+            let obs = obs.clone();
+            let handle_counter = handle_counter.clone();
+            let handle_hist = handle_hist.clone();
+            writers.push(s.spawn(move || {
+                // Half the writers retire their collector mid-run and
+                // continue on a fresh one, exercising the fold path
+                // while the reader snapshots.
+                let mut local = obs.collector();
+                for i in 0..ROUNDS {
+                    local.inc(counter_id);
+                    local.record(hist_id, i % 1024);
+                    handle_counter.inc();
+                    handle_hist.record(i % 512);
+                    if w % 2 == 0 && i == ROUNDS / 2 {
+                        local = obs.collector();
+                    }
+                }
+            }));
+        }
+
+        let reader = {
+            let obs = obs.clone();
+            let done = done.clone();
+            s.spawn(move || {
+                let mut last_sharded = 0u64;
+                let mut last_handle = 0u64;
+                let mut last_hist_count = 0u64;
+                let mut snapshots = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = obs.snapshot();
+                    let sharded = snap.counters.get("stress.sharded").copied().unwrap_or(0);
+                    let handle = snap.counters.get("stress.handle").copied().unwrap_or(0);
+                    assert!(
+                        sharded >= last_sharded,
+                        "sharded total went backwards: {last_sharded} -> {sharded}"
+                    );
+                    assert!(
+                        handle >= last_handle,
+                        "handle total went backwards: {last_handle} -> {handle}"
+                    );
+                    if let Some(h) = snap.histograms.get("stress.sharded_ns") {
+                        assert!(h.count >= last_hist_count, "histogram count went backwards");
+                        last_hist_count = h.count;
+                        // The min sentinel must never leak, even racing
+                        // a first record.
+                        assert_ne!(h.min, u64::MAX);
+                        assert!(h.min <= h.max.max(1));
+                    }
+                    last_sharded = sharded;
+                    last_handle = handle;
+                    snapshots += 1;
+                }
+                snapshots
+            })
+        };
+
+        for writer in writers {
+            writer.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        let snapshots = reader.join().unwrap();
+        assert!(snapshots > 0, "reader never snapshotted");
+    });
+
+    // Exact final totals: nothing lost, nothing double-counted.
+    let snap = obs.snapshot();
+    let expected = (WRITERS as u64) * ROUNDS;
+    assert_eq!(snap.counters["stress.sharded"], expected);
+    assert_eq!(snap.counters["stress.handle"], expected);
+    let sharded_hist = &snap.histograms["stress.sharded_ns"];
+    assert_eq!(sharded_hist.count, expected);
+    let expected_sum: u64 = (0..ROUNDS).map(|i| i % 1024).sum::<u64>() * WRITERS as u64;
+    assert_eq!(sharded_hist.sum, expected_sum);
+    assert_eq!(sharded_hist.min, 0);
+    assert_eq!(sharded_hist.max, 1023);
+    assert_eq!(snap.histograms["stress.handle_ns"].count, expected);
+}

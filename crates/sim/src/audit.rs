@@ -1,0 +1,375 @@
+//! Continuous fidelity audit: shadow evaluation of the delta plane.
+//!
+//! [`crate::engine::EvalMode::Delta`] replaces per-use naive
+//! re-evaluation with incrementally maintained query values
+//! ([`crate::incremental::DeltaView`]). The `evalbench` parity gate
+//! proves the two paths agree on fixed benchmark seeds — but a live run
+//! with new traces, new queries, or a new scheduler backend has no such
+//! certificate. The `FidelityAuditor` closes that gap *in production*:
+//! every `every` ticks it picks a rotating sample of queries,
+//! re-evaluates them from scratch with [`pq_poly::PolynomialQuery::eval`]
+//! at both the source and the coordinator view, and compares
+//!
+//! * the **values** against the delta-maintained ones, and
+//! * the **QAB violation decision** the engine would take from each.
+//!
+//! Agreement is reported as live gauges; any divergence increments the
+//! eagerly-registered `audit.divergence` counter (so `pq_audit_divergence_total 0`
+//! is always scrapeable as a health check) and emits a structured
+//! `audit.divergence` event carrying the query, tick, both values, the
+//! drift, and whether the value or the decision diverged.
+//!
+//! The audit consumes no randomness and writes no engine state, so a run
+//! produces byte-identical [`crate::SimMetrics`] whether it is on or
+//! off; its only cost is the sampled naive evaluations, surfaced by the
+//! `audit.cost_per_refresh` gauge (shadow-evaluation nanoseconds per
+//! processed refresh). Sampling guidance lives in DESIGN.md §9.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pq_obs::{names, Counter, EventKind, Gauge, Obs};
+use pq_poly::PolynomialQuery;
+
+use crate::incremental::DeltaView;
+
+/// Configuration of the continuous fidelity audit (see module docs).
+///
+/// Only active under [`crate::engine::EvalMode::Delta`] — in naive mode
+/// the engine already evaluates from scratch everywhere, so there is no
+/// second plane to audit.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Run one audit pass every this many ticks (`0` disables the
+    /// auditor entirely).
+    pub every: usize,
+    /// Queries shadow-evaluated per pass, taken round-robin so every
+    /// query is eventually covered regardless of the sample size.
+    /// Clamped to the query count.
+    pub sample: usize,
+    /// Relative drift tolerance: query `q` diverges when
+    /// `|naive - delta| > tolerance * (1 + |naive|)`. The default is
+    /// three orders of magnitude above the rebase-bounded rounding
+    /// drift of [`DeltaView`] and far below any meaningful QAB.
+    pub tolerance: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            every: 16,
+            sample: 4,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// One injected [`DeltaView::corrupt`] call, applied to the coordinator
+/// view just before the audit pass of the given tick — fault injection
+/// proving the auditor catches a wrong delta plane within one interval.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditFault {
+    /// Tick at which the corruption is applied.
+    pub tick: usize,
+    /// Query whose maintained value is perturbed.
+    pub query: usize,
+    /// Amount added to the maintained value.
+    pub perturb: f64,
+}
+
+/// The shadow evaluator the engine drives once per audit interval.
+#[derive(Debug)]
+pub(crate) struct FidelityAuditor {
+    cfg: AuditConfig,
+    /// Round-robin position over the query index space.
+    cursor: usize,
+    /// Audited samples / naive-truth violations among them, driving the
+    /// `audit.fidelity_loss_pct` gauge (the live estimate of the
+    /// paper's loss metric from the audited subset).
+    samples: u64,
+    violations: u64,
+    /// Largest value drift observed so far (gauge `audit.drift_max`).
+    drift_max: f64,
+    /// Total shadow-evaluation wall clock, in nanoseconds.
+    audit_ns: u64,
+    c_sample: Arc<Counter>,
+    c_divergence: Arc<Counter>,
+    g_fidelity_loss: Arc<Gauge>,
+    g_drift_max: Arc<Gauge>,
+    g_cost_per_refresh: Arc<Gauge>,
+}
+
+impl FidelityAuditor {
+    /// Builds the auditor, eagerly registering its counters and gauges
+    /// so they are scrapeable (at zero) before the first pass runs.
+    pub(crate) fn new(cfg: AuditConfig, obs: &Obs) -> Self {
+        let auditor = FidelityAuditor {
+            cfg,
+            cursor: 0,
+            samples: 0,
+            violations: 0,
+            drift_max: 0.0,
+            audit_ns: 0,
+            c_sample: obs.counter(names::AUDIT_SAMPLE),
+            c_divergence: obs.counter(names::AUDIT_DIVERGENCE),
+            g_fidelity_loss: obs.gauge(names::AUDIT_FIDELITY_LOSS_PCT),
+            g_drift_max: obs.gauge(names::AUDIT_DRIFT_MAX),
+            g_cost_per_refresh: obs.gauge(names::AUDIT_COST_PER_REFRESH),
+        };
+        auditor.g_fidelity_loss.set(0.0);
+        auditor.g_drift_max.set(0.0);
+        auditor.g_cost_per_refresh.set(0.0);
+        auditor
+    }
+
+    /// Runs one audit pass if `tick` falls on the configured interval.
+    ///
+    /// `src_values` / `coord_values` are the per-item value columns of
+    /// the two views; `src_view` / `coord_view` the delta planes under
+    /// audit; `refreshes` the engine's processed-refresh count (for the
+    /// cost gauge). Pure with respect to the simulation: reads only.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_tick(
+        &mut self,
+        tick: usize,
+        queries: &[PolynomialQuery],
+        src_values: &[f64],
+        coord_values: &[f64],
+        src_view: &DeltaView,
+        coord_view: &DeltaView,
+        refreshes: u64,
+        obs: &Obs,
+    ) {
+        if self.cfg.every == 0 || !tick.is_multiple_of(self.cfg.every) || queries.is_empty() {
+            return;
+        }
+        let started = Instant::now();
+        let take = self.cfg.sample.clamp(1, queries.len());
+        for _ in 0..take {
+            let qi = self.cursor;
+            self.cursor = (self.cursor + 1) % queries.len();
+            self.audit_query(
+                qi,
+                tick,
+                &queries[qi],
+                src_values,
+                coord_values,
+                src_view,
+                coord_view,
+                obs,
+            );
+        }
+        self.g_fidelity_loss
+            .set(100.0 * self.violations as f64 / self.samples as f64);
+        self.g_drift_max.set(self.drift_max);
+        self.audit_ns += started.elapsed().as_nanos() as u64;
+        self.g_cost_per_refresh
+            .set(self.audit_ns as f64 / refreshes.max(1) as f64);
+    }
+
+    /// Shadow-evaluates one query at both views and compares values and
+    /// the QAB decision against the delta plane.
+    #[allow(clippy::too_many_arguments)]
+    fn audit_query(
+        &mut self,
+        qi: usize,
+        tick: usize,
+        query: &PolynomialQuery,
+        src_values: &[f64],
+        coord_values: &[f64],
+        src_view: &DeltaView,
+        coord_view: &DeltaView,
+        obs: &Obs,
+    ) {
+        self.samples += 1;
+        self.c_sample.inc();
+        let naive_src = query.eval(src_values);
+        let naive_coord = query.eval(coord_values);
+        let delta_src = src_view.value(qi);
+        let delta_coord = coord_view.value(qi);
+        if naive_src.is_finite()
+            && naive_coord.is_finite()
+            && (naive_src - naive_coord).abs() > query.qab()
+        {
+            self.violations += 1;
+        }
+        for (view, naive, delta) in [
+            ("source", naive_src, delta_src),
+            ("coordinator", naive_coord, delta_coord),
+        ] {
+            let drift = (naive - delta).abs();
+            if drift.is_finite() && drift > self.drift_max {
+                self.drift_max = drift;
+            }
+            // NaN drift (e.g. a poisoned delta plane) must diverge too.
+            if drift.is_nan() || drift > self.cfg.tolerance * (1.0 + naive.abs()) {
+                self.divergence(qi, tick, view, naive, delta, drift, "value", obs);
+            }
+        }
+        // Decision parity: would the engine's QAB check fire? Only
+        // flagged when the naive gap is robustly away from the QAB
+        // boundary — a knife-edge sample flipping on rounding drift is
+        // tolerance, not divergence.
+        let naive_gap = (naive_src - naive_coord).abs();
+        let delta_gap = (delta_src - delta_coord).abs();
+        let qab = query.qab();
+        let robust = (naive_gap - qab).abs() > self.cfg.tolerance * (1.0 + naive_gap);
+        if robust && (naive_gap > qab) != (delta_gap > qab) {
+            self.divergence(
+                qi,
+                tick,
+                "decision",
+                naive_gap,
+                delta_gap,
+                (naive_gap - delta_gap).abs(),
+                "decision",
+                obs,
+            );
+        }
+    }
+
+    /// Records one divergence: counter bump plus a structured event.
+    #[allow(clippy::too_many_arguments)]
+    fn divergence(
+        &mut self,
+        qi: usize,
+        tick: usize,
+        view: &'static str,
+        naive: f64,
+        cached: f64,
+        drift: f64,
+        kind: &'static str,
+        obs: &Obs,
+    ) {
+        self.c_divergence.inc();
+        obs.emit_with(names::AUDIT_DIVERGENCE, EventKind::Point, |e| {
+            e.with("query", qi)
+                .with("tick", tick)
+                .with("view", view)
+                .with("naive", naive)
+                .with("cached", cached)
+                .with("drift", drift)
+                .with("kind", kind)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayConfig;
+    use crate::engine::{run, run_observed, EvalMode, SimConfig};
+    use pq_ddm::{Trace, TraceSet};
+    use pq_obs::Value;
+    use pq_poly::ItemId;
+
+    fn audited_config() -> SimConfig {
+        let traces = TraceSet::new(vec![
+            Trace::sinusoid(20.0, 3.0, 400.0, 800),
+            Trace::sinusoid(10.0, 2.0, 300.0, 800),
+            Trace::sinusoid(15.0, 2.5, 350.0, 800),
+        ]);
+        let queries = vec![
+            PolynomialQuery::portfolio([(1.0, ItemId(0), ItemId(1))], 8.0).unwrap(),
+            PolynomialQuery::portfolio([(1.0, ItemId(1), ItemId(2))], 8.0).unwrap(),
+        ];
+        let mut cfg = SimConfig::new(traces, queries);
+        cfg.delays = DelayConfig::planetlab_like();
+        cfg.eval = EvalMode::Delta { rebase_every: 256 };
+        cfg.audit = Some(AuditConfig {
+            every: 4,
+            sample: 2,
+            ..AuditConfig::default()
+        });
+        cfg
+    }
+
+    #[test]
+    fn clean_run_reports_zero_divergences() {
+        let obs = Obs::null();
+        run_observed(&audited_config(), &obs).unwrap();
+        let snap = obs.snapshot();
+        assert!(snap.counters[names::AUDIT_SAMPLE] > 0, "auditor never ran");
+        assert_eq!(
+            snap.counters[names::AUDIT_DIVERGENCE],
+            0,
+            "delta plane diverged from naive truth"
+        );
+        assert_eq!(snap.gauges[names::AUDIT_FIDELITY_LOSS_PCT], 0.0);
+        assert!(snap.gauges[names::AUDIT_DRIFT_MAX] < 1e-9);
+        assert!(snap.gauges[names::AUDIT_COST_PER_REFRESH] > 0.0);
+    }
+
+    #[test]
+    fn injected_fault_is_caught_within_one_audit_interval() {
+        let mut cfg = audited_config();
+        let fault_tick = 100;
+        cfg.audit_fault = Some(AuditFault {
+            tick: fault_tick,
+            query: 1,
+            perturb: 500.0,
+        });
+        let (obs, ring) = Obs::ring(4096);
+        run_observed(&cfg, &obs).unwrap();
+        let snap = obs.snapshot();
+        assert!(snap.counters[names::AUDIT_DIVERGENCE] > 0, "fault missed");
+        let every = cfg.audit.as_ref().unwrap().every;
+        let caught_at = ring
+            .events()
+            .iter()
+            .filter(|e| e.target == names::AUDIT_DIVERGENCE)
+            .filter_map(|e| match e.field("tick") {
+                Some(Value::U64(t)) => Some(*t as usize),
+                _ => None,
+            })
+            .min()
+            .expect("no divergence event emitted");
+        assert!(
+            caught_at >= fault_tick && caught_at < fault_tick + every,
+            "fault at tick {fault_tick} first flagged at {caught_at} (interval {every})"
+        );
+    }
+
+    #[test]
+    fn metrics_are_identical_with_audit_on_and_off() {
+        let audited = audited_config();
+        let mut plain = audited.clone();
+        plain.audit = None;
+        let mut with_audit = run(&audited).unwrap();
+        let mut without = run(&plain).unwrap();
+        with_audit.solver_seconds = 0.0;
+        without.solver_seconds = 0.0;
+        assert_eq!(with_audit, without, "audit perturbed the simulation");
+    }
+
+    #[test]
+    fn naive_mode_disables_the_auditor() {
+        let mut cfg = audited_config();
+        cfg.eval = EvalMode::Naive;
+        let obs = Obs::null();
+        run_observed(&cfg, &obs).unwrap();
+        assert!(!obs.snapshot().counters.contains_key(names::AUDIT_SAMPLE));
+    }
+
+    #[test]
+    fn round_robin_covers_every_query() {
+        let obs = Obs::null();
+        let mut cfg = audited_config();
+        // One query per pass: coverage must still rotate across both.
+        cfg.audit.as_mut().unwrap().sample = 1;
+        let mut auditor = FidelityAuditor::new(cfg.audit.clone().unwrap(), &obs);
+        let values = vec![3.0, 4.0, 5.0];
+        let plans: Vec<_> = cfg
+            .queries
+            .iter()
+            .map(|q| pq_poly::EvalPlan::compile(q.poly()))
+            .collect();
+        let view = DeltaView::new(&plans, &values);
+        auditor.on_tick(4, &cfg.queries, &values, &values, &view, &view, 1, &obs);
+        assert_eq!(auditor.cursor, 1, "first pass audits q0, cursor advances");
+        auditor.on_tick(8, &cfg.queries, &values, &values, &view, &view, 2, &obs);
+        assert_eq!(auditor.cursor, 0, "second pass audits q1, wraps around");
+        assert_eq!(auditor.samples, 2);
+        assert_eq!(obs.snapshot().counters[names::AUDIT_DIVERGENCE], 0);
+    }
+}

@@ -31,9 +31,10 @@ use pq_core::{
 };
 use pq_ddm::{DataDynamicsModel, RateEstimator, TraceSet};
 use pq_gp::SolverOptions;
-use pq_obs::{names, Counter, EventKind, Histogram, Obs, ObsConfig};
+use pq_obs::{names, Counter, EventKind, Histogram, Obs, ObsConfig, Timer};
 use pq_poly::{EvalPlan, PolynomialQuery};
 
+use crate::audit::{AuditConfig, AuditFault, FidelityAuditor};
 use crate::delay::DelayConfig;
 use crate::event::Event;
 use crate::incremental::DeltaView;
@@ -145,6 +146,16 @@ pub struct SimConfig {
     /// and the GP solver; use [`run_observed`] to supply a handle
     /// directly and inspect its registry afterwards.
     pub obs: ObsConfig,
+    /// Continuous fidelity audit of the delta-maintained query values
+    /// (shadow naive evaluation; see [`crate::audit`]). `None` (default)
+    /// disables it; only active under [`EvalMode::Delta`]. The audit is
+    /// read-only and RNG-free: [`SimMetrics`] are byte-identical with it
+    /// on or off.
+    pub audit: Option<AuditConfig>,
+    /// Fault injection for the audit path: corrupts the coordinator
+    /// [`DeltaView`] at a chosen tick so tests can prove the auditor
+    /// flags a wrong delta plane within one interval.
+    pub audit_fault: Option<AuditFault>,
 }
 
 impl SimConfig {
@@ -171,6 +182,8 @@ impl SimConfig {
             eval: EvalMode::default(),
             threads: default_recompute_threads(),
             obs: ObsConfig::default(),
+            audit: None,
+            audit_fault: None,
         }
     }
 }
@@ -317,6 +330,23 @@ struct Engine<'a> {
     /// batch drained.
     c_ingest_batch: Arc<Counter>,
     h_ingest_batch_size: Arc<Histogram>,
+    /// Pre-resolved `sim.solve_ns` handle for [`Engine::note_solver_time`]
+    /// (one registry lookup at construction instead of one per batch).
+    h_solve_ns: Arc<Histogram>,
+    /// Timing span opened around each stale-set recomputation
+    /// (`sim.recompute_batch_ns`); the fanned-out `gp.solve` spans
+    /// resolve their causal parent to it via the [`pq_obs::SpanContext`]
+    /// that [`recompute_parallel`] carries into its workers.
+    t_recompute_batch: Timer,
+    /// Pre-resolved `gp.solve` timer shared by every [`SolveContext`]
+    /// this engine builds — solver spans skip per-solve registry lookups.
+    t_gp_solve: Timer,
+    /// Per-query `gp.solve` attribution handles (labeled family, key
+    /// `query`), resolved once so the solver hot path is one relaxed add.
+    lc_solve_by_query: Vec<Arc<Counter>>,
+    /// Continuous fidelity audit (shadow naive evaluation); present only
+    /// when configured and evaluating in [`EvalMode::Delta`].
+    auditor: Option<FidelityAuditor>,
 }
 
 impl<'a> Engine<'a> {
@@ -405,6 +435,18 @@ impl<'a> Engine<'a> {
             c_sched_pop: obs.counter(names::SCHED_POP),
             c_ingest_batch: obs.counter(names::INGEST_BATCH),
             h_ingest_batch_size: obs.histogram(names::INGEST_BATCH_SIZE),
+            h_solve_ns: obs.histogram(names::SIM_SOLVE_NS),
+            t_recompute_batch: obs.timer(names::SIM_RECOMPUTE_BATCH),
+            t_gp_solve: obs.timer(names::GP_SOLVE),
+            lc_solve_by_query: (0..cfg.queries.len())
+                .map(|qi| obs.labeled_counter(names::GP_SOLVE, names::LABEL_QUERY, &qi.to_string()))
+                .collect(),
+            auditor: match (&cfg.audit, &cfg.eval) {
+                (Some(audit), EvalMode::Delta { .. }) => {
+                    Some(FidelityAuditor::new(audit.clone(), &obs))
+                }
+                _ => None,
+            },
             obs,
         };
         // The two initial full evaluations per query that seeded the views.
@@ -440,6 +482,8 @@ impl<'a> Engine<'a> {
         let mut gp = self.cfg.gp.clone();
         gp.obs = self.obs.clone();
         gp.query = query;
+        gp.query_counter = query.map(|q| self.lc_solve_by_query[q as usize].clone());
+        gp.solve_timer = Some(self.t_gp_solve.clone());
         SolveContext {
             values: self.items.coord_values(),
             rates: &self.rates,
@@ -453,7 +497,7 @@ impl<'a> Engine<'a> {
     /// [`SimMetrics::from_snapshot`] stays a lossless mirror.
     fn note_solver_time(&mut self, started: Instant) {
         let ns = started.elapsed().as_nanos() as u64;
-        self.obs.histogram(names::SIM_SOLVE_NS).record(ns);
+        self.h_solve_ns.record(ns);
         self.metrics.solver_seconds += ns as f64 / 1e9;
     }
 
@@ -479,6 +523,8 @@ impl<'a> Engine<'a> {
                         let mut gp = self.cfg.gp.clone();
                         gp.obs = self.obs.clone();
                         gp.query = Some(qi as u32);
+                        gp.query_counter = Some(self.lc_solve_by_query[qi].clone());
+                        gp.solve_timer = Some(self.t_gp_solve.clone());
                         let ctx = SolveContext {
                             values: self.items.coord_values(),
                             rates: &self.rates,
@@ -688,6 +734,27 @@ impl<'a> Engine<'a> {
                                     .with("cached", cached)
                             });
                     }
+                }
+            }
+            // Continuous fidelity audit: read-only shadow evaluation of
+            // the delta plane (preceded by the test-only fault hook).
+            if delta_mode {
+                if let Some(fault) = &self.cfg.audit_fault {
+                    if fault.tick == tick {
+                        self.coord_view.corrupt(fault.query, fault.perturb);
+                    }
+                }
+                if let Some(auditor) = self.auditor.as_mut() {
+                    auditor.on_tick(
+                        tick,
+                        &self.cfg.queries,
+                        self.items.values(),
+                        self.items.coord_values(),
+                        &self.src_view,
+                        &self.coord_view,
+                        self.metrics.refreshes,
+                        &self.obs,
+                    );
                 }
             }
         }
@@ -974,6 +1041,8 @@ impl<'a> Engine<'a> {
             let mut gp = self.cfg.gp.clone();
             gp.obs = self.obs.clone();
             gp.query = Some(qi as u32);
+            gp.query_counter = Some(self.lc_solve_by_query[qi].clone());
+            gp.solve_timer = Some(self.t_gp_solve.clone());
             let cache = self.cache.take(qi, ui);
             jobs.push(RecomputeJob {
                 qi,
@@ -988,7 +1057,12 @@ impl<'a> Engine<'a> {
                 cache,
             });
         }
+        // The batch span is the causal parent of every fanned-out
+        // `gp.solve` span: workers enter the [`pq_obs::SpanContext`]
+        // captured while this guard is on the stack.
+        let batch_span = self.t_recompute_batch.start(&self.obs);
         let done = recompute_parallel(jobs, strategy, self.cfg.threads);
+        drop(batch_span);
         self.note_solver_time(started);
         let mut failure: Option<SimError> = None;
         for d in done {

@@ -110,6 +110,15 @@ impl DeltaView {
         updated
     }
 
+    /// Fault injection: perturbs the maintained value of query `qi` by
+    /// `amount` without touching the underlying item values. The view is
+    /// now wrong by construction — exactly the failure mode (a missed or
+    /// double-applied delta) the fidelity auditor ([`crate::audit`]) exists
+    /// to catch, which is also its only intended use.
+    pub fn corrupt(&mut self, qi: usize, amount: f64) {
+        self.qv[qi] += amount;
+    }
+
     /// Recomputes every value with a full compiled evaluation at
     /// `values`, discarding accumulated rounding drift.
     pub fn rebase(&mut self, plans: &[EvalPlan], values: &[f64]) {

@@ -2,6 +2,8 @@
 //!
 //! Substrate replacing the paper's emulation / PlanetLab test-bed (§V-A):
 //!
+//! * [`audit`] — continuous fidelity audit: shadow naive evaluation of
+//!   a rotating query sample, live divergence gauges and events;
 //! * [`delay`] — heavy-tailed Pareto communication & computation delays;
 //! * [`event`] — deterministic discrete-event queue;
 //! * [`engine`] — the single-coordinator push-protocol simulation
@@ -22,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod delay;
 pub mod engine;
 pub mod event;
@@ -31,6 +34,7 @@ pub mod network;
 pub mod table;
 pub mod wheel;
 
+pub use audit::{AuditConfig, AuditFault};
 pub use delay::{DelayConfig, Pareto};
 pub use engine::{run, run_observed, EvalMode, SimConfig, SimError, SimStrategy};
 pub use event::{Event, EventQueue};

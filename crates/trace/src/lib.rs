@@ -11,7 +11,14 @@
 //!   force those recomputations.
 //! * [`render_tree`] — the span forest with inclusive/exclusive
 //!   timings, aggregated over repeated occurrences (a span's exclusive
-//!   time is its duration minus its direct children's).
+//!   time is its duration minus its direct children's). Traces whose
+//!   timing events carry the explicit `span_id`/`parent` fields (every
+//!   trace recorded since causal spans landed) nest by those ids — exact
+//!   even across the parallel solve fan-out; older traces fall back to
+//!   interval containment, byte-identical to the previous output.
+//! * [`render_profile`] — folds the sampling profiler's
+//!   `profile.sample` events into collapsed-stack (`flamegraph.pl`
+//!   compatible) `stack count` lines.
 //! * [`render_diff`] — two traces side by side with deltas, for
 //!   regression triage between runs.
 //!
@@ -381,13 +388,82 @@ struct PathAgg {
     exclusive_ns: u64,
 }
 
-/// Renders the `tree` report: the span forest aggregated by path, with
-/// inclusive and exclusive (self) time per path.
+/// One edge of the explicit span forest: a recorded timing span, its
+/// process-unique id, and (when nested) the id of its causal parent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEdge {
+    /// The span's `span_id` field.
+    pub id: u64,
+    /// The span's `parent` field, if it had an open parent span —
+    /// including a parent on another thread (fan-out workers carry the
+    /// spawning span's context).
+    pub parent: Option<u64>,
+    /// Span name (the timing event's target, e.g. `gp.solve_ns`).
+    pub name: String,
+    /// Recorded duration.
+    pub dur_ns: u64,
+}
+
+/// Extracts the explicit span forest from a trace: one [`SpanEdge`] per
+/// timing event carrying a `span_id` field, in event order. Traces from
+/// before causal spans landed yield an empty forest.
+pub fn span_forest(events: &[Event]) -> Vec<SpanEdge> {
+    events
+        .iter()
+        .filter(|e| e.kind == EventKind::Timing)
+        .filter_map(|e| {
+            Some(SpanEdge {
+                id: field_u64(e, "span_id")?,
+                parent: field_u64(e, "parent"),
+                name: e.target.to_string(),
+                dur_ns: field_u64(e, "dur_ns").unwrap_or(0),
+            })
+        })
+        .collect()
+}
+
+/// Aggregates the explicit span forest by root-to-leaf name path.
+fn aggregate_by_ids(edges: &[SpanEdge]) -> BTreeMap<String, PathAgg> {
+    use std::collections::HashMap;
+    // A span id is process-unique, so the last occurrence wins (there
+    // are no duplicates in well-formed traces).
+    let by_id: HashMap<u64, &SpanEdge> = edges.iter().map(|e| (e.id, e)).collect();
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for edge in edges {
+        if let Some(parent) = edge.parent.filter(|p| by_id.contains_key(p)) {
+            *child_ns.entry(parent).or_insert(0) += edge.dur_ns;
+        }
+    }
+    let mut aggregate: BTreeMap<String, PathAgg> = BTreeMap::new();
+    for edge in edges {
+        // Root-to-leaf name chain; the depth cap guards malformed
+        // traces with parent cycles.
+        let mut names = vec![edge.name.as_str()];
+        let mut cursor = edge.parent;
+        while let Some(p) = cursor.and_then(|p| by_id.get(&p)) {
+            names.push(p.name.as_str());
+            cursor = p.parent;
+            if names.len() > 64 {
+                break;
+            }
+        }
+        names.reverse();
+        let agg = aggregate.entry(names.join("/")).or_default();
+        agg.count += 1;
+        agg.inclusive_ns += edge.dur_ns;
+        agg.exclusive_ns += edge
+            .dur_ns
+            .saturating_sub(child_ns.get(&edge.id).copied().unwrap_or(0));
+    }
+    aggregate
+}
+
+/// Aggregates spans by interval containment (the pre-span-id fallback).
 ///
 /// A timing event's timestamp is taken at span *end*, so each span
 /// covers `[ts_ns - dur_ns, ts_ns]`; containment of those intervals
 /// (single-threaded traces) reconstructs the nesting.
-pub fn render_tree(events: &[Event]) -> String {
+fn aggregate_by_containment(events: &[Event]) -> BTreeMap<String, PathAgg> {
     struct Span {
         name: String,
         start: u64,
@@ -446,6 +522,23 @@ pub fn render_tree(events: &[Event]) -> String {
     while let Some(top) = stack.pop() {
         close(top, &mut aggregate);
     }
+    aggregate
+}
+
+/// Renders the `tree` report: the span forest aggregated by path, with
+/// inclusive and exclusive (self) time per path.
+///
+/// Traces whose timing events carry `span_id` fields nest by the
+/// explicit causal parents (exact across threads); older traces fall
+/// back to interval containment, producing byte-identical output to
+/// previous releases.
+pub fn render_tree(events: &[Event]) -> String {
+    let edges = span_forest(events);
+    let aggregate = if edges.is_empty() {
+        aggregate_by_containment(events)
+    } else {
+        aggregate_by_ids(&edges)
+    };
 
     let rows: Vec<Vec<String>> = aggregate
         .iter()
@@ -476,6 +569,31 @@ pub fn render_tree(events: &[Event]) -> String {
         &["span", "count", "inclusive_ns", "exclusive_ns"],
         &rows,
     );
+    out
+}
+
+/// Renders the `profile` report: the sampling profiler's
+/// `profile.sample` events folded into collapsed-stack lines —
+/// `a;b;c <count>`, one line per distinct stack, heaviest first (ties
+/// toward the lexicographically smaller stack). The output is the
+/// collapsed format `flamegraph.pl` and `inferno-flamegraph` consume
+/// directly.
+pub fn render_profile(events: &[Event]) -> String {
+    let mut folded: BTreeMap<&str, u64> = BTreeMap::new();
+    for event in events {
+        if event.target != "profile.sample" {
+            continue;
+        }
+        if let Some(Value::Str(stack)) = event.field("stack") {
+            *folded.entry(stack.as_ref()).or_insert(0) += 1;
+        }
+    }
+    let mut lines: Vec<(&str, u64)> = folded.into_iter().collect();
+    lines.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut out = String::new();
+    for (stack, count) in lines {
+        let _ = writeln!(out, "{stack} {count}");
+    }
     out
 }
 
@@ -642,6 +760,78 @@ mod tests {
         assert!(nested.contains('2') && nested.contains("500"), "{nested}");
         let root = lines.iter().find(|l| l.starts_with("gp.solve_ns")).unwrap();
         assert!(root.contains("400"), "{root}");
+    }
+
+    #[test]
+    fn tree_prefers_explicit_span_parents() {
+        // Two fan-out solves parented to one batch span; the second
+        // ends *after* its parent (worker outlived the guard's window),
+        // which interval containment would misread as a root.
+        let events = vec![
+            event(1000, "gp.solve_ns", EventKind::Timing)
+                .with("dur_ns", 300u64)
+                .with("span_id", 2u64)
+                .with("parent", 1u64),
+            event(1010, "sim.recompute_batch_ns", EventKind::Timing)
+                .with("dur_ns", 500u64)
+                .with("span_id", 1u64),
+            event(2000, "gp.solve_ns", EventKind::Timing)
+                .with("dur_ns", 400u64)
+                .with("span_id", 3u64)
+                .with("parent", 1u64),
+        ];
+        let text = render_tree(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        let parent = lines
+            .iter()
+            .find(|l| l.contains("sim.recompute_batch_ns"))
+            .unwrap();
+        assert!(parent.contains("500"), "{parent}");
+        let nested = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with("gp.solve_ns"))
+            .unwrap();
+        assert!(nested.starts_with("  "), "solves must nest: {nested}");
+        assert!(nested.contains('2') && nested.contains("700"), "{nested}");
+    }
+
+    #[test]
+    fn span_forest_extracts_edges_in_event_order() {
+        let events = vec![
+            event(10, "outer_ns", EventKind::Timing)
+                .with("dur_ns", 9u64)
+                .with("span_id", 7u64),
+            event(9, "inner_ns", EventKind::Timing)
+                .with("dur_ns", 3u64)
+                .with("span_id", 8u64)
+                .with("parent", 7u64),
+            // No span_id: pre-causal-span trace line, not an edge.
+            event(20, "legacy_ns", EventKind::Timing).with("dur_ns", 5u64),
+        ];
+        let edges = span_forest(&events);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].id, 7);
+        assert_eq!(edges[0].parent, None);
+        assert_eq!(edges[1].parent, Some(7));
+        assert_eq!(edges[1].name, "inner_ns");
+        assert_eq!(edges[1].dur_ns, 3);
+    }
+
+    #[test]
+    fn profile_folds_samples_into_collapsed_stacks() {
+        let events = vec![
+            event(1, "profile.sample", EventKind::Point)
+                .with("stack", "sim.recompute_batch;gp.solve"),
+            event(2, "profile.sample", EventKind::Point)
+                .with("stack", "sim.recompute_batch;gp.solve"),
+            event(3, "profile.sample", EventKind::Point).with("stack", "sim.recompute_batch"),
+            event(4, "sim.refresh", EventKind::Count).with("stack", "not-a-sample"),
+        ];
+        assert_eq!(
+            render_profile(&events),
+            "sim.recompute_batch;gp.solve 2\nsim.recompute_batch 1\n"
+        );
+        assert_eq!(render_profile(&[]), "");
     }
 
     #[test]

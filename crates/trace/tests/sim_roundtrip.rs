@@ -8,7 +8,7 @@ use std::sync::Arc;
 use pq_ddm::{Trace, TraceSet};
 use pq_poly::{ItemId, PolynomialQuery};
 use pq_sim::{run_observed, Obs, SimConfig};
-use pq_trace::{load, TraceStats};
+use pq_trace::{load, span_forest, TraceStats};
 
 #[test]
 fn trace_attribution_matches_sim_metrics_exactly() {
@@ -81,5 +81,75 @@ fn trace_attribution_matches_sim_metrics_exactly() {
             .get("gp.solve_ns")
             .is_some_and(|s| !s.is_empty()),
         "trace should carry gp.solve spans"
+    );
+}
+
+/// Causal spans across the parallel solve fan-out: every in-run
+/// `gp.solve` span recorded by a recompute batch must carry an explicit
+/// parent edge resolving to a `sim.recompute_batch` span — even though
+/// the solves run on scoped worker threads, whose wall-clock intervals
+/// containment analysis could never attribute.
+#[test]
+fn parallel_solve_spans_parent_to_their_recompute_batch() {
+    let traces = TraceSet::new(vec![
+        Trace::sinusoid(20.0, 3.0, 400.0, 600),
+        Trace::sinusoid(10.0, 2.0, 300.0, 600),
+        Trace::sinusoid(15.0, 4.0, 250.0, 600),
+    ]);
+    let queries = vec![
+        PolynomialQuery::portfolio([(1.0, ItemId(0), ItemId(1))], 8.0).unwrap(),
+        PolynomialQuery::portfolio([(1.0, ItemId(1), ItemId(2))], 6.0).unwrap(),
+    ];
+    let mut cfg = SimConfig::new(traces, queries);
+    cfg.threads = 4;
+
+    let dir = std::env::temp_dir().join("pq-trace-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("spans-{}.jsonl", std::process::id()));
+    let writer = Arc::new(pq_obs::JsonlWriter::create(&path).unwrap());
+    let obs = Obs::with_subscriber(writer);
+    run_observed(&cfg, &obs).unwrap();
+    obs.flush();
+
+    let events = load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let edges = span_forest(&events);
+    let by_id: std::collections::HashMap<u64, &pq_trace::SpanEdge> =
+        edges.iter().map(|e| (e.id, e)).collect();
+
+    let batches = edges
+        .iter()
+        .filter(|e| e.name == "sim.recompute_batch_ns")
+        .count();
+    assert!(batches > 0, "in-run recompute batches should be recorded");
+
+    // Every gp.solve span whose ancestor chain leaves the solver layer
+    // (gp.solve under dab.solve) must land in a recompute batch: these
+    // are exactly the in-run fan-out solves. Install-time seeding
+    // solves have no batch ancestor and stay roots of their chains.
+    let ancestry = |edge: &pq_trace::SpanEdge| {
+        let mut names = Vec::new();
+        let mut cursor = edge.parent;
+        while let Some(p) = cursor.and_then(|p| by_id.get(&p)) {
+            names.push(p.name.clone());
+            cursor = p.parent;
+        }
+        names
+    };
+    let mut batched = 0;
+    for edge in edges.iter().filter(|e| e.name == "gp.solve_ns") {
+        let chain = ancestry(edge);
+        if chain.iter().any(|n| n == "sim.recompute_batch_ns") {
+            assert_eq!(
+                chain.last().map(String::as_str),
+                Some("sim.recompute_batch_ns"),
+                "the recompute batch must be the root of a fan-out solve's chain: {chain:?}"
+            );
+            batched += 1;
+        }
+    }
+    assert!(
+        batched > 0,
+        "fan-out gp.solve spans should resolve to batch parents across threads"
     );
 }
