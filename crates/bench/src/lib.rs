@@ -33,6 +33,11 @@
 //! | `PQ_OBS_AUDIT=1` | Enable the continuous fidelity audit (shadow naive evaluation of sampled queries) at its defaults; see [`audit_from_env`] |
 //! | `PQ_OBS_AUDIT_EVERY=n` | Audit cadence: shadow-evaluate every `n`-th tick (default 16); implies `PQ_OBS_AUDIT=1` |
 //! | `PQ_OBS_AUDIT_SAMPLE=n` | Queries shadow-evaluated per audited tick, round-robin (default 4); implies `PQ_OBS_AUDIT=1` |
+//! | `PQ_OBS_SLO=1` | Enable the fidelity SLO engine (windowed `*_rate_*` series on `/metrics`, burn-rate alerts on `/alerts`, verdict on `/health`); see [`slo_from_env`] |
+//! | `PQ_OBS_SLO_TARGET=f` | Fidelity objective, fraction of samples inside the QAB (default 0.9); implies `PQ_OBS_SLO=1` |
+//! | `PQ_OBS_RECORDER=path` | Arm the black-box flight recorder; on an SLO breach, audit divergence, watchdog stall, or panic it dumps its ring buffers as JSONL at `path` (triage with `pq-trace postmortem`) |
+//! | `PQ_OBS_RECORDER_CAP=n` | Flight-recorder ring capacity in events per thread (default 4096) |
+//! | `PQ_OBS_AUDIT_FAULT=tick:query:perturb` | Inject a delta-plane corruption (CI smoke for the alert → dump → postmortem path); implies `PQ_OBS_AUDIT=1` |
 
 pub mod heuristics;
 
@@ -144,11 +149,19 @@ pub fn obs_from_env() -> Obs {
             .unwrap_or_else(|e| panic!("PQ_OBS_JSONL={}: {e}", path.to_string_lossy()));
         sinks.push(Arc::new(writer));
     }
+    let recorder = recorder_from_env().map(pq_obs::Recorder::new);
+    if let Some(recorder) = &recorder {
+        sinks.push(Arc::new(recorder.clone()));
+    }
     let obs = match sinks.len() {
         0 => Obs::null(),
         1 => Obs::with_subscriber(sinks.pop().expect("one sink")),
         _ => Obs::with_subscriber(Arc::new(pq_obs::Fanout::new(sinks))),
     };
+    if let Some(recorder) = recorder {
+        recorder.install_panic_hook();
+        obs.install_recorder(recorder);
+    }
     if let Ok(addr) = std::env::var("PQ_OBS_ADDR") {
         pq_obs::serve::spawn(obs.clone(), addr.as_str())
             .unwrap_or_else(|e| panic!("PQ_OBS_ADDR={addr}: {e}"))
@@ -172,7 +185,8 @@ pub fn obs_from_env() -> Obs {
 /// re-evaluations; the audit is read-only either way, so simulation
 /// metrics are byte-identical with it on or off.
 pub fn audit_from_env() -> Option<pq_sim::AuditConfig> {
-    let on = std::env::var_os("PQ_OBS_AUDIT").is_some_and(|v| v != "0");
+    let on = std::env::var_os("PQ_OBS_AUDIT").is_some_and(|v| v != "0")
+        || std::env::var_os("PQ_OBS_AUDIT_FAULT").is_some();
     let every = std::env::var("PQ_OBS_AUDIT_EVERY").ok().map(|s| {
         s.parse()
             .unwrap_or_else(|e| panic!("PQ_OBS_AUDIT_EVERY={s}: {e}"))
@@ -192,6 +206,68 @@ pub fn audit_from_env() -> Option<pq_sim::AuditConfig> {
         cfg.sample = sample;
     }
     Some(cfg)
+}
+
+/// Fidelity SLO configuration from the environment, for wiring into
+/// [`pq_sim::SimConfig::slo`]. Returns `Some` when `PQ_OBS_SLO=1` or
+/// `PQ_OBS_SLO_TARGET=f` is set; the target defaults to
+/// [`pq_obs::SloConfig`]'s 0.9 (10% error budget), and the burn-rate
+/// window pairs stay at their SRE-style defaults (5 s/1 m paging,
+/// 1 m/1 h ticketing).
+pub fn slo_from_env() -> Option<pq_obs::SloConfig> {
+    let on = std::env::var_os("PQ_OBS_SLO").is_some_and(|v| v != "0");
+    let target = std::env::var("PQ_OBS_SLO_TARGET").ok().map(|s| {
+        s.parse()
+            .unwrap_or_else(|e| panic!("PQ_OBS_SLO_TARGET={s}: {e}"))
+    });
+    if !on && target.is_none() {
+        return None;
+    }
+    let mut cfg = pq_obs::SloConfig::default();
+    if let Some(target) = target {
+        cfg.target = target;
+    }
+    Some(cfg)
+}
+
+/// Flight-recorder configuration from the environment (`PQ_OBS_RECORDER`
+/// dump path, `PQ_OBS_RECORDER_CAP` per-thread ring capacity).
+/// [`obs_from_env`] consumes this itself; it is public for harnesses
+/// that build their own telemetry handle.
+pub fn recorder_from_env() -> Option<pq_obs::RecorderConfig> {
+    let path = std::env::var_os("PQ_OBS_RECORDER")?;
+    let mut cfg = pq_obs::RecorderConfig::new(std::path::PathBuf::from(path));
+    if let Ok(cap) = std::env::var("PQ_OBS_RECORDER_CAP") {
+        cfg.capacity = cap
+            .parse()
+            .unwrap_or_else(|e| panic!("PQ_OBS_RECORDER_CAP={cap}: {e}"));
+    }
+    Some(cfg)
+}
+
+/// Audit fault injection from `PQ_OBS_AUDIT_FAULT=tick:query:perturb`,
+/// for wiring into [`pq_sim::SimConfig::audit_fault`]. CI uses this to
+/// smoke-test the whole divergence → alert → flight-recorder-dump →
+/// `pq-trace postmortem` path on a real run; combine with
+/// `PQ_OBS_AUDIT=1` (the fault only fires under an active audit and
+/// delta evaluation).
+pub fn audit_fault_from_env() -> Option<pq_sim::AuditFault> {
+    let spec = std::env::var("PQ_OBS_AUDIT_FAULT").ok()?;
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [tick, query, perturb] = parts.as_slice() else {
+        panic!("PQ_OBS_AUDIT_FAULT={spec}: expected tick:query:perturb");
+    };
+    Some(pq_sim::AuditFault {
+        tick: tick
+            .parse()
+            .unwrap_or_else(|e| panic!("PQ_OBS_AUDIT_FAULT tick {tick}: {e}")),
+        query: query
+            .parse()
+            .unwrap_or_else(|e| panic!("PQ_OBS_AUDIT_FAULT query {query}: {e}")),
+        perturb: perturb
+            .parse()
+            .unwrap_or_else(|e| panic!("PQ_OBS_AUDIT_FAULT perturb {perturb}: {e}")),
+    })
 }
 
 /// Emits the `bench.run` data point for one finished simulation run.

@@ -34,15 +34,19 @@
 
 pub mod event;
 pub mod jsonl;
+pub mod recorder;
 pub mod registry;
 pub mod serve;
 pub mod sharded;
+pub mod slo;
 pub mod span;
 pub mod subscriber;
 pub mod text;
+pub mod window;
 
 pub use event::{Event, EventKind, Value};
 pub use jsonl::{parse, to_json, JsonError, JsonlWriter};
+pub use recorder::{Recorder, RecorderConfig, DEFAULT_RECORDER_CAPACITY};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSummary, LabeledCounterSnapshot, Registry, Snapshot,
 };
@@ -50,9 +54,13 @@ pub use serve::MetricsServer;
 pub use sharded::{
     CounterId, HistogramId, LocalCollector, COUNTER_SLOTS, HISTOGRAM_SLOTS, SHARD_OVERFLOW,
 };
+pub use slo::{Alert, AlertKind, BurnWindow, Health, SloConfig, SloEngine, Watchdog};
 pub use span::{start_profiler, Profiler, SpanContext, SpanContextGuard, SpanId, MAX_SPAN_DEPTH};
 pub use subscriber::{
     Fanout, NullSubscriber, PrefixFilter, RingBufferSubscriber, StderrSubscriber, Subscriber,
+};
+pub use window::{
+    WindowPlane, WindowedCounter, WindowedHistogram, WINDOW_1H, WINDOW_1M, WINDOW_5S,
 };
 
 use std::path::PathBuf;
@@ -178,6 +186,20 @@ pub mod names {
     pub const LABEL_QUERY: &str = "query";
     /// Label key for per-item attribution (value: decimal item index).
     pub const LABEL_ITEM: &str = "item";
+
+    /// One SLO alert raised (structured Point event — see [`crate::slo`]).
+    pub const SLO_ALERT: &str = "slo.alert";
+    /// Total SLO alerts raised over the run (counter).
+    pub const SLO_ALERTS_RAISED: &str = "slo.alerts_raised";
+    /// Gauge: fidelity burn rate over the fast pair's long window.
+    pub const SLO_BURN_FAST: &str = "slo.burn_rate_fast";
+    /// Gauge: fidelity burn rate over the slow pair's long window.
+    pub const SLO_BURN_SLOW: &str = "slo.burn_rate_slow";
+    /// Gauge: fraction of the run's error budget still unspent.
+    pub const SLO_BUDGET_REMAINING: &str = "slo.error_budget_remaining";
+    /// Synthetic header event of a flight-recorder postmortem dump
+    /// (fields `reason`, `seq`, `threads`, `events`, `dropped`).
+    pub const RECORDER_DUMP: &str = "recorder.dump";
 }
 
 /// How a component should expose telemetry. `Default` is fully off.
@@ -201,6 +223,12 @@ pub struct ObsConfig {
     /// [`span`]. The conventional environment variable is
     /// `PQ_OBS_PROFILE_HZ`.
     pub profile_hz: Option<u32>,
+    /// Keep a black-box flight recorder of recent events (bounded
+    /// per-thread rings, dumped to JSONL on SLO breach, audit
+    /// divergence, watchdog stall, or panic) — see [`recorder`]. The
+    /// conventional environment variables are `PQ_OBS_RECORDER`
+    /// (dump path) and `PQ_OBS_RECORDER_CAP` (per-thread capacity).
+    pub recorder: Option<RecorderConfig>,
 }
 
 impl ObsConfig {
@@ -212,12 +240,27 @@ impl ObsConfig {
             && !self.stderr
             && self.addr.is_none()
             && self.profile_hz.is_none()
+            && self.recorder.is_none()
     }
+}
+
+/// Optional live-health components attached to an [`Obs`] handle after
+/// construction: each is installed at most once (first caller wins)
+/// and shared by every clone, so the exporter's `/health`, `/alerts`,
+/// and windowed `/metrics` series see the same instances the engine
+/// drives.
+#[derive(Default)]
+struct HealthCell {
+    window: OnceLock<Arc<WindowPlane>>,
+    slo: OnceLock<Arc<SloEngine>>,
+    watchdog: OnceLock<Arc<Watchdog>>,
+    recorder: OnceLock<Recorder>,
 }
 
 struct Inner {
     subscriber: Arc<dyn Subscriber>,
     registry: Registry,
+    health: HealthCell,
 }
 
 /// The telemetry handle: an `Arc` around a subscriber and a metrics
@@ -254,6 +297,7 @@ impl Obs {
             inner: Arc::new(Inner {
                 subscriber,
                 registry: Registry::default(),
+                health: HealthCell::default(),
             }),
         }
     }
@@ -288,11 +332,19 @@ impl Obs {
         if config.stderr {
             sinks.push(Arc::new(StderrSubscriber));
         }
+        let recorder = config.recorder.clone().map(Recorder::new);
+        if let Some(recorder) = &recorder {
+            sinks.push(Arc::new(recorder.clone()));
+        }
         let obs = match sinks.len() {
             0 => Obs::null(),
             1 => Obs::with_subscriber(sinks.pop().unwrap()),
             _ => Obs::with_subscriber(Arc::new(Fanout::new(sinks))),
         };
+        if let Some(recorder) = recorder {
+            recorder.install_panic_hook();
+            obs.install_recorder(recorder);
+        }
         if let Some(addr) = &config.addr {
             serve::spawn(obs.clone(), addr)?.detach();
         }
@@ -300,6 +352,54 @@ impl Obs {
             span::start_profiler(&obs, hz).detach();
         }
         Ok(obs)
+    }
+
+    /// Attaches a windowed-telemetry plane to this handle (and every
+    /// clone); `/metrics` then exposes its `*_rate_5s/_1m/_1h` series.
+    /// The first installed plane wins; returns `false` if one was
+    /// already attached.
+    pub fn install_window_plane(&self, plane: Arc<WindowPlane>) -> bool {
+        self.inner.health.window.set(plane).is_ok()
+    }
+
+    /// The attached windowed-telemetry plane, if any.
+    pub fn window_plane(&self) -> Option<Arc<WindowPlane>> {
+        self.inner.health.window.get().cloned()
+    }
+
+    /// Attaches a fidelity SLO engine; `/health` and `/alerts` then
+    /// report its verdicts. First installed engine wins.
+    pub fn install_slo_engine(&self, slo: Arc<SloEngine>) -> bool {
+        self.inner.health.slo.set(slo).is_ok()
+    }
+
+    /// The attached SLO engine, if any.
+    pub fn slo_engine(&self) -> Option<Arc<SloEngine>> {
+        self.inner.health.slo.get().cloned()
+    }
+
+    /// Attaches a hot-loop watchdog; `/health` then reports its status
+    /// and a detected stall triggers a flight-recorder dump. First
+    /// installed watchdog wins.
+    pub fn install_watchdog(&self, watchdog: Arc<Watchdog>) -> bool {
+        self.inner.health.watchdog.set(watchdog).is_ok()
+    }
+
+    /// The attached watchdog, if any.
+    pub fn watchdog(&self) -> Option<Arc<Watchdog>> {
+        self.inner.health.watchdog.get().cloned()
+    }
+
+    /// Attaches a flight recorder for trigger access (the recorder
+    /// must separately ride in the subscriber chain to capture events;
+    /// [`Obs::from_config`] wires both). First installed wins.
+    pub fn install_recorder(&self, recorder: Recorder) -> bool {
+        self.inner.health.recorder.set(recorder).is_ok()
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.inner.health.recorder.get()
     }
 
     /// Whether any subscriber wants events for `target`.

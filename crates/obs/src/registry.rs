@@ -15,9 +15,22 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::sharded::{CounterId, HistogramId, LocalCollector, ShardSet};
+
+/// Locks `m`, recovering the guard if a panicking thread poisoned it.
+///
+/// Every value guarded by a registry mutex is either an `Arc` handle map
+/// or a plain accumulation — there is no invariant a mid-panic writer
+/// can leave half-established — so the telemetry plane deliberately
+/// keeps serving after one instrumented thread dies. Without this, a
+/// single panic would cascade: every later `counter()`/`snapshot()`
+/// call on any thread would unwrap a `PoisonError` and bring the whole
+/// process down with it.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A monotonically increasing event tally.
 #[derive(Debug, Default)]
@@ -315,7 +328,7 @@ pub struct Registry {
 impl Registry {
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = lock_unpoisoned(&self.counters);
         if let Some(c) = map.get(name) {
             return c.clone();
         }
@@ -326,7 +339,7 @@ impl Registry {
 
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = lock_unpoisoned(&self.histograms);
         if let Some(h) = map.get(name) {
             return h.clone();
         }
@@ -345,7 +358,7 @@ impl Registry {
     /// [`Counter`]. Past [`LABEL_CAPACITY`] distinct values the
     /// [`LABEL_OVERFLOW`] counter is returned instead.
     pub fn labeled_counter(&self, name: &str, key: &str, value: &str) -> Arc<Counter> {
-        let mut map = self.labeled.lock().unwrap();
+        let mut map = lock_unpoisoned(&self.labeled);
         let family = map
             .entry(name.to_string())
             .or_insert_with(|| LabeledFamily {
@@ -374,7 +387,7 @@ impl Registry {
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = lock_unpoisoned(&self.gauges);
         if let Some(g) = map.get(name) {
             return g.clone();
         }
@@ -404,17 +417,11 @@ impl Registry {
     /// collector cells are merged in by name, so consumers see one
     /// total per metric regardless of how it was recorded.
     pub fn snapshot(&self) -> Snapshot {
-        let mut counters: BTreeMap<String, u64> = self
-            .counters
-            .lock()
-            .unwrap()
+        let mut counters: BTreeMap<String, u64> = lock_unpoisoned(&self.counters)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
-        let mut hist_accs: BTreeMap<String, HistAcc> = self
-            .histograms
-            .lock()
-            .unwrap()
+        let mut hist_accs: BTreeMap<String, HistAcc> = lock_unpoisoned(&self.histograms)
             .iter()
             .map(|(k, v)| (k.clone(), HistAcc::of(v)))
             .collect();
@@ -425,10 +432,7 @@ impl Registry {
                 .into_iter()
                 .map(|(k, acc)| (k, acc.summary()))
                 .collect(),
-            labeled: self
-                .labeled
-                .lock()
-                .unwrap()
+            labeled: lock_unpoisoned(&self.labeled)
                 .iter()
                 .map(|(k, fam)| {
                     (
@@ -444,10 +448,7 @@ impl Registry {
                     )
                 })
                 .collect(),
-            gauges: self
-                .gauges
-                .lock()
-                .unwrap()
+            gauges: lock_unpoisoned(&self.gauges)
                 .iter()
                 .map(|(k, g)| (k.clone(), g.get()))
                 .collect(),
@@ -688,6 +689,31 @@ mod tests {
         drop(local);
         // Retired cells keep contributing to later snapshots.
         assert_eq!(registry.snapshot().counters["sim.refresh"], 7);
+    }
+
+    #[test]
+    fn panicking_thread_does_not_poison_the_telemetry_plane() {
+        let obs = crate::Obs::null();
+        obs.labeled_counter("m", "query", "0").inc();
+        let clone = obs.clone();
+        let worker = std::thread::spawn(move || {
+            // Recording from the doomed thread must survive the panic...
+            clone.counter("sim.refresh").add(3);
+            // ...and this key-mismatch panic fires while the `labeled`
+            // mutex is held, poisoning it the hard way.
+            clone.labeled_counter("m", "item", "0");
+        });
+        assert!(worker.join().is_err(), "worker must have panicked");
+        // Every accessor and the snapshot keep working afterwards.
+        obs.labeled_counter("m", "query", "1").add(4);
+        obs.counter("sim.refresh").inc();
+        obs.histogram("gp.solve_ns").record(10);
+        obs.gauge("audit.drift_max").set(0.5);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["sim.refresh"], 4);
+        assert_eq!(snap.labeled["m"].values["1"], 4);
+        assert_eq!(snap.histograms["gp.solve_ns"].count, 1);
+        assert_eq!(snap.gauges["audit.drift_max"], 0.5);
     }
 
     #[test]

@@ -3,8 +3,13 @@
 //! [`spawn`] binds a std [`TcpListener`] and serves, on a background
 //! thread, two read-only endpoints over an [`Obs`] handle's registry:
 //!
-//! * `GET /metrics` — Prometheus text format ([`crate::text::render_prometheus`]);
-//! * `GET /snapshot` — the same snapshot as JSON ([`crate::text::render_json`]).
+//! * `GET /metrics` — Prometheus text format ([`crate::text::render_prometheus`]),
+//!   plus windowed `*_rate_*` series when a [`crate::WindowPlane`] is installed;
+//! * `GET /snapshot` — the same snapshot as JSON ([`crate::text::render_json`]);
+//! * `GET /health` — one-line JSON health verdict from the installed
+//!   [`crate::SloEngine`] and [`crate::Watchdog`] (always `ok` when
+//!   neither is installed);
+//! * `GET /alerts` — active and recently cleared SLO alerts as JSON.
 //!
 //! Scrapes take a fresh [`crate::Snapshot`] per request; the instrumented
 //! process pays nothing between requests. Connections are handled
@@ -140,27 +145,101 @@ fn route(method: &str, path: &str, obs: &Obs) -> (&'static str, &'static str, St
     }
     // Ignore any query string — scrapers sometimes append cache busters.
     match path.split('?').next().unwrap_or("") {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            text::render_prometheus(&obs.snapshot()),
-        ),
+        "/metrics" => {
+            let mut body = text::render_prometheus(&obs.snapshot());
+            if let Some(plane) = obs.window_plane() {
+                body.push_str(&text::render_windows(&plane.snapshot()));
+            }
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
+        }
         "/snapshot" => (
             "200 OK",
             "application/json",
             text::render_json(&obs.snapshot()),
         ),
+        "/health" => ("200 OK", "application/json", render_health(obs)),
+        "/alerts" => ("200 OK", "application/json", render_alerts(obs)),
         "/" => (
             "200 OK",
             "text/plain; charset=utf-8",
-            "pq-obs exporter: GET /metrics (Prometheus text) or /snapshot (JSON)\n".into(),
+            "pq-obs exporter: GET /metrics (Prometheus text), /snapshot (JSON), /health, or /alerts\n"
+                .into(),
         ),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics or /snapshot\n".into(),
+            "not found; try /metrics, /snapshot, /health, or /alerts\n".into(),
         ),
     }
+}
+
+/// The `/health` payload. Health comes from the SLO engine's active
+/// alerts OR a stalled watchdog — either one degrades the verdict. A
+/// stall observed here also fires the flight-recorder dump, exactly
+/// once per stall episode: the scrape is the detection point.
+fn render_health(obs: &Obs) -> String {
+    use crate::slo::{Health, WatchdogStatus};
+    let (mut status, active, budget) = match obs.slo_engine() {
+        Some(slo) => {
+            let (health, active) = slo.health();
+            (health, active, slo.error_budget_remaining())
+        }
+        None => (Health::Ok, 0, 1.0),
+    };
+    let watchdog = match obs.watchdog() {
+        Some(watchdog) => {
+            let wd_status = watchdog.status();
+            if wd_status == WatchdogStatus::Stalled {
+                status = Health::Degraded;
+                if watchdog.should_report_stall() {
+                    if let Some(recorder) = obs.recorder() {
+                        let _ = recorder.trigger("watchdog_stall");
+                    }
+                }
+            }
+            wd_status.as_str()
+        }
+        None => "uninstalled",
+    };
+    let dumps = obs.recorder().map_or(0, crate::Recorder::dump_count);
+    format!(
+        "{{\"status\":{},\"active_alerts\":{},\"error_budget_remaining\":{},\"watchdog\":{},\"recorder_dumps\":{}}}\n",
+        text::json_string(status.as_str()),
+        active,
+        text::json_f64(budget),
+        text::json_string(watchdog),
+        dumps,
+    )
+}
+
+/// The `/alerts` payload: every remembered alert, active first-class.
+fn render_alerts(obs: &Obs) -> String {
+    let alerts = obs.slo_engine().map(|slo| slo.alerts()).unwrap_or_default();
+    let active = alerts.iter().filter(|a| a.is_active()).count();
+    let mut body = format!("{{\"active\":{active},\"alerts\":[");
+    for (i, alert) in alerts.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let cleared = alert
+            .cleared_at
+            .map_or_else(|| "null".to_string(), |t| t.to_string());
+        let _ = std::fmt::Write::write_fmt(
+            &mut body,
+            format_args!(
+                "{{\"id\":{},\"kind\":{},\"raised_at\":{},\"cleared_at\":{},\"burn_short\":{},\"burn_long\":{},\"message\":{}}}",
+                alert.id,
+                text::json_string(alert.kind.as_str()),
+                alert.raised_at,
+                cleared,
+                text::json_f64(alert.burn_short),
+                text::json_f64(alert.burn_long),
+                text::json_string(&alert.message),
+            ),
+        );
+    }
+    body.push_str("]}\n");
+    body
 }
 
 #[cfg(test)]
@@ -195,8 +274,16 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 200 OK"));
         assert!(body.contains("\"sim.refresh\":3"));
 
-        let (head, _) = get(addr, "/bogus");
+        let (head, body) = get(addr, "/bogus");
         assert!(head.starts_with("HTTP/1.1 404"));
+        assert_eq!(
+            body,
+            "not found; try /metrics, /snapshot, /health, or /alerts\n"
+        );
+
+        let (head, body) = get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(body.contains("/health"), "index must advertise /health");
 
         server.shutdown();
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err());
@@ -213,6 +300,93 @@ mod tests {
         let (_, body) = get(server.addr(), "/metrics");
         assert!(body.contains("pq_sim_refresh_total 5"));
         server.shutdown();
+    }
+
+    #[test]
+    fn health_defaults_to_ok_with_nothing_installed() {
+        let server = spawn(Obs::null(), "127.0.0.1:0").unwrap();
+        let (head, body) = get(server.addr(), "/health");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("application/json"));
+        assert_eq!(
+            body,
+            "{\"status\":\"ok\",\"active_alerts\":0,\"error_budget_remaining\":1.0,\
+             \"watchdog\":\"uninstalled\",\"recorder_dumps\":0}\n"
+        );
+        let (_, body) = get(server.addr(), "/alerts");
+        assert_eq!(body, "{\"active\":0,\"alerts\":[]}\n");
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_and_alerts_reflect_the_slo_engine() {
+        let obs = Obs::null();
+        let slo = Arc::new(crate::SloEngine::new(crate::SloConfig::default(), &obs));
+        assert!(obs.install_slo_engine(slo.clone()));
+        // One audit divergence: the zero-budget objective pages at once.
+        let raised = slo.observe(7, 10, 0, 1);
+        assert_eq!(raised.len(), 1);
+        let server = spawn(obs, "127.0.0.1:0").unwrap();
+
+        let (_, body) = get(server.addr(), "/health");
+        assert!(body.contains("\"status\":\"degraded\""), "body: {body}");
+        assert!(body.contains("\"active_alerts\":1"));
+
+        let (_, body) = get(server.addr(), "/alerts");
+        assert!(body.contains("\"active\":1"));
+        assert!(body.contains("\"kind\":\"audit_divergence\""));
+        assert!(body.contains("\"raised_at\":7"));
+        assert!(body.contains("\"cleared_at\":null"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_appends_windowed_series_when_a_plane_is_installed() {
+        let obs = Obs::null();
+        obs.counter("sim.refresh").add(50);
+        let plane = Arc::new(crate::WindowPlane::new());
+        let id = plane.track("sim.refresh");
+        plane.advance(10);
+        plane.record(id, 50);
+        assert!(obs.install_window_plane(plane));
+        let server = spawn(obs, "127.0.0.1:0").unwrap();
+        let (_, body) = get(server.addr(), "/metrics");
+        assert!(
+            body.contains("pq_sim_refresh_total 50"),
+            "plain series stays"
+        );
+        assert!(
+            body.contains("pq_sim_refresh_rate_5s 10\n"),
+            "windowed rate missing: {body}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_watchdog_degrades_health_and_dumps_once() {
+        let dir = std::env::temp_dir().join(format!(
+            "pq-obs-serve-wd-{}-{}",
+            std::process::id(),
+            crate::now_ns()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = Obs::null();
+        let watchdog = Arc::new(crate::Watchdog::new(Duration::ZERO));
+        watchdog.beat();
+        assert!(obs.install_watchdog(watchdog));
+        let recorder = crate::Recorder::new(crate::RecorderConfig::new(dir.join("dump.jsonl")));
+        assert!(obs.install_recorder(recorder));
+        std::thread::sleep(Duration::from_millis(2));
+        let server = spawn(obs, "127.0.0.1:0").unwrap();
+        let (_, body) = get(server.addr(), "/health");
+        assert!(body.contains("\"status\":\"degraded\""), "body: {body}");
+        assert!(body.contains("\"watchdog\":\"stalled\""));
+        assert!(body.contains("\"recorder_dumps\":1"), "body: {body}");
+        // A second scrape must not dump again for the same episode.
+        let (_, body) = get(server.addr(), "/health");
+        assert!(body.contains("\"recorder_dumps\":1"), "body: {body}");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

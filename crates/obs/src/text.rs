@@ -15,6 +15,7 @@
 //!   observed maximum, which buckets alone cannot recover).
 
 use crate::registry::Snapshot;
+use crate::window::WindowSnapshot;
 use std::fmt::Write as _;
 
 /// Renders a snapshot in the Prometheus text exposition format.
@@ -54,6 +55,35 @@ pub fn render_prometheus(snapshot: &Snapshot) -> String {
         let metric = format!("pq_{}", sanitize(name));
         let _ = writeln!(out, "# TYPE {metric} gauge");
         let _ = writeln!(out, "{metric} {}", prom_f64(value));
+    }
+    out
+}
+
+/// Renders the windowed series of a [`crate::WindowPlane`] snapshot as
+/// Prometheus gauges: `pq_<name>_rate_5s` / `_rate_1m` / `_rate_1h`
+/// (events per simulated second over the trailing window), plus
+/// `_mean_1m` / `_max_1m` for windowed histograms. Appended to the
+/// `/metrics` body after [`render_prometheus`] when a plane is
+/// installed on the serving [`crate::Obs`] handle.
+pub fn render_windows(windows: &WindowSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for series in &windows.counters {
+        let metric = format!("pq_{}", sanitize(&series.name));
+        for (suffix, rate) in series.rates {
+            let _ = writeln!(out, "# TYPE {metric}_rate_{suffix} gauge");
+            let _ = writeln!(out, "{metric}_rate_{suffix} {}", prom_f64(rate));
+        }
+    }
+    for series in &windows.histograms {
+        let metric = format!("pq_{}", sanitize(&series.name));
+        for (suffix, rate) in series.rates {
+            let _ = writeln!(out, "# TYPE {metric}_rate_{suffix} gauge");
+            let _ = writeln!(out, "{metric}_rate_{suffix} {}", prom_f64(rate));
+        }
+        let _ = writeln!(out, "# TYPE {metric}_mean_1m gauge");
+        let _ = writeln!(out, "{metric}_mean_1m {}", prom_f64(series.mean_1m));
+        let _ = writeln!(out, "# TYPE {metric}_max_1m gauge");
+        let _ = writeln!(out, "{metric}_max_1m {}", series.max_1m);
     }
     out
 }
@@ -160,7 +190,7 @@ fn escape_label(value: &str) -> String {
     out
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -180,7 +210,7 @@ fn json_string(s: &str) -> String {
     out
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if !v.is_finite() {
         "null".to_string()
     } else if v.fract() == 0.0 && v.abs() < 1e15 {
@@ -227,6 +257,63 @@ mod tests {
         assert!(text.contains("pq_gp_solve_ns_sum 1000\n"));
         assert!(text.contains("pq_gp_solve_ns_count 2\n"));
         assert!(text.contains("pq_gp_solve_ns_max 900\n"));
+    }
+
+    #[test]
+    fn prometheus_rendering_matches_fixed_snapshot_exactly() {
+        // Pin the full document, not substrings: conformance means the
+        // explicit `+Inf` bucket, cumulative bucket counts, and the
+        // `_sum`/`_count` pair render exactly like this, in this order.
+        let obs = Obs::null();
+        obs.counter("sim.refresh").add(7);
+        obs.counter("dab.recompute").add(5);
+        obs.labeled_counter("dab.recompute", "query", "0").add(2);
+        obs.labeled_counter("dab.recompute", "query", "1").add(3);
+        obs.histogram("gp.solve_ns").record(100);
+        obs.histogram("gp.solve_ns").record(900);
+        obs.gauge("audit.drift_max").set(0.125);
+        let expected = "\
+# TYPE pq_sim_refresh_total counter
+pq_sim_refresh_total 7
+# TYPE pq_dab_recompute_total counter
+pq_dab_recompute_total{query=\"0\"} 2
+pq_dab_recompute_total{query=\"1\"} 3
+# TYPE pq_gp_solve_ns histogram
+pq_gp_solve_ns_bucket{le=\"127\"} 1
+pq_gp_solve_ns_bucket{le=\"1023\"} 2
+pq_gp_solve_ns_bucket{le=\"+Inf\"} 2
+pq_gp_solve_ns_sum 1000
+pq_gp_solve_ns_count 2
+# TYPE pq_gp_solve_ns_max gauge
+pq_gp_solve_ns_max 900
+# TYPE pq_audit_drift_max gauge
+pq_audit_drift_max 0.125
+";
+        assert_eq!(render_prometheus(&obs.snapshot()), expected);
+    }
+
+    #[test]
+    fn windowed_series_render_as_rate_gauges() {
+        let plane = crate::WindowPlane::new();
+        let id = plane.track("sim.refresh");
+        let hid = plane.track_histogram("gp.solve_ns");
+        plane.advance(60);
+        plane.record(id, 120);
+        plane.record_sample(hid, 500);
+        plane.record_sample(hid, 1500);
+        let text = render_windows(&plane.snapshot());
+        assert!(text.contains("# TYPE pq_sim_refresh_rate_5s gauge\n"));
+        assert!(text.contains("pq_sim_refresh_rate_5s 24\n"));
+        assert!(text.contains("pq_sim_refresh_rate_1m 2\n"));
+        assert!(text.contains("pq_gp_solve_ns_mean_1m 1000\n"));
+        assert!(text.contains("pq_gp_solve_ns_max_1m 1500\n"));
+        // Every line is still well-formed exposition text.
+        for line in text.lines() {
+            let (_, value) = line.rsplit_once(' ').expect("space-separated");
+            if !line.starts_with('#') {
+                assert!(value.parse::<f64>().is_ok(), "bad value in: {line}");
+            }
+        }
     }
 
     #[test]

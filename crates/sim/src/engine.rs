@@ -31,7 +31,10 @@ use pq_core::{
 };
 use pq_ddm::{DataDynamicsModel, RateEstimator, TraceSet};
 use pq_gp::SolverOptions;
-use pq_obs::{names, Counter, EventKind, Histogram, Obs, ObsConfig, Timer};
+use pq_obs::{
+    names, Counter, EventKind, Histogram, Obs, ObsConfig, SloConfig, SloEngine, Timer, Watchdog,
+    WindowPlane,
+};
 use pq_poly::{EvalPlan, PolynomialQuery};
 
 use crate::audit::{AuditConfig, AuditFault, FidelityAuditor};
@@ -156,6 +159,14 @@ pub struct SimConfig {
     /// [`DeltaView`] at a chosen tick so tests can prove the auditor
     /// flags a wrong delta plane within one interval.
     pub audit_fault: Option<AuditFault>,
+    /// Fidelity SLO engine (`None`, the default, disables it). When set,
+    /// the engine drives a sim-clock [`WindowPlane`], multi-window
+    /// burn-rate alerting over the fidelity samples, a hot-loop
+    /// [`Watchdog`], and — when `obs` configures a flight recorder —
+    /// postmortem dumps on alerts and audit divergences. All of it is
+    /// read-only over the simulation state: [`SimMetrics`] are
+    /// byte-identical with the SLO engine on or off.
+    pub slo: Option<SloConfig>,
 }
 
 impl SimConfig {
@@ -184,6 +195,7 @@ impl SimConfig {
             obs: ObsConfig::default(),
             audit: None,
             audit_fault: None,
+            slo: None,
         }
     }
 }
@@ -347,6 +359,64 @@ struct Engine<'a> {
     /// Continuous fidelity audit (shadow naive evaluation); present only
     /// when configured and evaluating in [`EvalMode::Delta`].
     auditor: Option<FidelityAuditor>,
+    /// Live-health runtime (windowed plane + burn-rate engine +
+    /// watchdog); present only when [`SimConfig::slo`] is set.
+    slo: Option<SloRuntime>,
+}
+
+/// How long the hot loop may go without a heartbeat before the live
+/// exporter's `/health` reports a stall. One beat per simulated tick
+/// leaves orders of magnitude of headroom at any realistic tick cost —
+/// a stall means the process is genuinely wedged.
+const WATCHDOG_STALL_AFTER: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// Live-health state the engine drives once per simulated tick: the
+/// sim-clock [`WindowPlane`] (windowed `*_rate_*` series), the
+/// [`SloEngine`] (error budgets and multi-window burn-rate alerts over
+/// the fidelity samples), and the wall-clock [`Watchdog`]. All three are
+/// installed on the run's [`Obs`] handle so the live exporter
+/// (`/metrics`, `/health`, `/alerts`) sees them.
+struct SloRuntime {
+    plane: Arc<WindowPlane>,
+    engine: Arc<SloEngine>,
+    watchdog: Arc<Watchdog>,
+    /// Pre-resolved `audit.divergence` counter, diffed per tick to feed
+    /// the zero-budget audit-integrity objective.
+    c_divergence: Arc<Counter>,
+    seen_divergences: u64,
+    seen_violations: u64,
+}
+
+impl SloRuntime {
+    fn new(cfg: SloConfig, obs: &Obs) -> Self {
+        let plane = Arc::new(WindowPlane::new());
+        for name in [
+            names::SIM_REFRESH,
+            names::DAB_RECOMPUTE,
+            names::SIM_USER_NOTIFY,
+            names::SIM_FIDELITY_SAMPLE,
+            names::AUDIT_SAMPLE,
+            names::AUDIT_DIVERGENCE,
+        ] {
+            plane.track_source(name, obs.counter(name));
+        }
+        let engine = Arc::new(SloEngine::new(cfg, obs));
+        let watchdog = Arc::new(Watchdog::new(WATCHDOG_STALL_AFTER));
+        // First-install wins: repeated runs over one Obs handle keep the
+        // first run's components, matching the registry's counters which
+        // also accumulate across runs.
+        obs.install_window_plane(plane.clone());
+        obs.install_slo_engine(engine.clone());
+        obs.install_watchdog(watchdog.clone());
+        SloRuntime {
+            plane,
+            engine,
+            watchdog,
+            c_divergence: obs.counter(names::AUDIT_DIVERGENCE),
+            seen_divergences: 0,
+            seen_violations: 0,
+        }
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -447,6 +517,7 @@ impl<'a> Engine<'a> {
                 }
                 _ => None,
             },
+            slo: cfg.slo.clone().map(|slo| SloRuntime::new(slo, &obs)),
             obs,
         };
         // The two initial full evaluations per query that seeded the views.
@@ -757,6 +828,16 @@ impl<'a> Engine<'a> {
                     );
                 }
             }
+            // Live-health tick: heartbeat, windowed-plane advance, and
+            // the burn-rate observation over this tick's fidelity
+            // samples. Runs after the audit so a divergence flagged this
+            // tick alerts this tick.
+            self.slo_on_tick(tick);
+        }
+        if let Some(slo) = &self.slo {
+            // A finished run is not a stall, however long ago its last
+            // heartbeat was — post-run `/health` scrapes must stay green.
+            slo.watchdog.disarm();
         }
         // The wheel only knows its cascade total at the end of the run
         // (0 for the heap backend).
@@ -777,6 +858,50 @@ impl<'a> Engine<'a> {
             });
         self.obs.flush();
         Ok(self.metrics)
+    }
+
+    /// One live-health step at the end of tick `tick`: beat the
+    /// watchdog, advance the windowed plane (which polls its tracked
+    /// counter sources), and feed the SLO engine the tick's fidelity
+    /// deltas. Newly raised alerts are emitted as `slo.alert` events;
+    /// alerts and fresh audit divergences snapshot the flight recorder
+    /// (at most one dump per tick).
+    fn slo_on_tick(&mut self, tick: usize) {
+        let Some(rt) = self.slo.as_mut() else { return };
+        rt.watchdog.beat();
+        let now = tick as u64;
+        rt.plane.advance(now);
+        let sampled = self.cfg.fidelity_sample_every > 0
+            && tick.is_multiple_of(self.cfg.fidelity_sample_every);
+        let samples = if sampled {
+            self.cfg.queries.len() as u64
+        } else {
+            0
+        };
+        let total_violations: u64 = self.metrics.per_query_violations.iter().sum();
+        let violations = total_violations - rt.seen_violations;
+        rt.seen_violations = total_violations;
+        let total_divergences = rt.c_divergence.get();
+        let divergences = total_divergences - rt.seen_divergences;
+        rt.seen_divergences = total_divergences;
+        let raised = rt.engine.observe(now, samples, violations, divergences);
+        for alert in &raised {
+            self.obs.emit_with(names::SLO_ALERT, EventKind::Point, |e| {
+                e.with("kind", alert.kind.as_str())
+                    .with("id", alert.id)
+                    .with("tick", tick)
+                    .with("burn_short", alert.burn_short)
+                    .with("burn_long", alert.burn_long)
+            });
+        }
+        let dump_reason = if divergences > 0 {
+            Some("audit.divergence")
+        } else {
+            raised.first().map(|a| a.kind.as_str())
+        };
+        if let (Some(reason), Some(recorder)) = (dump_reason, self.obs.recorder()) {
+            let _ = recorder.trigger(reason);
+        }
     }
 
     /// Source-side filter: push when the value escapes the installed DAB.
@@ -1592,6 +1717,77 @@ mod tests {
             .expect("batch size histogram recorded");
         assert_eq!(h.count, m.ingest_batches);
         assert_eq!(h.sum, m.refreshes);
+    }
+
+    #[test]
+    fn slo_engine_is_metrics_invariant_and_stays_green_on_a_clean_run() {
+        let base = small_config(DelayConfig::zero(), dual(5.0));
+        let mut with_slo = base.clone();
+        with_slo.slo = Some(SloConfig::default());
+        let plain = run(&base).unwrap();
+        let obs = Obs::null();
+        let mut observed = run_observed(&with_slo, &obs).unwrap();
+        observed.solver_seconds = plain.solver_seconds;
+        assert_eq!(plain, observed, "the SLO engine must be read-only");
+        let slo = obs.slo_engine().expect("engine installed on the handle");
+        assert_eq!(slo.health(), (pq_obs::Health::Ok, 0));
+        assert!(slo.alerts().is_empty(), "clean run must not page");
+        assert_eq!(
+            obs.watchdog().expect("watchdog installed").status(),
+            pq_obs::slo::WatchdogStatus::Disarmed,
+            "a finished run is not a stall"
+        );
+        let plane = obs.window_plane().expect("plane installed");
+        assert_eq!(plane.now(), (with_slo.traces.n_ticks() - 1) as u64);
+        assert!(
+            plane
+                .sum(names::SIM_REFRESH, pq_obs::window::WINDOW_1H)
+                .unwrap()
+                > 0,
+            "refresh source polled into the windowed plane"
+        );
+    }
+
+    #[test]
+    fn injected_audit_fault_pages_and_dumps_within_one_interval() {
+        let dir = std::env::temp_dir().join(format!(
+            "pq-sim-slo-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump_path = dir.join("flight.jsonl");
+        let mut cfg = small_config(DelayConfig::zero(), dual(5.0));
+        cfg.audit = Some(AuditConfig::default());
+        cfg.audit_fault = Some(AuditFault {
+            tick: 200,
+            query: 0,
+            perturb: 1.0e6,
+        });
+        cfg.slo = Some(SloConfig::default());
+        let recorder = pq_obs::Recorder::new(pq_obs::RecorderConfig::new(dump_path.clone()));
+        let obs = Obs::with_subscriber(Arc::new(recorder.clone()));
+        assert!(obs.install_recorder(recorder));
+        run_observed(&cfg, &obs).unwrap();
+        let slo = obs.slo_engine().unwrap();
+        let alerts = slo.alerts();
+        let divergence_alert = alerts
+            .iter()
+            .find(|a| a.kind == pq_obs::AlertKind::AuditDivergence)
+            .expect("injected fault must page the audit-integrity objective");
+        let every = AuditConfig::default().every as u64;
+        assert!(
+            divergence_alert.raised_at <= 200 + every,
+            "paged at {} — more than one audit interval after the fault",
+            divergence_alert.raised_at
+        );
+        let dump = std::fs::read_to_string(&dump_path).expect("flight recorder dumped");
+        assert!(dump.lines().next().unwrap().contains("recorder.dump"));
+        assert!(dump.contains("audit.divergence"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub use event::{Event, EventQueue};
 pub use incremental::DeltaView;
 pub use metrics::SimMetrics;
 pub use network::{run_network, run_network_observed, NetworkConfig, NetworkMetrics};
-pub use pq_obs::{Obs, ObsConfig};
+pub use pq_obs::{Obs, ObsConfig, RecorderConfig, SloConfig};
 pub use table::{Bitset, ItemTable};
 pub use wheel::{Scheduler, SimQueue, TimerWheel};

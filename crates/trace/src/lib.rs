@@ -21,6 +21,11 @@
 //!   compatible) `stack count` lines.
 //! * [`render_diff`] — two traces side by side with deltas, for
 //!   regression triage between runs.
+//! * [`render_postmortem`] — a flight-recorder dump (the JSONL file the
+//!   [`pq_obs`] recorder writes on an SLO breach, audit divergence,
+//!   watchdog stall, or panic) rendered as a triage report: the dump
+//!   header, per-thread buffer accounting, event counts, and the final
+//!   timeline leading up to the trigger.
 //!
 //! Everything here is pure string-in/string-out over parsed [`Event`]s,
 //! so the binary in `main.rs` stays a thin argument parser and the
@@ -597,6 +602,90 @@ pub fn render_profile(events: &[Event]) -> String {
     out
 }
 
+/// One field value as display text (postmortem timeline cells).
+fn value_str(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => b.to_string(),
+        Value::U64(n) => n.to_string(),
+        Value::F64(x) => format!("{x}"),
+        Value::Str(s) => s.to_string(),
+    }
+}
+
+/// Renders the `postmortem` report over a flight-recorder dump: the
+/// `recorder.dump` header (reason, sequence number, buffer accounting),
+/// per-thread and per-target event counts, and the last `tail` buffered
+/// events as a timeline — the moments leading up to whatever pulled the
+/// trigger. Dumps are small by construction (bounded per-thread rings),
+/// so `events` is the whole file via [`load`].
+pub fn render_postmortem(events: &[Event], tail: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Flight recorder dump ==");
+    match events.iter().find(|e| e.target == "recorder.dump") {
+        Some(header) => {
+            for key in ["reason", "seq", "threads", "events", "dropped"] {
+                let value = header.field(key).map(value_str).unwrap_or_default();
+                let _ = writeln!(out, "{key}: {value}");
+            }
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "(no recorder.dump header — not a flight-recorder dump?)"
+            );
+        }
+    }
+    out.push('\n');
+
+    let buffered: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.target != "recorder.dump")
+        .collect();
+
+    let mut by_thread: BTreeMap<String, u64> = BTreeMap::new();
+    for event in &buffered {
+        let thread = match event.field("thread") {
+            Some(Value::Str(s)) => s.to_string(),
+            _ => "<unattributed>".to_string(),
+        };
+        *by_thread.entry(thread).or_insert(0) += 1;
+    }
+    let rows: Vec<Vec<String>> = by_thread
+        .iter()
+        .map(|(thread, n)| vec![thread.clone(), n.to_string()])
+        .collect();
+    table(&mut out, "Events by thread", &["thread", "count"], &rows);
+
+    let mut by_target: BTreeMap<(String, &'static str), u64> = BTreeMap::new();
+    for event in &buffered {
+        *by_target
+            .entry((event.target.to_string(), event.kind.as_str()))
+            .or_insert(0) += 1;
+    }
+    let rows: Vec<Vec<String>> = by_target
+        .iter()
+        .map(|((target, kind), n)| vec![target.clone(), kind.to_string(), n.to_string()])
+        .collect();
+    table(&mut out, "Events", &["target", "kind", "count"], &rows);
+
+    let start = buffered.len().saturating_sub(tail);
+    let _ = writeln!(
+        out,
+        "== Timeline (last {} of {} events) ==",
+        buffered.len() - start,
+        buffered.len()
+    );
+    for event in &buffered[start..] {
+        let mut line = format!("{:>12}  ", event.ts_ns);
+        let _ = write!(line, "{:<7}  {}", event.kind.as_str(), event.target);
+        for (key, value) in &event.fields {
+            let _ = write!(line, " {key}={}", value_str(value));
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
 /// Signed difference rendered as `+n` / `-n` / `0`.
 fn delta(a: u64, b: u64) -> String {
     match b.cmp(&a) {
@@ -847,6 +936,47 @@ mod tests {
         let text = render_diff(&a, &b);
         assert!(text.contains("sim.refresh"), "{text}");
         assert!(text.contains("-1"), "{text}");
+    }
+
+    #[test]
+    fn postmortem_renders_header_counts_and_timeline() {
+        let events = vec![
+            event(5000, "recorder.dump", EventKind::Point)
+                .with("reason", "audit.divergence")
+                .with("seq", 0u64)
+                .with("threads", 2u64)
+                .with("events", 3u64)
+                .with("dropped", 1u64),
+            event(100, "sim.refresh", EventKind::Count)
+                .with("item", 3u64)
+                .with("thread", "main"),
+            event(200, "gp.solve_ns", EventKind::Timing)
+                .with("dur_ns", 400u64)
+                .with("thread", "pq-recompute-0"),
+            event(300, "audit.divergence", EventKind::Point)
+                .with("query", 0u64)
+                .with("thread", "main"),
+        ];
+        let text = render_postmortem(&events, 2);
+        assert!(text.contains("reason: audit.divergence"), "{text}");
+        assert!(text.contains("dropped: 1"));
+        // Thread accounting covers both threads.
+        assert!(text.contains("main") && text.contains("pq-recompute-0"));
+        // Tail of 2 skips the first buffered event but keeps the trigger.
+        assert!(text.contains("Timeline (last 2 of 3 events)"), "{text}");
+        assert!(
+            !text.contains("item=3"),
+            "tail must drop the oldest: {text}"
+        );
+        assert!(text.contains("query=0"), "{text}");
+    }
+
+    #[test]
+    fn postmortem_without_header_degrades_gracefully() {
+        let events = vec![event(1, "sim.refresh", EventKind::Count).with("thread", "main")];
+        let text = render_postmortem(&events, 10);
+        assert!(text.contains("not a flight-recorder dump"), "{text}");
+        assert!(text.contains("Timeline (last 1 of 1 events)"));
     }
 
     #[test]

@@ -5,21 +5,23 @@
 //! pq-trace tree    <trace.jsonl>             span forest with inclusive/exclusive ns
 //! pq-trace profile <trace.jsonl>             collapsed profiler stacks (flamegraph.pl format)
 //! pq-trace diff    <a.jsonl> <b.jsonl>       event/span/attribution deltas between runs
+//! pq-trace postmortem <dump.jsonl> [--tail K]  triage a flight-recorder dump
 //! ```
 //!
 //! Produce a trace with e.g. `PQ_OBS_JSONL=fig5.jsonl cargo run --release --bin fig5`
 //! (add `PQ_OBS_PROFILE_HZ=99` for profiler samples).
 
 use pq_trace::{
-    for_each_event, render_diff, render_profile, render_summary, render_tree, timing_events,
-    TraceStats,
+    for_each_event, load, render_diff, render_postmortem, render_profile, render_summary,
+    render_tree, timing_events, TraceStats,
 };
 
 const USAGE: &str = "usage:
   pq-trace summary <trace.jsonl> [--top K]
   pq-trace tree    <trace.jsonl>
   pq-trace profile <trace.jsonl>
-  pq-trace diff    <a.jsonl> <b.jsonl>";
+  pq-trace diff    <a.jsonl> <b.jsonl>
+  pq-trace postmortem <dump.jsonl> [--tail K]";
 
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("pq-trace: {msg}");
@@ -34,6 +36,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<&str> = Vec::new();
     let mut top = 10usize;
+    let mut tail = 25usize;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -44,6 +47,14 @@ fn main() {
                 top = v
                     .parse()
                     .unwrap_or_else(|_| fail(format_args!("invalid --top value: {v}")));
+            }
+            "--tail" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| fail("--tail requires a value"));
+                tail = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format_args!("invalid --tail value: {v}")));
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -74,6 +85,10 @@ fn main() {
         }
         ["diff", a, b] => {
             print!("{}", render_diff(&stats_or_fail(a), &stats_or_fail(b)));
+        }
+        ["postmortem", path] => {
+            let events = load(path).unwrap_or_else(|e| fail(format_args!("{path}: {e}")));
+            print!("{}", render_postmortem(&events, tail));
         }
         _ => {
             eprintln!("{USAGE}");

@@ -7,7 +7,7 @@
 
 use std::path::PathBuf;
 
-use pq_trace::{load, render_diff, render_summary, render_tree, TraceStats};
+use pq_trace::{load, render_diff, render_postmortem, render_summary, render_tree, TraceStats};
 
 fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -47,6 +47,12 @@ fn diff_matches_golden() {
     let a = TraceStats::from_events(&load(fixture("run_a.jsonl")).unwrap());
     let b = TraceStats::from_events(&load(fixture("run_b.jsonl")).unwrap());
     assert_golden(&render_diff(&a, &b), "diff_ab.txt");
+}
+
+#[test]
+fn postmortem_matches_golden() {
+    let events = load(fixture("postmortem_a.jsonl")).unwrap();
+    assert_golden(&render_postmortem(&events, 4), "postmortem_a.txt");
 }
 
 #[test]

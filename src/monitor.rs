@@ -17,8 +17,9 @@ use pq_core::{
 };
 use pq_ddm::DataDynamicsModel;
 use pq_gp::SolverOptions;
-use pq_obs::{names, EventKind, Obs, ObsConfig};
+use pq_obs::{names, EventKind, Obs, ObsConfig, Watchdog};
 use pq_poly::{ItemCatalog, ItemId, PolyError, Polynomial, PolynomialQuery, QueryId};
+use std::sync::Arc;
 
 /// What happened when a refresh was applied.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -58,6 +59,9 @@ pub struct Monitor {
     installed: bool,
     /// Telemetry handle; threaded into every GP solve.
     obs: Obs,
+    /// Optional liveness watchdog, beaten on every applied refresh so the
+    /// live exporter's `/health` can flag a wedged coordinator.
+    watchdog: Option<Arc<Watchdog>>,
 }
 
 impl Default for Monitor {
@@ -88,6 +92,7 @@ impl Monitor {
             threads: default_recompute_threads(),
             installed: false,
             obs: Obs::null(),
+            watchdog: None,
         }
     }
 
@@ -117,6 +122,25 @@ impl Monitor {
     /// The attached telemetry handle (null unless configured).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Arms a liveness watchdog: every applied refresh heartbeats it, and
+    /// the handle is installed on the telemetry plane so the live
+    /// exporter's `/health` reports `stalled` when no refresh has been
+    /// applied for `stall_after`. Only meaningful for deployments with a
+    /// steady refresh stream — an idle-by-design coordinator should not
+    /// arm one. Call after [`Monitor::with_obs`] / `with_obs_config` so
+    /// the watchdog lands on the final handle.
+    pub fn with_watchdog(mut self, stall_after: std::time::Duration) -> Self {
+        let watchdog = Arc::new(Watchdog::new(stall_after));
+        self.obs.install_watchdog(watchdog.clone());
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// The armed watchdog, if any.
+    pub fn watchdog(&self) -> Option<&Arc<Watchdog>> {
+        self.watchdog.as_ref()
     }
 
     /// Replaces the assignment strategy (before or after `install`).
@@ -298,6 +322,9 @@ impl Monitor {
     pub fn on_refresh(&mut self, item: ItemId, value: f64) -> Result<RefreshOutcome, DabError> {
         assert!(self.installed, "call install() before feeding refreshes");
         assert!(item.index() < self.values.len(), "unknown item");
+        if let Some(watchdog) = &self.watchdog {
+            watchdog.beat();
+        }
         self.values[item.index()] = value;
         let mut outcome = RefreshOutcome::default();
 
@@ -536,6 +563,26 @@ mod tests {
         assert_eq!(snap.labeled["dab.recompute_trigger"].key, "item");
         assert_eq!(snap.labeled["dab.recompute_trigger"].values["0"], 1);
         assert!(snap.labeled["gp.solve"].values["0"] >= 1);
+    }
+
+    #[test]
+    fn watchdog_beats_on_refresh_and_lands_on_the_obs_handle() {
+        let obs = Obs::null();
+        let mut m = Monitor::new()
+            .with_obs(obs.clone())
+            .with_watchdog(std::time::Duration::from_secs(60));
+        let x = m.add_item("x", 2.0, 1.0);
+        let y = m.add_item("y", 2.0, 1.0);
+        m.add_query(PolynomialQuery::portfolio([(1.0, x, y)], 5.0).unwrap());
+        m.install().unwrap();
+        use pq_obs::slo::WatchdogStatus;
+        let installed = obs.watchdog().expect("watchdog installed on the handle");
+        assert_eq!(installed.status(), WatchdogStatus::Disarmed, "no beat yet");
+        m.on_refresh(x, 2.2).unwrap();
+        assert_eq!(installed.status(), WatchdogStatus::Ok);
+        // Deterministic stall check: far past the threshold, same episode.
+        let far = pq_obs::now_ns() + 120_000_000_000;
+        assert_eq!(installed.status_at(far), WatchdogStatus::Stalled);
     }
 
     #[test]
