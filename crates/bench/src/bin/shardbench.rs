@@ -1,0 +1,290 @@
+//! Sharded multi-coordinator scaling benchmark.
+//!
+//! Runs the fig5-style accuracy-bounded dissemination simulation over
+//! the "large book" workload — many independent banded portfolios over
+//! one big stock universe, the regime where the query↔item graph
+//! partitions cleanly — and sweeps the shard count, comparing each
+//! partitioned run against the single-coordinator baseline.
+//!
+//! Timing uses [`Execution::Sequential`]: each shard's engine runs to
+//! completion on the calling thread and is timed in isolation, so
+//! `max(busy)` is the critical path an ideally parallel run would
+//! execute. This keeps the measurement meaningful on any host — on a
+//! single-core CI runner a threaded sweep would show no wall-clock win
+//! by construction, while the critical path is core-count-independent
+//! (`host_cores` lands in the JSON for the record). The determinism
+//! contract (DESIGN.md §13, `sharded_parity` tests) guarantees
+//! `Execution::Threaded` produces identical simulated outcomes.
+//!
+//! `--enforce` requires, on the swept workload:
+//!
+//! * events/sec speedup ≥ 1.6x at 2 shards and ≥ 2.5x at 4 shards;
+//! * fixed-seed metric parity at every shard count: fidelity samples,
+//!   per-query violations, and every other metric except the
+//!   per-coordinator `ingest_batches` artifact and wall clock.
+//!
+//! Usage: `shardbench [--quick] [--enforce] [--out PATH]`
+
+use pq_bench::{fmt, print_table, Scale};
+use pq_core::{AssignmentStrategy, PqHeuristic};
+use pq_ddm::TraceSet;
+use pq_obs::Obs;
+use pq_sim::{
+    run_sharded, DelayConfig, DelayRng, Execution, Pareto, ShardReport, SimConfig, SimMetrics,
+    SimStrategy,
+};
+use pq_workload::{WorkloadConfig, WorkloadGen};
+
+/// Events/sec speedup floors `--enforce` holds the sweep to.
+const MIN_SPEEDUP_2: f64 = 1.6;
+const MIN_SPEEDUP_4: f64 = 2.5;
+
+struct Args {
+    quick: bool,
+    enforce: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        enforce: false,
+        out: "BENCH_shard.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--enforce" => args.enforce = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: shardbench [--quick] [--enforce] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The large book: `n_queries` banded portfolios (disjoint item bands,
+/// so the partition is clean at any swept shard count) over an
+/// `n_items`-item universe, fig5 dissemination strategy, per-item delay
+/// streams and service-free delays — the regime the cross-K determinism
+/// contract is defined over (DESIGN.md §13).
+fn large_book(scale: &Scale, n_items: usize, n_queries: usize, n_ticks: usize) -> SimConfig {
+    let traces = TraceSet::stock_universe(n_items, n_ticks, scale.seed);
+    let mut gen = WorkloadGen::with_config(
+        WorkloadConfig {
+            n_items,
+            legs: scale.legs.clone(),
+            ..WorkloadConfig::default()
+        },
+        scale.seed ^ 0x517A_11AD,
+    );
+    let queries = gen.banded_portfolio_queries(n_queries, &traces.initial_values());
+    let mut cfg = SimConfig::new(traces, queries);
+    cfg.seed = scale.seed;
+    cfg.gp = scale.sim_gp_options();
+    cfg.strategy = SimStrategy::PerQuery {
+        strategy: AssignmentStrategy::DualDab { mu: 5.0 },
+        heuristic: PqHeuristic::DifferentSum,
+    };
+    cfg.mu_cost = 5.0;
+    cfg.delay_rng = DelayRng::PerItem;
+    let mut delays = DelayConfig::zero();
+    delays.node_to_node = Pareto::with_mean(0.110);
+    cfg.delays = delays;
+    cfg.loss_probability = 0.02;
+    cfg
+}
+
+/// Simulated events a run processed — identical across shard counts on
+/// a clean partition, so events/sec ratios reduce to busy-time ratios.
+fn events(m: &SimMetrics) -> u64 {
+    m.refreshes + m.recomputations + m.user_notifications + m.dab_change_messages
+}
+
+/// The cross-shard-count invariant view of the metrics: everything but
+/// the per-coordinator batching artifact and wall clock.
+fn cross_k_view(m: &SimMetrics) -> SimMetrics {
+    let mut m = m.clone();
+    m.solver_seconds = 0.0;
+    m.ingest_batches = 0;
+    m
+}
+
+struct Measurement {
+    shards: usize,
+    report: ShardReport,
+    parity: bool,
+    fig5_parity: bool,
+    speedup: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = Scale::from_env();
+    let (n_items, n_queries, n_ticks, shard_counts): (usize, usize, usize, &[usize]) = if args.quick
+    {
+        (100_000, 800, 96, &[1, 2, 4])
+    } else {
+        (1_000_000, 4_000, 160, &[1, 2, 4, 8])
+    };
+    let base = large_book(&scale, n_items, n_queries, n_ticks);
+    eprintln!(
+        "shardbench: {n_items} items, {n_queries} queries, {n_ticks} ticks, \
+         sweeping shards {shard_counts:?}"
+    );
+
+    let mut baseline: Option<ShardReport> = None;
+    let measurements: Vec<Measurement> = shard_counts
+        .iter()
+        .map(|&k| {
+            let mut cfg = base.clone();
+            cfg.shards = k;
+            let obs = Obs::null();
+            let report = run_sharded(&cfg, &obs, Execution::Sequential)
+                .unwrap_or_else(|e| panic!("sharded run failed at k = {k}: {e}"));
+            assert_eq!(
+                report.execution,
+                Execution::Sequential,
+                "the banded workload must partition cleanly at k = {k}"
+            );
+            let (parity, fig5_parity, speedup) = match &baseline {
+                None => (true, true, 1.0),
+                Some(b) => (
+                    cross_k_view(&b.metrics) == cross_k_view(&report.metrics),
+                    b.metrics.fidelity_samples == report.metrics.fidelity_samples
+                        && b.metrics.per_query_violations == report.metrics.per_query_violations,
+                    b.max_busy_seconds() / report.max_busy_seconds(),
+                ),
+            };
+            if baseline.is_none() {
+                baseline = Some(report.clone());
+            }
+            eprintln!(
+                "shardbench: k = {k} done in {:.2} s critical path (speedup {speedup:.2}x)",
+                report.max_busy_seconds()
+            );
+            Measurement {
+                shards: k,
+                report,
+                parity,
+                fig5_parity,
+                speedup,
+            }
+        })
+        .collect();
+
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            let ev = events(&m.report.metrics);
+            let max_busy = m.report.max_busy_seconds();
+            let sum_busy: f64 = m.report.shards.iter().map(|s| s.busy_seconds).sum();
+            vec![
+                m.shards.to_string(),
+                ev.to_string(),
+                format!("{max_busy:.3}"),
+                format!("{sum_busy:.3}"),
+                fmt(ev as f64 / max_busy),
+                fmt(m.speedup),
+                m.report.cross_edges.to_string(),
+                (m.parity && m.fig5_parity).to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "shardbench: multi-coordinator scaling (critical path)",
+        &[
+            "shards",
+            "events",
+            "max_busy_s",
+            "sum_busy_s",
+            "events_per_sec",
+            "speedup",
+            "cross_edges",
+            "parity",
+        ],
+        &rows,
+    );
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep_json = |m: &Measurement| {
+        let ev = events(&m.report.metrics);
+        let max_busy = m.report.max_busy_seconds();
+        let sum_busy: f64 = m.report.shards.iter().map(|s| s.busy_seconds).sum();
+        format!(
+            "    {{\n      \"shards\": {},\n      \"events\": {},\n      \
+             \"max_busy_seconds\": {:.4},\n      \"sum_busy_seconds\": {:.4},\n      \
+             \"events_per_sec\": {:.0},\n      \"speedup\": {:.3},\n      \
+             \"cross_edges\": {},\n      \"n_components\": {},\n      \
+             \"fidelity_samples\": {},\n      \"refreshes\": {},\n      \
+             \"recomputations\": {},\n      \"lost_messages\": {},\n      \
+             \"parity\": {},\n      \"fig5_parity\": {}\n    }}",
+            m.shards,
+            ev,
+            max_busy,
+            sum_busy,
+            ev as f64 / max_busy,
+            m.speedup,
+            m.report.cross_edges,
+            m.report.n_components,
+            m.report.metrics.fidelity_samples,
+            m.report.metrics.refreshes,
+            m.report.metrics.recomputations,
+            m.report.metrics.lost_messages,
+            m.parity,
+            m.fig5_parity,
+        )
+    };
+    let json = format!(
+        "{{\n  \"quick\": {},\n  \"host_cores\": {host_cores},\n  \
+         \"timing\": \"sequential critical path (max per-shard busy seconds)\",\n  \
+         \"workload\": {{\n    \"n_items\": {n_items},\n    \"n_queries\": {n_queries},\n    \
+         \"n_ticks\": {n_ticks},\n    \"seed\": {}\n  }},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        args.quick,
+        scale.seed,
+        measurements
+            .iter()
+            .map(sweep_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    std::fs::write(&args.out, json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("wrote {}", args.out);
+
+    if args.enforce {
+        let mut failed = false;
+        for m in &measurements {
+            if !(m.parity && m.fig5_parity) {
+                eprintln!(
+                    "FAIL: fixed-seed metrics at {} shards diverge from the \
+                     single-coordinator baseline",
+                    m.shards
+                );
+                failed = true;
+            }
+            let floor = match m.shards {
+                2 => Some(MIN_SPEEDUP_2),
+                4 => Some(MIN_SPEEDUP_4),
+                _ => None,
+            };
+            if let Some(floor) = floor {
+                if m.speedup < floor {
+                    eprintln!(
+                        "FAIL: speedup {:.2}x at {} shards below the {floor}x floor",
+                        m.speedup, m.shards
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("enforce: shard-count sweep speedups and fixed-seed parity pass");
+    }
+}

@@ -43,6 +43,7 @@ pub mod heuristics;
 pub mod laq;
 pub mod linearized;
 pub mod multi;
+pub mod partition;
 pub mod ppq;
 pub mod strategy;
 
@@ -57,6 +58,7 @@ pub use heuristics::{general_pq, PpqMethod, PqHeuristic};
 pub use laq::linear_closed_form;
 pub use linearized::linearized_filter;
 pub use multi::{aao, eqi};
+pub use partition::{partition, CrossEdge, PartitionInput, PartitionPlan};
 pub use ppq::{dual_dab, optimal_refresh};
 pub use strategy::{
     assign_query, assign_unit, assign_unit_cached, assignment_units, estimate_mu,

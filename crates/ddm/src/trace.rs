@@ -238,6 +238,23 @@ impl TraceSet {
     pub fn initial_values(&self) -> Vec<f64> {
         self.traces.iter().map(Trace::initial).collect()
     }
+
+    /// A sub-universe over the given items, in the given order: local
+    /// item `k` of the result replays the trace of global item
+    /// `items[k]`. The sharded engine uses this to hand each shard a
+    /// dense trace set for exactly the items it owns or replicates.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range (and, via [`TraceSet::new`],
+    /// if `items` is empty).
+    pub fn subset(&self, items: &[u32]) -> TraceSet {
+        TraceSet::new(
+            items
+                .iter()
+                .map(|&i| self.traces[i as usize].clone())
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -186,6 +186,22 @@ pub mod names {
     pub const LABEL_QUERY: &str = "query";
     /// Label key for per-item attribution (value: decimal item index).
     pub const LABEL_ITEM: &str = "item";
+    /// Label key for per-shard attribution (value: decimal shard index).
+    pub const LABEL_SHARD: &str = "shard";
+
+    /// Refreshes processed, labeled by coordinator shard (the sharded
+    /// engine's per-shard view of [`SIM_REFRESH`]).
+    pub const SHARD_REFRESH: &str = "shard.refresh";
+    /// DAB recomputations, labeled by coordinator shard.
+    pub const SHARD_RECOMPUTE: &str = "shard.recompute";
+    /// Messages sent over an inter-shard ring, labeled by sending shard.
+    pub const SHARD_RING_SEND: &str = "shard.ring_send";
+    /// Messages received from inter-shard rings, labeled by receiving
+    /// shard.
+    pub const SHARD_RING_RECV: &str = "shard.ring_recv";
+    /// Times a sender found its outbound ring full and had to spin
+    /// (draining its own inbound), labeled by sending shard.
+    pub const SHARD_RING_BACKPRESSURE: &str = "shard.ring_backpressure";
 
     /// One SLO alert raised (structured Point event — see [`crate::slo`]).
     pub const SLO_ALERT: &str = "slo.alert";
@@ -254,6 +270,10 @@ struct HealthCell {
     window: OnceLock<Arc<WindowPlane>>,
     slo: OnceLock<Arc<SloEngine>>,
     watchdog: OnceLock<Arc<Watchdog>>,
+    /// Labeled watchdogs registered by multi-threaded components (one
+    /// per shard thread); unlike `watchdog` this is a grow-only list,
+    /// so `/health` can attribute a stall to the thread that stopped.
+    watchdogs: std::sync::Mutex<Vec<(String, Arc<Watchdog>)>>,
     recorder: OnceLock<Recorder>,
 }
 
@@ -388,6 +408,36 @@ impl Obs {
     /// The attached watchdog, if any.
     pub fn watchdog(&self) -> Option<Arc<Watchdog>> {
         self.inner.health.watchdog.get().cloned()
+    }
+
+    /// Registers a labeled watchdog (e.g. `"shard3"` for a shard
+    /// thread's heartbeat). Unlike [`Obs::install_watchdog`] any number
+    /// can be registered; `/health` reports each by label so a stall is
+    /// attributed to the thread that stopped beating. Re-registering a
+    /// label replaces the previous watchdog (a fresh run supersedes a
+    /// finished one).
+    pub fn register_watchdog(&self, label: &str, watchdog: Arc<Watchdog>) {
+        let mut dogs = self
+            .inner
+            .health
+            .watchdogs
+            .lock()
+            .expect("watchdog registry poisoned");
+        if let Some(slot) = dogs.iter_mut().find(|(l, _)| l == label) {
+            slot.1 = watchdog;
+        } else {
+            dogs.push((label.to_string(), watchdog));
+        }
+    }
+
+    /// All labeled watchdogs, in registration order.
+    pub fn watchdogs(&self) -> Vec<(String, Arc<Watchdog>)> {
+        self.inner
+            .health
+            .watchdogs
+            .lock()
+            .expect("watchdog registry poisoned")
+            .clone()
     }
 
     /// Attaches a flight recorder for trigger access (the recorder

@@ -201,13 +201,45 @@ fn render_health(obs: &Obs) -> String {
         }
         None => "uninstalled",
     };
+    // Labeled watchdogs (one per shard thread): any stall degrades the
+    // verdict and is attributed to its label, both in the JSON body and
+    // in the flight-recorder dump reason.
+    let mut labeled = String::new();
+    for (label, dog) in obs.watchdogs() {
+        let dog_status = dog.status();
+        if dog_status == WatchdogStatus::Stalled {
+            status = Health::Degraded;
+            if dog.should_report_stall() {
+                if let Some(recorder) = obs.recorder() {
+                    let _ = recorder.trigger(&format!("watchdog_stall:{label}"));
+                }
+            }
+        }
+        if !labeled.is_empty() {
+            labeled.push(',');
+        }
+        let _ = std::fmt::Write::write_fmt(
+            &mut labeled,
+            format_args!(
+                "{}:{}",
+                text::json_string(&label),
+                text::json_string(dog_status.as_str())
+            ),
+        );
+    }
+    let watchdogs_field = if labeled.is_empty() {
+        String::new()
+    } else {
+        format!(",\"watchdogs\":{{{labeled}}}")
+    };
     let dumps = obs.recorder().map_or(0, crate::Recorder::dump_count);
     format!(
-        "{{\"status\":{},\"active_alerts\":{},\"error_budget_remaining\":{},\"watchdog\":{},\"recorder_dumps\":{}}}\n",
+        "{{\"status\":{},\"active_alerts\":{},\"error_budget_remaining\":{},\"watchdog\":{}{},\"recorder_dumps\":{}}}\n",
         text::json_string(status.as_str()),
         active,
         text::json_f64(budget),
         text::json_string(watchdog),
+        watchdogs_field,
         dumps,
     )
 }
@@ -386,6 +418,43 @@ mod tests {
         let (_, body) = get(server.addr(), "/health");
         assert!(body.contains("\"recorder_dumps\":1"), "body: {body}");
         server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn labeled_watchdogs_attribute_stalls_to_a_shard() {
+        let dir = std::env::temp_dir().join(format!(
+            "pq-obs-serve-shardwd-{}-{}",
+            std::process::id(),
+            crate::now_ns()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = Obs::null();
+        let healthy = Arc::new(crate::Watchdog::new(Duration::from_secs(3600)));
+        healthy.beat();
+        let stalled = Arc::new(crate::Watchdog::new(Duration::ZERO));
+        stalled.beat();
+        obs.register_watchdog("shard0", healthy);
+        obs.register_watchdog("shard1", stalled);
+        let recorder = crate::Recorder::new(crate::RecorderConfig::new(dir.join("dump.jsonl")));
+        assert!(obs.install_recorder(recorder));
+        std::thread::sleep(Duration::from_millis(2));
+        let server = spawn(obs, "127.0.0.1:0").unwrap();
+        let (_, body) = get(server.addr(), "/health");
+        assert!(body.contains("\"status\":\"degraded\""), "body: {body}");
+        assert!(body.contains("\"shard0\":\"ok\""), "body: {body}");
+        assert!(body.contains("\"shard1\":\"stalled\""), "body: {body}");
+        assert!(body.contains("\"recorder_dumps\":1"), "body: {body}");
+        server.shutdown();
+        // The dump reason names the stalled shard.
+        let dump = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| std::fs::read_to_string(e.unwrap().path()).unwrap())
+            .collect::<String>();
+        assert!(
+            dump.contains("watchdog_stall:shard1"),
+            "dump must attribute the stall: {dump}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -172,6 +172,22 @@ impl Polynomial {
         self.items().last().copied()
     }
 
+    /// The same polynomial over a renamed item space: every referenced
+    /// item `i` becomes `f(i)`. Term variable lists are re-sorted and
+    /// re-merged, so `f` need not be monotone; it must however be
+    /// injective on the referenced items — mapping two distinct items of
+    /// one term onto the same id would silently merge their exponents.
+    ///
+    /// This is the shard-local renumbering step of the partitioned
+    /// engine: a query assigned to a shard is rewritten from global item
+    /// ids onto that shard's dense local ids.
+    pub fn map_items(&self, mut f: impl FnMut(ItemId) -> ItemId) -> Polynomial {
+        Polynomial::from_terms(self.terms.iter().map(|t| {
+            PTerm::new(t.coef, t.vars.iter().map(|&(i, e)| (f(i), e)))
+                .expect("coefficient was already valid")
+        }))
+    }
+
     /// Evaluates at `values[item.index()]`.
     ///
     /// # Panics

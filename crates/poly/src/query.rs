@@ -96,6 +96,16 @@ impl PolynomialQuery {
         PolynomialQuery::new(self.poly.clone(), qab)
     }
 
+    /// The same query over a renamed item space (QAB unchanged); see
+    /// [`Polynomial::map_items`]. `f` must be injective on the query's
+    /// items.
+    pub fn map_items(&self, f: impl FnMut(ItemId) -> ItemId) -> Self {
+        PolynomialQuery {
+            poly: self.poly.map_items(f),
+            qab: self.qab,
+        }
+    }
+
     /// A *global portfolio query* (Query 1(a) in the paper):
     /// `sum_i w_i * x_i * y_i : B`, e.g. holdings × price × exchange rate.
     pub fn portfolio(

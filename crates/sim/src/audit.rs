@@ -64,6 +64,21 @@ impl Default for AuditConfig {
     }
 }
 
+impl AuditConfig {
+    /// The per-shard slice of this audit budget: each of `shards`
+    /// coordinators shadow-evaluates `ceil(sample / shards)` of its own
+    /// queries per pass (at least one), so the total audit cost of a
+    /// partitioned run stays `O(1/K)` per thread while the round-robin
+    /// cursor still eventually covers every query.
+    pub fn per_shard(&self, shards: usize) -> AuditConfig {
+        let k = shards.max(1);
+        AuditConfig {
+            sample: self.sample.div_ceil(k).max(1),
+            ..self.clone()
+        }
+    }
+}
+
 /// One injected [`DeltaView::corrupt`] call, applied to the coordinator
 /// view just before the audit pass of the given tick — fault injection
 /// proving the auditor catches a wrong delta plane within one interval.
@@ -313,7 +328,11 @@ mod tests {
         run_observed(&cfg, &obs).unwrap();
         let snap = obs.snapshot();
         assert!(snap.counters[names::AUDIT_DIVERGENCE] > 0, "fault missed");
-        let every = cfg.audit.as_ref().unwrap().every;
+        let every = cfg
+            .audit
+            .as_ref()
+            .expect("audited_config always sets an audit interval")
+            .every;
         let caught_at = ring
             .events()
             .iter()
@@ -356,8 +375,15 @@ mod tests {
         let obs = Obs::null();
         let mut cfg = audited_config();
         // One query per pass: coverage must still rotate across both.
-        cfg.audit.as_mut().unwrap().sample = 1;
-        let mut auditor = FidelityAuditor::new(cfg.audit.clone().unwrap(), &obs);
+        cfg.audit
+            .as_mut()
+            .expect("audited_config always sets an audit interval")
+            .sample = 1;
+        let audit = cfg
+            .audit
+            .clone()
+            .expect("audited_config always sets an audit interval");
+        let mut auditor = FidelityAuditor::new(audit, &obs);
         let values = vec![3.0, 4.0, 5.0];
         let plans: Vec<_> = cfg
             .queries
@@ -371,5 +397,21 @@ mod tests {
         assert_eq!(auditor.cursor, 0, "second pass audits q1, wraps around");
         assert_eq!(auditor.samples, 2);
         assert_eq!(obs.snapshot().counters[names::AUDIT_DIVERGENCE], 0);
+    }
+
+    #[test]
+    fn per_shard_divides_the_sample_budget() {
+        let cfg = AuditConfig {
+            every: 16,
+            sample: 8,
+            tolerance: 1e-9,
+        };
+        assert_eq!(cfg.per_shard(1).sample, 8);
+        assert_eq!(cfg.per_shard(3).sample, 3, "ceiling division");
+        assert_eq!(cfg.per_shard(4).sample, 2);
+        assert_eq!(cfg.per_shard(64).sample, 1, "never below one query");
+        assert_eq!(cfg.per_shard(0).sample, 8, "zero shards clamps to one");
+        assert_eq!(cfg.per_shard(4).every, 16, "interval unchanged");
+        assert_eq!(cfg.per_shard(4).tolerance, 1e-9);
     }
 }

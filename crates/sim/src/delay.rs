@@ -59,6 +59,17 @@ impl Pareto {
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         (self.scale / u.powf(1.0 / self.shape)).min(self.cap)
     }
+
+    /// Evaluates the inverse CDF at `u ∈ (0, 1]` — the deterministic
+    /// core of [`Pareto::sample`], exposed so counter-based RNG streams
+    /// (see `DelayRng::PerItem`) can draw without a [`StdRng`].
+    pub fn sample_u(&self, u: f64) -> f64 {
+        if self.scale == 0.0 {
+            return 0.0;
+        }
+        let u = u.max(f64::MIN_POSITIVE);
+        (self.scale / u.powf(1.0 / self.shape)).min(self.cap)
+    }
 }
 
 /// All delays used by the simulator.

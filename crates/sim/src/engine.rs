@@ -32,16 +32,17 @@ use pq_core::{
 use pq_ddm::{DataDynamicsModel, RateEstimator, TraceSet};
 use pq_gp::SolverOptions;
 use pq_obs::{
-    names, Counter, EventKind, Histogram, Obs, ObsConfig, SloConfig, SloEngine, Timer, Watchdog,
-    WindowPlane,
+    names, Counter, EventKind, Histogram, Obs, ObsConfig, SloConfig, SloEngine, SpanContext, Timer,
+    Watchdog, WindowPlane,
 };
 use pq_poly::{EvalPlan, PolynomialQuery};
 
 use crate::audit::{AuditConfig, AuditFault, FidelityAuditor};
-use crate::delay::DelayConfig;
+use crate::delay::{DelayConfig, Pareto};
 use crate::event::Event;
 use crate::incremental::DeltaView;
 use crate::metrics::SimMetrics;
+use crate::ring::{RingConsumer, RingMsg, RingProducer};
 use crate::table::{Bitset, ItemTable};
 use crate::wheel::{Scheduler, SimQueue};
 
@@ -102,6 +103,141 @@ pub enum SimStrategy {
     },
 }
 
+/// Where the engine's stochastic draws (network delays, service times,
+/// message-loss coin flips) come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayRng {
+    /// One sequential [`StdRng`] stream seeded from [`SimConfig::seed`]
+    /// — the historical behavior, byte-identical to every prior run.
+    /// Draw order depends on global event interleaving, so metrics are
+    /// only reproducible at a fixed shard count.
+    #[default]
+    Global,
+    /// Counter-based splitmix64 streams keyed by **global** item id:
+    /// each item's draws are a private deterministic sequence,
+    /// independent of which shard processes it or what other items do.
+    /// This is what makes fixed-seed metrics invariant across shard
+    /// counts (DESIGN.md §13); the marginal distributions match
+    /// [`DelayRng::Global`] but the realized values differ.
+    PerItem,
+}
+
+/// The engine's source of stochastic draws (see [`DelayRng`]).
+#[derive(Debug)]
+enum DelaySource {
+    Global(StdRng),
+    PerItem {
+        seed: u64,
+        /// One draw counter per global item id.
+        counters: Vec<u64>,
+    },
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash of one `u64`.
+fn splitmix64(z: u64) -> u64 {
+    let z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DelaySource {
+    /// Next uniform draw in `[0, 1)` on `item`'s stream (the stream
+    /// argument is ignored in [`DelayRng::Global`] mode).
+    fn uniform(&mut self, item: usize) -> f64 {
+        match self {
+            DelaySource::Global(rng) => {
+                use rand::Rng;
+                rng.gen::<f64>()
+            }
+            DelaySource::PerItem { seed, counters } => {
+                let c = counters[item];
+                counters[item] = c + 1;
+                let key = splitmix64(*seed ^ (item as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let x = splitmix64(key.wrapping_add(c));
+                (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+            }
+        }
+    }
+
+    /// One Pareto draw on `item`'s stream. Zero-scale distributions
+    /// consume no randomness in either mode (the batching predicate
+    /// relies on that).
+    fn pareto(&mut self, p: &Pareto, item: usize) -> f64 {
+        if p.is_zero() {
+            return 0.0;
+        }
+        match self {
+            DelaySource::Global(rng) => p.sample(rng),
+            DelaySource::PerItem { .. } => p.sample_u(1.0 - self.uniform(item)),
+        }
+    }
+}
+
+/// One outbound inter-shard link (write half of an SPSC ring).
+pub(crate) struct ShardLink {
+    /// Destination shard (diagnostics only; routing is by ring index).
+    #[allow(dead_code)]
+    pub(crate) dest: u32,
+    pub(crate) tx: RingProducer,
+}
+
+/// One inbound inter-shard link: the read half plus the holdback buffer
+/// of drained-but-not-yet-releasable messages (a sender may run several
+/// ticks ahead; its messages wait here until this shard's clock passes
+/// their `sent_tick`).
+pub(crate) struct ShardInlet {
+    /// Source shard; inlets are processed in ascending `src` order so
+    /// staged cross-shard work is replayed deterministically.
+    pub(crate) src: u32,
+    pub(crate) rx: RingConsumer,
+    pub(crate) held: VecDeque<RingMsg>,
+}
+
+/// Everything a shard engine needs to act as one coordinator of the
+/// partitioned (multi-coordinator) engine: id translation between its
+/// dense local space and the global universe, replica bookkeeping, and
+/// the rings to its peers. Built by [`crate::shard::run_sharded`];
+/// `None` in the classic single-coordinator engine.
+pub(crate) struct ShardCtx {
+    pub(crate) shard: u32,
+    /// Items in the *global* (pre-partition) universe — sizes the
+    /// per-item draw counters of [`DelayRng::PerItem`].
+    pub(crate) n_global_items: usize,
+    /// Local item id -> global item id (strictly ascending).
+    pub(crate) item_gid: Vec<u32>,
+    /// Local query id -> global query id (strictly ascending).
+    pub(crate) query_gid: Vec<u32>,
+    /// `true` for local items homed on another shard: their source
+    /// lives there, so the local filter is pinned at `INFINITY` (no
+    /// local pushes) and refreshes arrive over the ring instead.
+    pub(crate) replica: Vec<bool>,
+    /// Local item -> outbound ring indices to every shard holding a
+    /// replica of it (home items only; empty elsewhere).
+    pub(crate) exports: Vec<Vec<usize>>,
+    /// Local item -> outbound ring index toward its home shard
+    /// (replicas only).
+    pub(crate) home_ring: Vec<Option<usize>>,
+    /// Outbound links, ascending by destination shard.
+    pub(crate) outbound: Vec<ShardLink>,
+    /// Inbound links, ascending by source shard.
+    pub(crate) inbound: Vec<ShardInlet>,
+    /// Local item -> each remote shard's current minimum DAB over its
+    /// replica (home items with subscribers only). Folded into
+    /// `min_dab_for_item` so the installed source filter stays the
+    /// global minimum.
+    pub(crate) remote_dab_min: Vec<Vec<(u32, f64)>>,
+}
+
+impl ShardCtx {
+    /// Translates a global item id to this shard's dense local id.
+    fn local_item(&self, gid: u32) -> usize {
+        self.item_gid
+            .binary_search(&gid)
+            .expect("ring message for an item this shard does not hold")
+    }
+}
+
 /// Full configuration of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -126,6 +262,18 @@ pub struct SimConfig {
     pub mu_cost: f64,
     /// RNG seed for delays.
     pub seed: u64,
+    /// Coordinator shards. `1` (default) runs the classic
+    /// single-coordinator engine; `> 1` partitions the query↔item graph
+    /// ([`mod@pq_core::partition`]) and runs one coordinator per shard on
+    /// its own thread, exchanging cross-partition refreshes and DAB
+    /// minima over bounded SPSC rings (see [`crate::shard`]).
+    pub shards: usize,
+    /// Where stochastic draws come from. Keep [`DelayRng::Global`] for
+    /// byte-compatibility with single-coordinator runs; switch to
+    /// [`DelayRng::PerItem`] to make fixed-seed metrics invariant
+    /// across shard counts (see [`crate::shard`] for the full
+    /// determinism contract).
+    pub delay_rng: DelayRng,
     /// Sample fidelity every this many ticks (0 disables sampling).
     pub fidelity_sample_every: usize,
     /// Probability that any message (refresh or DAB-change) is silently
@@ -187,6 +335,8 @@ impl SimConfig {
             scheduler: Scheduler::Heap,
             mu_cost: 5.0,
             seed: 42,
+            shards: 1,
+            delay_rng: DelayRng::Global,
             fidelity_sample_every: 1,
             loss_probability: 0.0,
             gp: SolverOptions::default(),
@@ -256,10 +406,14 @@ pub fn run(config: &SimConfig) -> Result<SimMetrics, SimError> {
 /// the returned metrics (see [`SimMetrics::from_snapshot`]), including
 /// the GP-solver timings (`gp.solve_ns`) from every recomputation.
 pub fn run_observed(config: &SimConfig, obs: &Obs) -> Result<SimMetrics, SimError> {
+    if config.shards > 1 {
+        return crate::shard::run_sharded(config, obs, crate::shard::Execution::Threaded)
+            .map(|report| report.metrics);
+    }
     Engine::new(config, obs.clone())?.run()
 }
 
-struct Engine<'a> {
+pub(crate) struct Engine<'a> {
     cfg: &'a SimConfig,
     n_items: usize,
     rates: Vec<f64>,
@@ -286,8 +440,15 @@ struct Engine<'a> {
     /// Last query value pushed to each user.
     last_user_value: Vec<f64>,
     queue: SimQueue,
-    rng: StdRng,
+    delay_rng: DelaySource,
     metrics: SimMetrics,
+    /// Multi-coordinator state when this engine runs as one shard of a
+    /// partitioned run (`None` in the classic engine; see
+    /// [`crate::shard`]).
+    shard: Option<ShardCtx>,
+    /// The simulated tick currently executing (stamped on outbound ring
+    /// messages so receivers release them conservatively).
+    current_tick: u64,
     /// The coordinator is busy (checking queries / re-solving DABs) until
     /// this time; refreshes arriving earlier wait in its queue.
     coordinator_busy_until: f64,
@@ -356,6 +517,14 @@ struct Engine<'a> {
     /// Per-query `gp.solve` attribution handles (labeled family, key
     /// `query`), resolved once so the solver hot path is one relaxed add.
     lc_solve_by_query: Vec<Arc<Counter>>,
+    /// Per-shard hot-path attribution (`shard.refresh` /
+    /// `shard.recompute` labeled by `shard`) plus ring-traffic counters
+    /// (`shard.ring_send` / `shard.ring_recv`); present only when
+    /// running as a shard, so the classic engine pays nothing.
+    lc_shard_refresh: Option<Arc<Counter>>,
+    lc_shard_recompute: Option<Arc<Counter>>,
+    lc_ring_send: Option<Arc<Counter>>,
+    lc_ring_recv: Option<Arc<Counter>>,
     /// Continuous fidelity audit (shadow naive evaluation); present only
     /// when configured and evaluating in [`EvalMode::Delta`].
     auditor: Option<FidelityAuditor>,
@@ -385,29 +554,63 @@ struct SloRuntime {
     c_divergence: Arc<Counter>,
     seen_divergences: u64,
     seen_violations: u64,
+    /// The registry's `audit.divergence` counter is shared by every
+    /// shard of a partitioned run, so only one runtime (shard 0) may
+    /// diff it — concurrent diffing would double-count.
+    track_divergences: bool,
 }
 
 impl SloRuntime {
-    fn new(cfg: SloConfig, obs: &Obs) -> Self {
-        let plane = Arc::new(WindowPlane::new());
-        for name in [
-            names::SIM_REFRESH,
-            names::DAB_RECOMPUTE,
-            names::SIM_USER_NOTIFY,
-            names::SIM_FIDELITY_SAMPLE,
-            names::AUDIT_SAMPLE,
-            names::AUDIT_DIVERGENCE,
-        ] {
-            plane.track_source(name, obs.counter(name));
-        }
-        let engine = Arc::new(SloEngine::new(cfg, obs));
+    fn new(cfg: SloConfig, obs: &Obs, shard: Option<u32>) -> Self {
+        // Install-or-fetch: the first runtime on this `Obs` handle (the
+        // first run, or the first shard to get here) creates the plane
+        // and the SLO engine; everyone else adopts the installed ones.
+        // All shards feeding one shared engine is what makes the error
+        // budget global — each shard contributes its own per-tick
+        // sample/violation deltas, and `SloEngine::observe` locks
+        // internally.
+        let plane = match obs.window_plane() {
+            Some(plane) => plane,
+            None => {
+                let plane = Arc::new(WindowPlane::new());
+                for name in [
+                    names::SIM_REFRESH,
+                    names::DAB_RECOMPUTE,
+                    names::SIM_USER_NOTIFY,
+                    names::SIM_FIDELITY_SAMPLE,
+                    names::AUDIT_SAMPLE,
+                    names::AUDIT_DIVERGENCE,
+                ] {
+                    plane.track_source(name, obs.counter(name));
+                }
+                if obs.install_window_plane(plane.clone()) {
+                    plane
+                } else {
+                    obs.window_plane().expect("a racing shard just installed")
+                }
+            }
+        };
+        let engine = match obs.slo_engine() {
+            Some(engine) => engine,
+            None => {
+                let engine = Arc::new(SloEngine::new(cfg, obs));
+                if obs.install_slo_engine(engine.clone()) {
+                    engine
+                } else {
+                    obs.slo_engine().expect("a racing shard just installed")
+                }
+            }
+        };
+        // Watchdogs stay per-engine: each shard beats its own, so a
+        // single wedged shard is attributable. The singleton slot keeps
+        // its first-install-wins behavior for the classic engine;
+        // shards additionally register under a `shard<i>` label, which
+        // `/health` aggregates and reports per shard.
         let watchdog = Arc::new(Watchdog::new(WATCHDOG_STALL_AFTER));
-        // First-install wins: repeated runs over one Obs handle keep the
-        // first run's components, matching the registry's counters which
-        // also accumulate across runs.
-        obs.install_window_plane(plane.clone());
-        obs.install_slo_engine(engine.clone());
         obs.install_watchdog(watchdog.clone());
+        if let Some(s) = shard {
+            obs.register_watchdog(&format!("shard{s}"), watchdog.clone());
+        }
         SloRuntime {
             plane,
             engine,
@@ -415,12 +618,28 @@ impl SloRuntime {
             c_divergence: obs.counter(names::AUDIT_DIVERGENCE),
             seen_divergences: 0,
             seen_violations: 0,
+            track_divergences: shard.is_none_or(|s| s == 0),
         }
     }
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a SimConfig, obs: Obs) -> Result<Self, SimError> {
+    pub(crate) fn new(cfg: &'a SimConfig, obs: Obs) -> Result<Self, SimError> {
+        Engine::build(cfg, obs, None)
+    }
+
+    /// Builds one coordinator of a partitioned run: `cfg` is the
+    /// shard's projected configuration (dense local ids), `ctx` the
+    /// translation tables and rings (see [`crate::shard`]).
+    pub(crate) fn new_sharded(
+        cfg: &'a SimConfig,
+        obs: Obs,
+        ctx: ShardCtx,
+    ) -> Result<Self, SimError> {
+        Engine::build(cfg, obs, Some(ctx))
+    }
+
+    fn build(cfg: &'a SimConfig, obs: Obs, shard: Option<ShardCtx>) -> Result<Self, SimError> {
         let n_items = cfg.traces.n_items();
         for q in &cfg.queries {
             if let Some(mx) = q.poly().max_item() {
@@ -449,6 +668,23 @@ impl<'a> Engine<'a> {
         let coord_view = src_view.clone();
         let last_user_value = src_view.values().to_vec();
         let n_queries = cfg.queries.len();
+        // All registry names carry *global* ids so a partitioned run's
+        // shards write into one coherent attribution space (identity
+        // maps in the classic engine).
+        let gq_label = |qi: usize| {
+            shard
+                .as_ref()
+                .map_or(qi, |c| c.query_gid[qi] as usize)
+                .to_string()
+        };
+        let gi_label = |i: usize| {
+            shard
+                .as_ref()
+                .map_or(i, |c| c.item_gid[i] as usize)
+                .to_string()
+        };
+        let shard_label = shard.as_ref().map(|c| c.shard.to_string());
+        let n_global_items = shard.as_ref().map_or(n_items, |c| c.n_global_items);
         let mut engine = Engine {
             cfg,
             n_items,
@@ -463,7 +699,14 @@ impl<'a> Engine<'a> {
             item_queries,
             last_user_value,
             queue: SimQueue::new(cfg.scheduler),
-            rng: StdRng::seed_from_u64(cfg.seed),
+            delay_rng: match cfg.delay_rng {
+                DelayRng::Global => DelaySource::Global(StdRng::seed_from_u64(cfg.seed)),
+                DelayRng::PerItem => DelaySource::PerItem {
+                    seed: cfg.seed,
+                    counters: vec![0; n_global_items],
+                },
+            },
+            current_tick: 0,
             metrics: SimMetrics::with_items(cfg.queries.len(), n_items),
             coordinator_busy_until: 0.0,
             deferred: VecDeque::new(),
@@ -479,22 +722,22 @@ impl<'a> Engine<'a> {
             c_lost: obs.counter(names::SIM_LOST_MESSAGE),
             c_fidelity: obs.counter(names::SIM_FIDELITY_SAMPLE),
             c_violations: (0..cfg.queries.len())
-                .map(|qi| obs.counter(&format!("{}.q{qi}", names::SIM_QAB_VIOLATION)))
+                .map(|qi| obs.counter(&format!("{}.q{}", names::SIM_QAB_VIOLATION, gq_label(qi))))
                 .collect(),
             lc_recompute_by_query: (0..cfg.queries.len())
                 .map(|qi| {
-                    obs.labeled_counter(names::DAB_RECOMPUTE, names::LABEL_QUERY, &qi.to_string())
+                    obs.labeled_counter(names::DAB_RECOMPUTE, names::LABEL_QUERY, &gq_label(qi))
                 })
                 .collect(),
             lc_refresh_by_item: (0..n_items)
-                .map(|i| obs.labeled_counter(names::SIM_REFRESH, names::LABEL_ITEM, &i.to_string()))
+                .map(|i| obs.labeled_counter(names::SIM_REFRESH, names::LABEL_ITEM, &gi_label(i)))
                 .collect(),
             lc_trigger_by_item: (0..n_items)
                 .map(|i| {
                     obs.labeled_counter(
                         names::DAB_RECOMPUTE_TRIGGER,
                         names::LABEL_ITEM,
-                        &i.to_string(),
+                        &gi_label(i),
                     )
                 })
                 .collect(),
@@ -509,23 +752,41 @@ impl<'a> Engine<'a> {
             t_recompute_batch: obs.timer(names::SIM_RECOMPUTE_BATCH),
             t_gp_solve: obs.timer(names::GP_SOLVE),
             lc_solve_by_query: (0..cfg.queries.len())
-                .map(|qi| obs.labeled_counter(names::GP_SOLVE, names::LABEL_QUERY, &qi.to_string()))
+                .map(|qi| obs.labeled_counter(names::GP_SOLVE, names::LABEL_QUERY, &gq_label(qi)))
                 .collect(),
+            lc_shard_refresh: shard_label
+                .as_ref()
+                .map(|s| obs.labeled_counter(names::SHARD_REFRESH, names::LABEL_SHARD, s)),
+            lc_shard_recompute: shard_label
+                .as_ref()
+                .map(|s| obs.labeled_counter(names::SHARD_RECOMPUTE, names::LABEL_SHARD, s)),
+            lc_ring_send: shard_label
+                .as_ref()
+                .map(|s| obs.labeled_counter(names::SHARD_RING_SEND, names::LABEL_SHARD, s)),
+            lc_ring_recv: shard_label
+                .as_ref()
+                .map(|s| obs.labeled_counter(names::SHARD_RING_RECV, names::LABEL_SHARD, s)),
             auditor: match (&cfg.audit, &cfg.eval) {
                 (Some(audit), EvalMode::Delta { .. }) => {
                     Some(FidelityAuditor::new(audit.clone(), &obs))
                 }
                 _ => None,
             },
-            slo: cfg.slo.clone().map(|slo| SloRuntime::new(slo, &obs)),
+            slo: cfg
+                .slo
+                .clone()
+                .map(|slo| SloRuntime::new(slo, &obs, shard.as_ref().map(|c| c.shard))),
+            shard,
             obs,
         };
         // The two initial full evaluations per query that seeded the views.
         engine.c_eval_full.add(2 * engine.plans.len() as u64);
+        let shard_id = engine.shard.as_ref().map(|c| c.shard);
         engine
             .obs
             .emit_with(names::SIM_RUN_START, EventKind::Point, |e| {
-                e.with("n_items", n_items)
+                let e = e
+                    .with("n_items", n_items)
                     .with("n_queries", engine.cfg.queries.len())
                     .with("n_ticks", engine.cfg.traces.n_ticks())
                     .with("seed", engine.cfg.seed)
@@ -536,7 +797,11 @@ impl<'a> Engine<'a> {
                             SimStrategy::PerQuery { .. } => "per-query",
                             SimStrategy::AaoPeriodic { .. } => "aao-periodic",
                         },
-                    )
+                    );
+                match shard_id {
+                    Some(s) => e.with("shard", s as u64),
+                    None => e,
+                }
             });
         engine.initial_assignments()?;
         Ok(engine)
@@ -658,7 +923,9 @@ impl<'a> Engine<'a> {
     }
 
     /// Recomputes the min filter for one item across all units of the
-    /// queries referencing it.
+    /// queries referencing it — plus, on a home shard, the minima the
+    /// remote shards reported over their replicas, so the installed
+    /// source filter is the global minimum.
     fn min_dab_for_item(&self, item: usize) -> f64 {
         let mut m = f64::INFINITY;
         for &qi in &self.item_queries[item] {
@@ -668,11 +935,51 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        if let Some(ctx) = &self.shard {
+            for &(_, d) in &ctx.remote_dab_min[item] {
+                m = m.min(d);
+            }
+        }
         m
     }
 
-    fn run(mut self) -> Result<SimMetrics, SimError> {
+    /// Global item id for a local one (identity in the classic engine).
+    #[inline]
+    fn gi(&self, item: usize) -> usize {
+        self.shard
+            .as_ref()
+            .map_or(item, |c| c.item_gid[item] as usize)
+    }
+
+    /// Global query id for a local one (identity in the classic engine).
+    #[inline]
+    fn gq(&self, qi: usize) -> usize {
+        self.shard.as_ref().map_or(qi, |c| c.query_gid[qi] as usize)
+    }
+
+    pub(crate) fn run(mut self) -> Result<SimMetrics, SimError> {
+        match self.run_inner() {
+            Ok(()) => Ok(std::mem::take(&mut self.metrics)),
+            Err(e) => {
+                // A failed shard must not strand its peers mid-protocol:
+                // publish the terminal watermark and keep draining until
+                // every peer finishes, then surface the error.
+                self.shard_finish();
+                Err(e)
+            }
+        }
+    }
+
+    fn run_inner(&mut self) -> Result<(), SimError> {
         self.items.install_all_dabs();
+        if self.shard.is_some() {
+            // Replicas never push locally — their source lives on the
+            // home shard — and the home must learn every remote's
+            // initial minimum before the first tick's pushes.
+            self.force_replica_filters();
+            self.send_initial_dab_updates();
+            self.publish_completed(0);
+        }
         // Batched ingestion is only sound when the coordinator's service
         // times are identically zero: then `busy_until` never outruns
         // event time, nothing is ever deferred, and same-instant
@@ -684,6 +991,13 @@ impl<'a> Engine<'a> {
         let n_ticks = self.cfg.traces.n_ticks();
         for tick in 1..n_ticks {
             let now = tick as f64;
+            self.current_tick = tick as u64;
+            // Conservative inter-shard barrier: wait for every peer to
+            // complete tick-1, then replay the staged cross-shard
+            // messages in deterministic (source-shard, FIFO) order.
+            if self.shard.is_some() {
+                self.shard_sync(tick);
+            }
             // AAO-T periodic joint recomputation.
             if let SimStrategy::AaoPeriodic { period_ticks, mu } = &self.cfg.strategy {
                 if *period_ticks > 0 && tick % period_ticks == 0 {
@@ -780,7 +1094,12 @@ impl<'a> Engine<'a> {
             // Fidelity sample.
             if self.cfg.fidelity_sample_every > 0 && tick % self.cfg.fidelity_sample_every == 0 {
                 self.metrics.fidelity_samples += 1;
-                self.c_fidelity.inc();
+                // Every shard samples the same ticks; only shard 0 feeds
+                // the global counter so `/metrics` reports true samples,
+                // not samples x shards.
+                if self.shard.as_ref().is_none_or(|c| c.shard == 0) {
+                    self.c_fidelity.inc();
+                }
                 for (qi, q) in self.cfg.queries.iter().enumerate() {
                     let (truth, cached) = match self.cfg.eval {
                         EvalMode::Naive => {
@@ -797,9 +1116,10 @@ impl<'a> Engine<'a> {
                     if (truth - cached).abs() > q.qab() {
                         self.metrics.per_query_violations[qi] += 1;
                         self.c_violations[qi].inc();
+                        let gqi = self.gq(qi);
                         self.obs
                             .emit_with(names::SIM_QAB_VIOLATION, EventKind::Point, |e| {
-                                e.with("query", qi)
+                                e.with("query", gqi)
                                     .with("tick", tick)
                                     .with("truth", truth)
                                     .with("cached", cached)
@@ -833,11 +1153,17 @@ impl<'a> Engine<'a> {
             // samples. Runs after the audit so a divergence flagged this
             // tick alerts this tick.
             self.slo_on_tick(tick);
+            if self.shard.is_some() {
+                self.publish_completed(tick as u64);
+            }
         }
         if let Some(slo) = &self.slo {
             // A finished run is not a stall, however long ago its last
             // heartbeat was — post-run `/health` scrapes must stay green.
             slo.watchdog.disarm();
+        }
+        if self.shard.is_some() {
+            self.shard_finish();
         }
         // The wheel only knows its cascade total at the end of the run
         // (0 for the heap backend).
@@ -857,7 +1183,7 @@ impl<'a> Engine<'a> {
                     )
             });
         self.obs.flush();
-        Ok(self.metrics)
+        Ok(())
     }
 
     /// One live-health step at the end of tick `tick`: beat the
@@ -881,9 +1207,17 @@ impl<'a> Engine<'a> {
         let total_violations: u64 = self.metrics.per_query_violations.iter().sum();
         let violations = total_violations - rt.seen_violations;
         rt.seen_violations = total_violations;
-        let total_divergences = rt.c_divergence.get();
-        let divergences = total_divergences - rt.seen_divergences;
-        rt.seen_divergences = total_divergences;
+        // The audit divergence counter is process-global; in sharded
+        // runs only shard 0 diffs it so the shared SLO engine doesn't
+        // count each divergence once per shard.
+        let divergences = if rt.track_divergences {
+            let total_divergences = rt.c_divergence.get();
+            let d = total_divergences - rt.seen_divergences;
+            rt.seen_divergences = total_divergences;
+            d
+        } else {
+            0
+        };
         let raised = rt.engine.observe(now, samples, violations, divergences);
         for alert in &raised {
             self.obs.emit_with(names::SLO_ALERT, EventKind::Point, |e| {
@@ -904,34 +1238,275 @@ impl<'a> Engine<'a> {
         }
     }
 
+    // ---- inter-shard protocol (multi-coordinator runs only; see
+    // DESIGN.md §13) --------------------------------------------------
+
+    /// Publishes `completed(tick)` on every outbound ring (stored as
+    /// `tick + 1`; 0 means "initialization not finished").
+    fn publish_completed(&self, tick: u64) {
+        if let Some(ctx) = &self.shard {
+            for link in &ctx.outbound {
+                link.tx.publish_watermark(tick + 1);
+            }
+        }
+    }
+
+    /// Pins every replica's installed filter at `INFINITY`: replicas
+    /// track the source trace for fidelity truth, but the push protocol
+    /// runs only at the item's home shard — refreshes arrive over the
+    /// ring instead.
+    fn force_replica_filters(&mut self) {
+        let Some(ctx) = &self.shard else { return };
+        for item in 0..self.n_items {
+            if ctx.replica[item] {
+                self.items.set_installed_dab(item, f64::INFINITY);
+            }
+        }
+    }
+
+    /// Ships each replica's initial local DAB minimum to its home shard
+    /// (processed there at the tick-1 barrier, so the installed source
+    /// filter becomes the global minimum before pushes accumulate).
+    fn send_initial_dab_updates(&mut self) {
+        let mut msgs: Vec<(usize, RingMsg)> = Vec::new();
+        if let Some(ctx) = &self.shard {
+            for item in 0..self.n_items {
+                if let Some(ring) = ctx.home_ring[item] {
+                    let min_dab = self.items.coord_dab(item);
+                    if min_dab.is_finite() {
+                        msgs.push((
+                            ring,
+                            RingMsg::DabUpdate {
+                                item: ctx.item_gid[item],
+                                min_dab,
+                                time: 0.0,
+                                sent_tick: 0,
+                                span: 0,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        for (ring, msg) in msgs {
+            self.ring_send(ring, msg);
+        }
+    }
+
+    /// Blocking ring send with deadlock avoidance: when the outbound
+    /// ring is full, drain our own inbound rings into their holdback
+    /// buffers (the peer may itself be blocked sending to us) and
+    /// retry. The ring's backpressure counter records every full poll.
+    fn ring_send(&mut self, ring: usize, msg: RingMsg) {
+        loop {
+            {
+                let ctx = self.shard.as_ref().expect("ring_send without shard ctx");
+                if ctx.outbound[ring].tx.try_send(msg) {
+                    break;
+                }
+            }
+            let ctx = self.shard.as_mut().expect("ring_send without shard ctx");
+            for inlet in &mut ctx.inbound {
+                while let Some(m) = inlet.rx.try_recv() {
+                    inlet.held.push_back(m);
+                }
+            }
+            std::hint::spin_loop();
+        }
+        if let Some(c) = &self.lc_ring_send {
+            c.inc();
+        }
+    }
+
+    /// The tick-start barrier: wait until every inbound peer completed
+    /// `tick - 1`, then release and apply every held message sent
+    /// during ticks `≤ tick - 1`, in (source shard, FIFO) order —
+    /// deterministic regardless of thread interleaving. Shards with no
+    /// inbound rings skip this entirely.
+    fn shard_sync(&mut self, tick: usize) {
+        let t = tick as u64;
+        let mut staged: Vec<(u32, RingMsg)> = Vec::new();
+        {
+            let ctx = self.shard.as_mut().expect("shard_sync without ctx");
+            for inlet in &mut ctx.inbound {
+                loop {
+                    while let Some(m) = inlet.rx.try_recv() {
+                        inlet.held.push_back(m);
+                    }
+                    if inlet.rx.watermark() >= t {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                // One more drain after observing the watermark: its
+                // acquire pairs with the sender's release, so every
+                // message from ticks ≤ tick-1 is now visible. Later
+                // messages (the sender may already be ticks ahead)
+                // stay held until our clock passes their sent_tick.
+                while let Some(m) = inlet.rx.try_recv() {
+                    inlet.held.push_back(m);
+                }
+                while inlet.held.front().is_some_and(|m| m.sent_tick() < t) {
+                    staged.push((inlet.src, inlet.held.pop_front().expect("non-empty")));
+                }
+            }
+        }
+        if !staged.is_empty() {
+            if let Some(c) = &self.lc_ring_recv {
+                c.add(staged.len() as u64);
+            }
+        }
+        for (src, msg) in staged {
+            self.apply_ring_msg(src, msg, tick);
+        }
+    }
+
+    /// Applies one released cross-shard message at the start of `tick`,
+    /// re-entering the sender's span so emitted events stay causally
+    /// parented across the thread hop.
+    fn apply_ring_msg(&mut self, src: u32, msg: RingMsg, tick: usize) {
+        let _causal = SpanContext::with_parent(msg.span()).enter();
+        match msg {
+            RingMsg::Refresh {
+                item, value, time, ..
+            } => {
+                let local = self.shard.as_ref().expect("sharded").local_item(item);
+                // Cross-shard arrivals quantize to at least the current
+                // tick — the ring hop is only observed at barriers.
+                let at = time.max(tick as f64);
+                self.c_sched_push.inc();
+                self.queue
+                    .push(at, Event::RefreshArrive { item: local, value });
+            }
+            RingMsg::DabUpdate { item, min_dab, .. } => {
+                let local = {
+                    let ctx = self.shard.as_mut().expect("sharded");
+                    let local = ctx.local_item(item);
+                    match ctx.remote_dab_min[local]
+                        .iter_mut()
+                        .find(|(shard, _)| *shard == src)
+                    {
+                        Some(entry) => entry.1 = min_dab,
+                        None => ctx.remote_dab_min[local].push((src, min_dab)),
+                    }
+                    local
+                };
+                // Fold the remote minimum into the global filter and
+                // ship the change to the local source if it moved.
+                self.propagate_dab_changes(&[local], tick as f64);
+            }
+        }
+    }
+
+    /// End-of-run teardown (called once per run, also on the error
+    /// path): publish the terminal watermark, then keep draining
+    /// inbound rings until every peer has published its own — no
+    /// sender is ever left spinning on a full ring to a finished
+    /// shard. Messages drained here are beyond the simulated horizon
+    /// and are discarded.
+    fn shard_finish(&mut self) {
+        let (backpressure, shard) = {
+            let Some(ctx) = self.shard.as_mut() else {
+                return;
+            };
+            for link in &ctx.outbound {
+                link.tx.publish_watermark(u64::MAX);
+            }
+            loop {
+                let mut all_done = true;
+                for inlet in &mut ctx.inbound {
+                    while inlet.rx.try_recv().is_some() {}
+                    if inlet.rx.watermark() != u64::MAX {
+                        all_done = false;
+                    }
+                }
+                if !all_done {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                // Final sweep after the last peer's terminal watermark.
+                for inlet in &mut ctx.inbound {
+                    while inlet.rx.try_recv().is_some() {}
+                }
+                break;
+            }
+            let bp: u64 = ctx.outbound.iter().map(|l| l.tx.backpressure()).sum();
+            (bp, ctx.shard)
+        };
+        if backpressure > 0 {
+            self.obs
+                .labeled_counter(
+                    names::SHARD_RING_BACKPRESSURE,
+                    names::LABEL_SHARD,
+                    &shard.to_string(),
+                )
+                .add(backpressure);
+        }
+    }
+
+    /// Fans an accepted push out to every shard holding a replica of
+    /// `item` — one independent simulated link per destination (its own
+    /// loss coin flip and delay draw), stamped with the current tick
+    /// for conservative release on the remote side.
+    fn forward_exports(&mut self, item: usize, value: f64, now: f64) {
+        let n = self.shard.as_ref().map_or(0, |c| c.exports[item].len());
+        if n == 0 {
+            return;
+        }
+        let gid = self.gi(item);
+        let span = SpanContext::current().parent().map_or(0, |s| s.0);
+        for k in 0..n {
+            if self.drop_message(item) {
+                continue;
+            }
+            let delay = self.delay_rng.pareto(&self.cfg.delays.node_to_node, gid);
+            let ring = self.shard.as_ref().expect("sharded").exports[item][k];
+            self.ring_send(
+                ring,
+                RingMsg::Refresh {
+                    item: gid as u32,
+                    value,
+                    time: now + delay,
+                    sent_tick: self.current_tick,
+                    span,
+                },
+            );
+        }
+    }
+
     /// Source-side filter: push when the value escapes the installed DAB.
     fn maybe_push(&mut self, item: usize, now: f64) {
         let v = self.items.value(item);
         let dab = self.items.installed_dab(item);
         if dab.is_finite() && (v - self.items.last_pushed(item)).abs() > dab {
             self.items.set_last_pushed(item, v);
-            if self.drop_message() {
-                return;
+            if !self.drop_message(item) {
+                let gid = self.gi(item);
+                let delay = self.delay_rng.pareto(&self.cfg.delays.node_to_node, gid);
+                self.c_sched_push.inc();
+                self.queue
+                    .push(now + delay, Event::RefreshArrive { item, value: v });
             }
-            let delay = self.cfg.delays.node_to_node.sample(&mut self.rng);
-            self.c_sched_push.inc();
-            self.queue
-                .push(now + delay, Event::RefreshArrive { item, value: v });
+            // An accepted push also feeds every remote replica (no-op
+            // in the classic engine and for unexported items).
+            self.forward_exports(item, v, now);
         }
     }
 
-    /// Failure injection: true if this message is lost in transit.
-    fn drop_message(&mut self) -> bool {
-        use rand::Rng;
-        if self.cfg.loss_probability > 0.0 && self.rng.gen::<f64>() < self.cfg.loss_probability {
-            self.metrics.lost_messages += 1;
-            self.c_lost.inc();
-            self.obs
-                .emit_with(names::SIM_LOST_MESSAGE, EventKind::Count, |e| e);
-            true
-        } else {
-            false
+    /// Failure injection: true if this message is lost in transit. The
+    /// draw runs on `item`'s stream under [`DelayRng::PerItem`].
+    fn drop_message(&mut self, item: usize) -> bool {
+        if self.cfg.loss_probability > 0.0 {
+            let gid = self.gi(item);
+            if self.delay_rng.uniform(gid) < self.cfg.loss_probability {
+                self.metrics.lost_messages += 1;
+                self.c_lost.inc();
+                self.obs
+                    .emit_with(names::SIM_LOST_MESSAGE, EventKind::Count, |e| e);
+                return true;
+            }
         }
+        false
     }
 
     /// Arrival bookkeeping for one refresh (metrics, attribution, trace
@@ -941,9 +1516,13 @@ impl<'a> Engine<'a> {
         self.metrics.per_item_refreshes[item] += 1;
         self.c_refreshes.inc();
         self.lc_refresh_by_item[item].inc();
+        if let Some(c) = &self.lc_shard_refresh {
+            c.inc();
+        }
+        let gid = self.gi(item);
         self.obs
             .emit_with(names::SIM_REFRESH, EventKind::Count, |e| {
-                e.with("item", item).with("value", value).with("t", now)
+                e.with("item", gid).with("value", value).with("t", now)
             });
     }
 
@@ -1069,7 +1648,10 @@ impl<'a> Engine<'a> {
     fn process_refresh(&mut self, item: usize, now: f64) -> Result<(), SimError> {
         // One query-check service charge per refresh (the paper's 4 ms
         // mean covers processing an arriving refresh, §V-A).
-        let mut service = self.cfg.delays.coordinator_check.sample(&mut self.rng);
+        let item_gid = self.gi(item);
+        let mut service = self
+            .delay_rng
+            .pareto(&self.cfg.delays.coordinator_check, item_gid);
         let recomputes_before = self.metrics.recomputations;
 
         let mut affected = std::mem::take(&mut self.scratch_affected);
@@ -1092,9 +1674,10 @@ impl<'a> Engine<'a> {
                 self.last_user_value[qi] = qv;
                 self.metrics.user_notifications += 1;
                 self.c_notifications.inc();
+                let gqi = self.gq(qi);
                 self.obs
                     .emit_with(names::SIM_USER_NOTIFY, EventKind::Count, |e| {
-                        e.with("query", qi).with("value", qv).with("t", now)
+                        e.with("query", gqi).with("value", qv).with("t", now)
                     });
             }
             // Collect every unit the refresh invalidated. Staleness only
@@ -1126,13 +1709,15 @@ impl<'a> Engine<'a> {
             self.lc_trigger_by_item[item].inc();
             self.obs
                 .emit_with(names::DAB_RECOMPUTE_TRIGGER, EventKind::Count, |e| {
-                    e.with("item", item)
+                    e.with("item", item_gid)
                         .with("recomputes", recomputes)
                         .with("t", now)
                 });
         }
         for _ in 0..recomputes {
-            service += self.cfg.delays.recompute_service.sample(&mut self.rng);
+            service += self
+                .delay_rng
+                .pareto(&self.cfg.delays.recompute_service, item_gid);
         }
         self.coordinator_busy_until = now + service;
         Ok(())
@@ -1198,11 +1783,15 @@ impl<'a> Engine<'a> {
                     self.metrics.per_query_recomputations[d.qi] += 1;
                     self.c_recomputations.inc();
                     self.lc_recompute_by_query[d.qi].inc();
+                    if let Some(c) = &self.lc_shard_recompute {
+                        c.inc();
+                    }
+                    let (gqi, gii) = (self.gq(d.qi), self.gi(item));
                     self.obs
                         .emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
-                            e.with("query", d.qi)
+                            e.with("query", gqi)
                                 .with("unit", d.ui)
-                                .with("item", item)
+                                .with("item", gii)
                                 .with("reason", "validity")
                                 .with("t", now)
                         });
@@ -1245,14 +1834,32 @@ impl<'a> Engine<'a> {
                 self.items.set_coord_dab(item, new_min);
                 self.metrics.dab_change_messages += 1;
                 self.c_dab_changes.inc();
+                let gid = self.gi(item);
                 self.obs
                     .emit_with(names::SIM_DAB_CHANGE, EventKind::Count, |e| {
-                        e.with("item", item).with("dab", new_min).with("t", now)
+                        e.with("item", gid).with("dab", new_min).with("t", now)
                     });
-                if self.drop_message() {
+                // A replica has no local source to re-filter: ship the
+                // new local minimum to the item's home shard instead
+                // (coordinator-to-coordinator link — reliable, released
+                // at the next tick barrier).
+                if let Some(ring) = self.shard.as_ref().and_then(|c| c.home_ring[item]) {
+                    // For a replica `new_min` is purely local (remote
+                    // folds only accumulate at the home shard).
+                    let msg = RingMsg::DabUpdate {
+                        item: gid as u32,
+                        min_dab: new_min,
+                        time: now,
+                        sent_tick: self.current_tick,
+                        span: SpanContext::current().parent().map_or(0, |s| s.0),
+                    };
+                    self.ring_send(ring, msg);
                     continue;
                 }
-                let delay = self.cfg.delays.node_to_node.sample(&mut self.rng);
+                if self.drop_message(item) {
+                    continue;
+                }
+                let delay = self.delay_rng.pareto(&self.cfg.delays.node_to_node, gid);
                 self.c_sched_push.inc();
                 self.queue
                     .push(now + delay, Event::DabChangeArrive { item, dab: new_min });
@@ -1269,12 +1876,16 @@ impl<'a> Engine<'a> {
         // paper does for the AAO-T curves).
         self.metrics.recomputations += self.cfg.queries.len() as u64;
         self.c_recomputations.add(self.cfg.queries.len() as u64);
+        if let Some(c) = &self.lc_shard_recompute {
+            c.add(self.cfg.queries.len() as u64);
+        }
         for qi in 0..self.cfg.queries.len() {
             self.metrics.per_query_recomputations[qi] += 1;
             self.lc_recompute_by_query[qi].inc();
+            let gqi = self.gq(qi);
             self.obs
                 .emit_with(names::DAB_RECOMPUTE, EventKind::Count, |e| {
-                    e.with("query", qi)
+                    e.with("query", gqi)
                         .with("reason", "aao-periodic")
                         .with("t", now)
                 });

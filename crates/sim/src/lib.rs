@@ -14,6 +14,11 @@
 //!   fidelity sampling and per-refresh checks (see [`EvalMode`]);
 //! * [`network`] — a dissemination tree of cooperating coordinators for
 //!   the Fig. 8(c) experiment;
+//! * [`ring`] — bounded SPSC rings carrying cross-shard messages;
+//! * [`shard`] — the partitioned multi-coordinator engine: one
+//!   coordinator per shard of the query↔item graph
+//!   ([`mod@pq_core::partition`]), conservative tick barriers over the
+//!   rings, deterministic metric merge (set [`SimConfig::shards`]);
 //! * [`metrics`] — the paper's four metrics (fidelity loss, refreshes,
 //!   recomputations, total cost).
 //!
@@ -31,16 +36,20 @@ pub mod event;
 pub mod incremental;
 pub mod metrics;
 pub mod network;
+pub mod ring;
+pub mod shard;
 pub mod table;
 pub mod wheel;
 
 pub use audit::{AuditConfig, AuditFault};
 pub use delay::{DelayConfig, Pareto};
-pub use engine::{run, run_observed, EvalMode, SimConfig, SimError, SimStrategy};
+pub use engine::{run, run_observed, DelayRng, EvalMode, SimConfig, SimError, SimStrategy};
 pub use event::{Event, EventQueue};
 pub use incremental::DeltaView;
 pub use metrics::SimMetrics;
 pub use network::{run_network, run_network_observed, NetworkConfig, NetworkMetrics};
 pub use pq_obs::{Obs, ObsConfig, RecorderConfig, SloConfig};
+pub use ring::{RingConsumer, RingMsg, RingProducer};
+pub use shard::{run_sharded, Execution, ShardReport, ShardStat};
 pub use table::{Bitset, ItemTable};
 pub use wheel::{Scheduler, SimQueue, TimerWheel};

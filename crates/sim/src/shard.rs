@@ -1,0 +1,433 @@
+//! Multi-coordinator execution: partition the query↔item graph, run one
+//! coordinator per shard, merge the metrics deterministically.
+//!
+//! The AAO decomposition (§III) solves independently per connected unit
+//! of the query↔item graph, so [`mod@pq_core::partition`] packs whole
+//! connected components onto `k` shards by estimated refresh/recompute
+//! load and only splits a component when it alone exceeds a shard's
+//! fair share. Each shard then runs the full single-coordinator engine
+//! — its own timer wheel, SoA item table, delta views and solve caches
+//! — over a dense projection of its items and queries, on its own
+//! thread. Shards sharing a split component exchange messages over
+//! bounded SPSC rings ([`crate::ring`]):
+//!
+//! * **home → remote**: accepted source refreshes of a shared item,
+//!   forwarded with an independent per-destination loss/delay draw;
+//! * **remote → home**: the remote's minimum DAB over its replica, so
+//!   the home's installed source filter stays the global minimum.
+//!
+//! Synchronization is conservative (classic PDES): a shard starts tick
+//! `T` only after every inbound peer has published completion of tick
+//! `T - 1`, and releases only messages stamped with `sent_tick < T`, so
+//! the replay order is deterministic regardless of thread interleaving.
+//!
+//! # Determinism contract (DESIGN.md §13)
+//!
+//! * `shards = 1` is **byte-identical** to the classic engine — same
+//!   struct, same draw sequence, same metrics and event log.
+//! * With [`DelayRng::PerItem`](crate::engine::DelayRng) and a **clean**
+//!   partition (no split components), fixed-seed [`SimMetrics`] are
+//!   invariant across shard counts except `ingest_batches` (batching is
+//!   per-coordinator) and `solver_seconds` (wall clock).
+//! * Split components add real protocol work (forwarded refreshes draw
+//!   extra delays, replicas quantize arrivals to tick barriers), so
+//!   their metrics are shard-count-dependent by design — exactly like
+//!   the paper's multiple-coordinator configuration (Fig. 8c).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use pq_core::{partition, PartitionInput, PartitionPlan};
+use pq_obs::Obs;
+use pq_poly::ItemId;
+
+use crate::engine::{Engine, ShardCtx, ShardInlet, ShardLink, SimConfig, SimError};
+use crate::metrics::SimMetrics;
+use crate::ring::ring;
+
+/// Slots per inter-shard ring. Senders block (draining their own
+/// inbound) when a ring fills, so capacity only trades memory against
+/// backpressure stalls.
+const RING_CAPACITY: usize = 8192;
+
+/// How a sharded run executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Execution {
+    /// One OS thread per shard — the production mode; wall-clock speedup
+    /// tracks the number of physical cores.
+    Threaded,
+    /// Shards run one after another on the calling thread, each timed in
+    /// isolation. Only valid for **clean** partitions (a split component
+    /// would deadlock on its ring barrier), so unclean plans silently
+    /// fall back to [`Execution::Threaded`]. This measures each shard's
+    /// busy time without core-count contention — on a single-core host,
+    /// `max(busy)` is the critical path a multi-core run would execute.
+    Sequential,
+}
+
+/// Per-shard outcome of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardStat {
+    /// Shard id.
+    pub shard: u32,
+    /// Queries assigned to this shard.
+    pub n_queries: usize,
+    /// Items held (home + replicas).
+    pub n_items: usize,
+    /// Replicated items among them (home on another shard).
+    pub n_replicas: usize,
+    /// Estimated load packed by the partitioner.
+    pub load: f64,
+    /// Wall-clock seconds the shard's engine ran. Under
+    /// [`Execution::Threaded`] this includes barrier waits; under
+    /// [`Execution::Sequential`] it is pure busy time.
+    pub busy_seconds: f64,
+}
+
+/// The result of [`run_sharded`]: merged metrics plus the partition and
+/// per-shard execution statistics.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Metrics merged over all shards, indexed by **global** query/item
+    /// ids (scalars summed; `fidelity_samples` is the per-shard maximum
+    /// since every shard samples the same ticks).
+    pub metrics: SimMetrics,
+    /// One entry per shard, ascending by shard id.
+    pub shards: Vec<ShardStat>,
+    /// Cross-shard item references (0 for a clean partition).
+    pub cross_edges: usize,
+    /// Connected components of the query↔item graph.
+    pub n_components: usize,
+    /// How the run actually executed (a [`Execution::Sequential`]
+    /// request over an unclean plan reports
+    /// [`Execution::Threaded`]).
+    pub execution: Execution,
+}
+
+impl ShardReport {
+    /// True when no component had to be split.
+    pub fn clean(&self) -> bool {
+        self.cross_edges == 0
+    }
+
+    /// The longest per-shard busy time — under [`Execution::Sequential`]
+    /// this is the critical path of an ideally parallel run.
+    pub fn max_busy_seconds(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.busy_seconds)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs `cfg` as a partitioned multi-coordinator simulation on
+/// `cfg.shards` shards and merges the per-shard metrics.
+///
+/// `cfg.shards <= 1` runs the classic engine unchanged (byte-identical
+/// metrics and draw sequence) and reports it as a single shard.
+pub fn run_sharded(cfg: &SimConfig, obs: &Obs, exec: Execution) -> Result<ShardReport, SimError> {
+    let k = cfg.shards.max(1);
+    let n_items = cfg.traces.n_items();
+    let n_queries = cfg.queries.len();
+    if k == 1 {
+        // Time only `run()`, matching the k > 1 path where engines are
+        // constructed (solver setup included) before the clock starts.
+        let engine = Engine::new(cfg, obs.clone())?;
+        let t0 = Instant::now();
+        let metrics = engine.run()?;
+        return Ok(ShardReport {
+            metrics,
+            shards: vec![ShardStat {
+                shard: 0,
+                n_queries,
+                n_items,
+                n_replicas: 0,
+                load: 0.0,
+                busy_seconds: t0.elapsed().as_secs_f64(),
+            }],
+            cross_edges: 0,
+            n_components: 0,
+            execution: Execution::Sequential,
+        });
+    }
+
+    // Partition on the same load signals the optimizers use: estimated
+    // per-item refresh rates, and per-query size as a recompute proxy.
+    let query_items: Vec<Vec<u32>> = cfg
+        .queries
+        .iter()
+        .map(|q| q.items().iter().map(|i| i.0).collect())
+        .collect();
+    let item_load: Vec<f64> = cfg
+        .rate_estimator
+        .estimate_all(&cfg.traces)
+        .into_iter()
+        .map(|r| r.abs().max(1e-9))
+        .collect();
+    let query_load: Vec<f64> = query_items.iter().map(|items| items.len() as f64).collect();
+    let plan = partition(
+        &PartitionInput {
+            query_items: &query_items,
+            n_items,
+            item_load: &item_load,
+            query_load: &query_load,
+        },
+        k,
+    );
+    let execution = match exec {
+        // A split component needs live peers on both sides of its
+        // barrier; sequential execution would deadlock on the first
+        // watermark wait.
+        Execution::Sequential if !plan.is_clean() => Execution::Threaded,
+        e => e,
+    };
+
+    // Membership: home items per shard, then replicas from cross edges.
+    let mut shard_queries: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (qi, &s) in plan.query_shard.iter().enumerate() {
+        shard_queries[s as usize].push(qi as u32);
+    }
+    let mut shard_items: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (i, &s) in plan.item_home.iter().enumerate() {
+        shard_items[s as usize].push(i as u32);
+    }
+    for e in &plan.cross_edges {
+        shard_items[e.remote as usize].push(e.item);
+    }
+    for items in &mut shard_items {
+        items.sort_unstable();
+        items.dedup();
+    }
+
+    // Rings: one SPSC pair per direction of every home↔remote relation.
+    let mut directed: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for e in &plan.cross_edges {
+        directed.insert((e.home, e.remote));
+        directed.insert((e.remote, e.home));
+    }
+    let mut producers = std::collections::BTreeMap::new();
+    let mut consumers = std::collections::BTreeMap::new();
+    for &(from, to) in &directed {
+        let (tx, rx) = ring(RING_CAPACITY);
+        producers.insert((from, to), tx);
+        consumers.insert((from, to), rx);
+    }
+
+    // Project each shard's configuration into its dense local id space
+    // and assemble its context. `local_of` is a reused scratch table.
+    let mut local_of = vec![u32::MAX; n_items];
+    let mut shard_cfgs: Vec<Option<SimConfig>> = Vec::with_capacity(k);
+    let mut shard_ctxs: Vec<Option<ShardCtx>> = Vec::with_capacity(k);
+    let subscribers = plan.subscribers();
+    for s in 0..k {
+        let items = &shard_items[s];
+        if items.is_empty() {
+            // Nothing to simulate: any queries here are constants
+            // (itemless), which never refresh, recompute, or violate.
+            shard_cfgs.push(None);
+            shard_ctxs.push(None);
+            continue;
+        }
+        for (li, &g) in items.iter().enumerate() {
+            local_of[g as usize] = li as u32;
+        }
+        let queries: Vec<_> = shard_queries[s]
+            .iter()
+            .map(|&qi| cfg.queries[qi as usize].map_items(|i| ItemId(local_of[i.index()])))
+            .collect();
+        let mut sc = cfg.clone();
+        sc.traces = cfg.traces.subset(items);
+        sc.queries = queries;
+        sc.shards = 1;
+        // Recompute fan-out workers divide across shard threads so a
+        // partitioned run doesn't oversubscribe the machine.
+        sc.threads = (cfg.threads / k).max(1);
+        // The audit budget divides too: K shards each shadow-evaluating
+        // 1/K of the sample keep the global audit cost constant.
+        sc.audit = cfg.audit.as_ref().map(|a| a.per_shard(k));
+        sc.audit_fault = cfg.audit_fault.and_then(|f| {
+            shard_queries[s]
+                .binary_search(&(f.query as u32))
+                .ok()
+                .map(|lqi| crate::audit::AuditFault { query: lqi, ..f })
+        });
+
+        let outbound_dests: Vec<u32> = directed
+            .iter()
+            .filter(|&&(from, _)| from == s as u32)
+            .map(|&(_, to)| to)
+            .collect();
+        let inbound_srcs: Vec<u32> = directed
+            .iter()
+            .filter(|&&(_, to)| to == s as u32)
+            .map(|&(from, _)| from)
+            .collect();
+        let ring_index = |dest: u32| -> usize {
+            outbound_dests
+                .binary_search(&dest)
+                .expect("ring to a shard without a link")
+        };
+        let n_local = items.len();
+        let mut exports: Vec<Vec<usize>> = vec![Vec::new(); n_local];
+        for (item, remotes) in &subscribers {
+            if plan.item_home[*item as usize] == s as u32 {
+                let li = local_of[*item as usize] as usize;
+                exports[li] = remotes.iter().map(|&r| ring_index(r)).collect();
+            }
+        }
+        let mut replica = vec![false; n_local];
+        let mut home_ring = vec![None; n_local];
+        for (li, &g) in items.iter().enumerate() {
+            let home = plan.item_home[g as usize];
+            if home != s as u32 {
+                replica[li] = true;
+                home_ring[li] = Some(ring_index(home));
+            }
+        }
+        let outbound = outbound_dests
+            .iter()
+            .map(|&to| ShardLink {
+                dest: to,
+                tx: producers
+                    .remove(&(s as u32, to))
+                    .expect("producer created for every directed pair"),
+            })
+            .collect();
+        let inbound = inbound_srcs
+            .iter()
+            .map(|&from| ShardInlet {
+                src: from,
+                rx: consumers
+                    .remove(&(from, s as u32))
+                    .expect("consumer created for every directed pair"),
+                held: std::collections::VecDeque::new(),
+            })
+            .collect();
+        shard_ctxs.push(Some(ShardCtx {
+            shard: s as u32,
+            n_global_items: n_items,
+            item_gid: items.clone(),
+            query_gid: shard_queries[s].clone(),
+            replica,
+            exports,
+            home_ring,
+            outbound,
+            inbound,
+            remote_dab_min: vec![Vec::new(); n_local],
+        }));
+        shard_cfgs.push(Some(sc));
+        for &g in items {
+            local_of[g as usize] = u32::MAX;
+        }
+    }
+
+    // Construct every engine on this thread *before* any shard runs: a
+    // solver failure here returns cleanly, whereas a failure after
+    // peers started would strand them at a ring barrier.
+    let mut engines: Vec<(usize, Engine<'_>)> = Vec::new();
+    for (s, (sc, ctx)) in shard_cfgs.iter().zip(shard_ctxs.iter_mut()).enumerate() {
+        if let (Some(sc), Some(ctx)) = (sc, ctx.take()) {
+            engines.push((s, Engine::new_sharded(sc, obs.clone(), ctx)?));
+        }
+    }
+
+    let runs: Vec<(usize, Result<SimMetrics, SimError>, f64)> = match execution {
+        Execution::Threaded => std::thread::scope(|scope| {
+            let handles: Vec<_> = engines
+                .into_iter()
+                .map(|(s, engine)| {
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let result = engine.run();
+                        (s, result, t0.elapsed().as_secs_f64())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        }),
+        Execution::Sequential => engines
+            .into_iter()
+            .map(|(s, engine)| {
+                let t0 = Instant::now();
+                let result = engine.run();
+                (s, result, t0.elapsed().as_secs_f64())
+            })
+            .collect(),
+    };
+
+    // Deterministic merge, in shard order (the vec already is): scalars
+    // sum; fidelity_samples is a max (every shard samples the same
+    // ticks); per-query/per-item vectors scatter through the gid maps.
+    let mut merged = SimMetrics::with_items(n_queries, n_items);
+    let mut busy = vec![0.0f64; k];
+    for (s, result, secs) in runs {
+        busy[s] = secs;
+        let m = result?;
+        merged.refreshes += m.refreshes;
+        merged.recomputations += m.recomputations;
+        merged.dab_change_messages += m.dab_change_messages;
+        merged.user_notifications += m.user_notifications;
+        merged.ingest_batches += m.ingest_batches;
+        merged.lost_messages += m.lost_messages;
+        merged.solver_seconds += m.solver_seconds;
+        merged.fidelity_samples = merged.fidelity_samples.max(m.fidelity_samples);
+        for (lq, &gq) in shard_queries[s].iter().enumerate() {
+            merged.per_query_violations[gq as usize] += m.per_query_violations[lq];
+            merged.per_query_recomputations[gq as usize] += m.per_query_recomputations[lq];
+        }
+        for (li, &gi) in shard_items[s].iter().enumerate() {
+            merged.per_item_refreshes[gi as usize] += m.per_item_refreshes[li];
+            merged.per_item_recompute_triggers[gi as usize] += m.per_item_recompute_triggers[li];
+        }
+    }
+    let shards = (0..k)
+        .map(|s| ShardStat {
+            shard: s as u32,
+            n_queries: shard_queries[s].len(),
+            n_items: shard_items[s].len(),
+            n_replicas: shard_items[s]
+                .iter()
+                .filter(|&&g| plan.item_home[g as usize] != s as u32)
+                .count(),
+            load: plan.shard_loads[s],
+            busy_seconds: busy[s],
+        })
+        .collect();
+    Ok(ShardReport {
+        metrics: merged,
+        shards,
+        cross_edges: plan.cross_edges.len(),
+        n_components: plan.n_components,
+        execution,
+    })
+}
+
+/// The partition a sharded run of `cfg` would use — exposed so tools
+/// (e.g. `shardbench`) can report cleanliness and balance without
+/// running the simulation.
+pub fn plan_for(cfg: &SimConfig) -> PartitionPlan {
+    let query_items: Vec<Vec<u32>> = cfg
+        .queries
+        .iter()
+        .map(|q| q.items().iter().map(|i| i.0).collect())
+        .collect();
+    let item_load: Vec<f64> = cfg
+        .rate_estimator
+        .estimate_all(&cfg.traces)
+        .into_iter()
+        .map(|r| r.abs().max(1e-9))
+        .collect();
+    let query_load: Vec<f64> = query_items.iter().map(|items| items.len() as f64).collect();
+    partition(
+        &PartitionInput {
+            query_items: &query_items,
+            n_items: cfg.traces.n_items(),
+            item_load: &item_load,
+            query_load: &query_load,
+        },
+        cfg.shards.max(1),
+    )
+}

@@ -186,6 +186,56 @@ impl WorkloadGen {
             .collect()
     }
 
+    /// Generates `n` portfolio PPQs over **disjoint consecutive item
+    /// bands**: query `j` draws its legs only from items
+    /// `[j·band, (j+1)·band)` where `band = n_items / n`. Weights, leg
+    /// counts and within-band picks still follow the configured
+    /// distributions, but no two queries share an item, so the
+    /// query↔item graph has `n` connected components — the "large book"
+    /// shape (many independent portfolios over one big universe) that
+    /// the sharded engine partitions cleanly.
+    ///
+    /// # Panics
+    /// Panics unless each band holds at least 2 items
+    /// (`n_items >= 2 * n`).
+    pub fn banded_portfolio_queries(
+        &mut self,
+        n: usize,
+        initial_values: &[f64],
+    ) -> Vec<PolynomialQuery> {
+        assert!(initial_values.len() >= self.cfg.n_items);
+        assert!(n > 0, "need at least one query");
+        let band = self.cfg.n_items / n;
+        assert!(
+            band >= 2,
+            "banded workload needs >= 2 items per query ({} items / {n} queries)",
+            self.cfg.n_items
+        );
+        (0..n)
+            .map(|j| {
+                let lo = (j * band) as u32;
+                let hi = lo + band as u32;
+                let legs: Vec<(f64, ItemId, ItemId)> = (0..self.pick_legs())
+                    .map(|_| {
+                        let a = ItemId(self.rng.gen_range(lo..hi));
+                        let b = loop {
+                            let b = ItemId(self.rng.gen_range(lo..hi));
+                            if b != a {
+                                break b;
+                            }
+                        };
+                        (self.pick_weight(), a, b)
+                    })
+                    .collect();
+                let q = PolynomialQuery::portfolio(legs.iter().copied(), 1.0)
+                    .expect("positive weights and bound");
+                let initial = q.eval(initial_values);
+                let qab = (self.cfg.ppq_qab_fraction * initial.abs()).max(1e-9);
+                q.with_qab(qab).expect("positive bound")
+            })
+            .collect()
+    }
+
     /// 80–20 pick restricted to one half of each group (`half` 0 or 1),
     /// guaranteeing buy/sell independence.
     fn pick_pair_in_half(&mut self, half: usize) -> (ItemId, ItemId) {
@@ -298,6 +348,39 @@ mod tests {
         assert_eq!(a, b);
         let c = WorkloadGen::new(24).portfolio_queries(10, &values());
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn banded_queries_are_pairwise_disjoint() {
+        let mut g = WorkloadGen::with_config(
+            WorkloadConfig {
+                n_items: 120,
+                ..WorkloadConfig::default()
+            },
+            31,
+        );
+        let values: Vec<f64> = (0..120).map(|i| 10.0 + i as f64).collect();
+        let qs = g.banded_portfolio_queries(10, &values);
+        assert_eq!(qs.len(), 10);
+        for (j, q) in qs.iter().enumerate() {
+            let items = q.items();
+            assert!(items.len() >= 2);
+            for item in items {
+                assert!(
+                    (12 * j..12 * (j + 1)).contains(&item.index()),
+                    "query {j} escaped its band: item {}",
+                    item.index()
+                );
+            }
+            assert!(q.qab() > 0.0);
+        }
+        // Across queries: no shared items at all.
+        let mut all = std::collections::HashSet::new();
+        for q in &qs {
+            for item in q.items() {
+                assert!(all.insert(item.index()), "item shared across bands");
+            }
+        }
     }
 
     #[test]
