@@ -37,7 +37,10 @@ pub struct PartitionInput<'a> {
     pub n_items: usize,
     /// Estimated load contributed by each item (e.g. refresh rate).
     pub item_load: &'a [f64],
-    /// Estimated load contributed by each query (e.g. recompute cost).
+    /// Estimated load contributed by each query (e.g. recompute cost;
+    /// under shared cross-query evaluation, the marginal eval cost from
+    /// `pq_poly::shared_query_loads` — distinct monomials a query
+    /// introduces plus a small per-subscription scatter charge).
     pub query_load: &'a [f64],
 }
 

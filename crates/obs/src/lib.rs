@@ -143,6 +143,12 @@ pub mod names {
     /// One periodic full-re-eval rebase of the incrementally maintained
     /// query values (bounds float drift between rebases).
     pub const EVAL_REBASE: &str = "eval.rebase";
+    /// Distinct monomials in a compiled cross-query `SharedPlan` (added
+    /// once per compile; the CSE working-set size).
+    pub const EVAL_SHARED_TERMS: &str = "eval.shared_terms";
+    /// One query value updated by a shared-monomial delta scatter (the
+    /// CSR term→query fan-out of `EvalMode::Shared`).
+    pub const EVAL_SCATTER_FANOUT: &str = "eval.scatter_fanout";
 
     /// One event pushed into the simulator scheduler (heap or wheel).
     pub const SCHED_PUSH: &str = "sched.push";

@@ -10,6 +10,11 @@
 //!   structure-of-arrays terms, unrolled degree-1/2 kernels, an inverted
 //!   item → term index and exact `delta_eval` for incremental
 //!   maintenance of query values;
+//! * [`shared`] — the cross-query evaluation compiler ([`SharedPlan`]):
+//!   a staged `parse → analyze → optimize → plan` pipeline over a whole
+//!   query book that deduplicates monomials via CSE and scatters each
+//!   distinct-monomial delta to all subscribing queries through CSR
+//!   layouts, with incremental query admission/retirement;
 //! * [`query`] — queries `P : B` with QABs, classification
 //!   (LAQ / PPQ / general PQ) and the paper's workload constructors
 //!   (portfolio, arbitrage, linear aggregate);
@@ -26,6 +31,7 @@ pub mod parse;
 pub mod plan;
 pub mod polynomial;
 pub mod query;
+pub mod shared;
 
 pub use constraint::{
     coupled_items, deviation_posynomial, linearized_sufficient, DabVarIndexer, DabVarMap,
@@ -37,3 +43,4 @@ pub use parse::parse_polynomial;
 pub use plan::EvalPlan;
 pub use polynomial::{PTerm, Polynomial};
 pub use query::{PolynomialQuery, QueryClass, QueryId};
+pub use shared::{shared_query_loads, SharedPlan};

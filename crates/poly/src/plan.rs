@@ -272,6 +272,18 @@ impl EvalPlan {
     pub fn delta_cost(&self, item: ItemId) -> usize {
         self.terms_for(item).len()
     }
+
+    /// Heap footprint in bytes of the compiled plan (flat arrays by
+    /// length; allocator slack excluded). The per-query counterpart of
+    /// [`crate::SharedPlan::bytes`] for the evalbench memory gate.
+    pub fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.coefs.len() * size_of::<f64>()
+            + self.kinds.len() * size_of::<TermKind>()
+            + self.factors.len() * size_of::<(u32, u32)>()
+            + (self.index_starts.len() + self.index_terms.len()) * size_of::<u32>()
+    }
 }
 
 #[cfg(test)]

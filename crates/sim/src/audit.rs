@@ -1,8 +1,10 @@
 //! Continuous fidelity audit: shadow evaluation of the delta plane.
 //!
-//! [`crate::engine::EvalMode::Delta`] replaces per-use naive
+//! [`crate::engine::EvalMode::Delta`] and
+//! [`crate::engine::EvalMode::Shared`] replace per-use naive
 //! re-evaluation with incrementally maintained query values
-//! ([`crate::incremental::DeltaView`]). The `evalbench` parity gate
+//! ([`crate::incremental::DeltaView`] /
+//! [`crate::incremental::SharedView`]). The `evalbench` parity gate
 //! proves the two paths agree on fixed benchmark seeds — but a live run
 //! with new traces, new queries, or a new scheduler backend has no such
 //! certificate. The `FidelityAuditor` closes that gap *in production*:
@@ -31,13 +33,12 @@ use std::time::Instant;
 use pq_obs::{names, Counter, EventKind, Gauge, Obs};
 use pq_poly::PolynomialQuery;
 
-use crate::incremental::DeltaView;
-
 /// Configuration of the continuous fidelity audit (see module docs).
 ///
-/// Only active under [`crate::engine::EvalMode::Delta`] — in naive mode
-/// the engine already evaluates from scratch everywhere, so there is no
-/// second plane to audit.
+/// Only active under [`crate::engine::EvalMode::Delta`] and
+/// [`crate::engine::EvalMode::Shared`] — in naive mode the engine
+/// already evaluates from scratch everywhere, so there is no second
+/// plane to audit.
 #[derive(Debug, Clone)]
 pub struct AuditConfig {
     /// Run one audit pass every this many ticks (`0` disables the
@@ -50,7 +51,8 @@ pub struct AuditConfig {
     /// Relative drift tolerance: query `q` diverges when
     /// `|naive - delta| > tolerance * (1 + |naive|)`. The default is
     /// three orders of magnitude above the rebase-bounded rounding
-    /// drift of [`DeltaView`] and far below any meaningful QAB.
+    /// drift of [`crate::incremental::DeltaView`] and far below any
+    /// meaningful QAB.
     pub tolerance: f64,
 }
 
@@ -79,9 +81,11 @@ impl AuditConfig {
     }
 }
 
-/// One injected [`DeltaView::corrupt`] call, applied to the coordinator
-/// view just before the audit pass of the given tick — fault injection
-/// proving the auditor catches a wrong delta plane within one interval.
+/// One injected [`crate::incremental::DeltaView::corrupt`] (or
+/// [`crate::incremental::SharedView::corrupt`]) call, applied to the
+/// coordinator view just before the audit pass of the given tick —
+/// fault injection proving the auditor catches a wrong delta plane
+/// within one interval.
 #[derive(Debug, Clone, Copy)]
 pub struct AuditFault {
     /// Tick at which the corruption is applied.
@@ -140,8 +144,9 @@ impl FidelityAuditor {
     /// Runs one audit pass if `tick` falls on the configured interval.
     ///
     /// `src_values` / `coord_values` are the per-item value columns of
-    /// the two views; `src_view` / `coord_view` the delta planes under
-    /// audit; `refreshes` the engine's processed-refresh count (for the
+    /// the two views; `src_qv` / `coord_qv` the maintained per-query
+    /// values of the delta plane under audit (either view's `values()`
+    /// slice); `refreshes` the engine's processed-refresh count (for the
     /// cost gauge). Pure with respect to the simulation: reads only.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_tick(
@@ -150,8 +155,8 @@ impl FidelityAuditor {
         queries: &[PolynomialQuery],
         src_values: &[f64],
         coord_values: &[f64],
-        src_view: &DeltaView,
-        coord_view: &DeltaView,
+        src_qv: &[f64],
+        coord_qv: &[f64],
         refreshes: u64,
         obs: &Obs,
     ) {
@@ -169,8 +174,8 @@ impl FidelityAuditor {
                 &queries[qi],
                 src_values,
                 coord_values,
-                src_view,
-                coord_view,
+                src_qv,
+                coord_qv,
                 obs,
             );
         }
@@ -192,16 +197,16 @@ impl FidelityAuditor {
         query: &PolynomialQuery,
         src_values: &[f64],
         coord_values: &[f64],
-        src_view: &DeltaView,
-        coord_view: &DeltaView,
+        src_qv: &[f64],
+        coord_qv: &[f64],
         obs: &Obs,
     ) {
         self.samples += 1;
         self.c_sample.inc();
         let naive_src = query.eval(src_values);
         let naive_coord = query.eval(coord_values);
-        let delta_src = src_view.value(qi);
-        let delta_coord = coord_view.value(qi);
+        let delta_src = src_qv[qi];
+        let delta_coord = coord_qv[qi];
         if naive_src.is_finite()
             && naive_coord.is_finite()
             && (naive_src - naive_coord).abs() > query.qab()
@@ -362,6 +367,31 @@ mod tests {
     }
 
     #[test]
+    fn shared_eval_audits_cleanly_and_catches_faults() {
+        // Clean shared-plan run: the auditor samples but never diverges.
+        let mut cfg = audited_config();
+        cfg.eval = EvalMode::Shared { rebase_every: 256 };
+        let obs = Obs::null();
+        run_observed(&cfg, &obs).unwrap();
+        let snap = obs.snapshot();
+        assert!(snap.counters[names::AUDIT_SAMPLE] > 0, "auditor never ran");
+        assert_eq!(snap.counters[names::AUDIT_DIVERGENCE], 0);
+
+        // A corrupted SharedView is flagged like a corrupted DeltaView.
+        cfg.audit_fault = Some(AuditFault {
+            tick: 100,
+            query: 1,
+            perturb: 500.0,
+        });
+        let obs = Obs::null();
+        run_observed(&cfg, &obs).unwrap();
+        assert!(
+            obs.snapshot().counters[names::AUDIT_DIVERGENCE] > 0,
+            "fault missed under shared evaluation"
+        );
+    }
+
+    #[test]
     fn naive_mode_disables_the_auditor() {
         let mut cfg = audited_config();
         cfg.eval = EvalMode::Naive;
@@ -390,10 +420,11 @@ mod tests {
             .iter()
             .map(|q| pq_poly::EvalPlan::compile(q.poly()))
             .collect();
-        let view = DeltaView::new(&plans, &values);
-        auditor.on_tick(4, &cfg.queries, &values, &values, &view, &view, 1, &obs);
+        let view = crate::incremental::DeltaView::new(&plans, &values);
+        let qv = view.values();
+        auditor.on_tick(4, &cfg.queries, &values, &values, qv, qv, 1, &obs);
         assert_eq!(auditor.cursor, 1, "first pass audits q0, cursor advances");
-        auditor.on_tick(8, &cfg.queries, &values, &values, &view, &view, 2, &obs);
+        auditor.on_tick(8, &cfg.queries, &values, &values, qv, qv, 2, &obs);
         assert_eq!(auditor.cursor, 0, "second pass audits q1, wraps around");
         assert_eq!(auditor.samples, 2);
         assert_eq!(obs.snapshot().counters[names::AUDIT_DIVERGENCE], 0);

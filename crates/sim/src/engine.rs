@@ -35,12 +35,12 @@ use pq_obs::{
     names, Counter, EventKind, Histogram, Obs, ObsConfig, SloConfig, SloEngine, SpanContext, Timer,
     Watchdog, WindowPlane,
 };
-use pq_poly::{EvalPlan, PolynomialQuery};
+use pq_poly::{EvalPlan, PolynomialQuery, SharedPlan};
 
 use crate::audit::{AuditConfig, AuditFault, FidelityAuditor};
 use crate::delay::{DelayConfig, Pareto};
 use crate::event::Event;
-use crate::incremental::DeltaView;
+use crate::incremental::{DeltaView, SharedView};
 use crate::metrics::SimMetrics;
 use crate::ring::{RingConsumer, RingMsg, RingProducer};
 use crate::table::{Bitset, ItemTable};
@@ -60,6 +60,18 @@ pub enum EvalMode {
     /// `rebase_every` ticks to bound float drift. `0` disables the
     /// periodic rebase.
     Delta {
+        /// Full-re-eval rebase period in ticks (`0` = never).
+        rebase_every: usize,
+    },
+    /// Maintain the whole query book through one cross-query
+    /// [`pq_poly::SharedPlan`]: distinct monomials are CSE-deduplicated
+    /// at compile time, each item delta evaluates every affected
+    /// monomial **once** and scatters `c_q · Δm` to all subscribing
+    /// queries through a CSR term → query index
+    /// (`O(distinct affected terms + fan-out)` per change). Rebase
+    /// semantics match [`EvalMode::Delta`]; in sharded runs each
+    /// coordinator compiles a `SharedPlan` over its own partition.
+    Shared {
         /// Full-re-eval rebase period in ticks (`0` = never).
         rebase_every: usize,
     },
@@ -297,15 +309,16 @@ pub struct SimConfig {
     /// and the GP solver; use [`run_observed`] to supply a handle
     /// directly and inspect its registry afterwards.
     pub obs: ObsConfig,
-    /// Continuous fidelity audit of the delta-maintained query values
-    /// (shadow naive evaluation; see [`crate::audit`]). `None` (default)
-    /// disables it; only active under [`EvalMode::Delta`]. The audit is
-    /// read-only and RNG-free: [`SimMetrics`] are byte-identical with it
-    /// on or off.
+    /// Continuous fidelity audit of the incrementally maintained query
+    /// values (shadow naive evaluation; see [`crate::audit`]). `None`
+    /// (default) disables it; only active under [`EvalMode::Delta`] and
+    /// [`EvalMode::Shared`]. The audit is read-only and RNG-free:
+    /// [`SimMetrics`] are byte-identical with it on or off.
     pub audit: Option<AuditConfig>,
     /// Fault injection for the audit path: corrupts the coordinator
-    /// [`DeltaView`] at a chosen tick so tests can prove the auditor
-    /// flags a wrong delta plane within one interval.
+    /// [`DeltaView`] (or [`SharedView`] under [`EvalMode::Shared`]) at a
+    /// chosen tick so tests can prove the auditor flags a wrong delta
+    /// plane within one interval.
     pub audit_fault: Option<AuditFault>,
     /// Fidelity SLO engine (`None`, the default, disables it). When set,
     /// the engine drives a sim-clock [`WindowPlane`], multi-window
@@ -437,6 +450,16 @@ pub(crate) struct Engine<'a> {
     /// Delta-maintained query values at the coordinator view (updated
     /// only on `RefreshArrive`). Only written in [`EvalMode::Delta`].
     coord_view: DeltaView,
+    /// The cross-query compiled plan shared by the whole book; present
+    /// only in [`EvalMode::Shared`] (in sharded runs, compiled over
+    /// this shard's partition).
+    shared_plan: Option<SharedPlan>,
+    /// Shared-plan maintained query values at the source view. Present
+    /// only in [`EvalMode::Shared`].
+    src_sview: Option<SharedView>,
+    /// Shared-plan maintained query values at the coordinator view.
+    /// Present only in [`EvalMode::Shared`].
+    coord_sview: Option<SharedView>,
     /// Last query value pushed to each user.
     last_user_value: Vec<f64>,
     queue: SimQueue,
@@ -496,6 +519,10 @@ pub(crate) struct Engine<'a> {
     c_eval_delta: Arc<Counter>,
     c_eval_full: Arc<Counter>,
     c_eval_rebase: Arc<Counter>,
+    /// Shared-plan scatter fan-out (`eval.scatter_fanout`): query values
+    /// updated by CSR term → query scatters. Resolved only in
+    /// [`EvalMode::Shared`].
+    c_scatter_fanout: Option<Arc<Counter>>,
     /// Scheduler counters: events pushed into / popped from the queue.
     c_sched_push: Arc<Counter>,
     c_sched_pop: Arc<Counter>,
@@ -526,7 +553,8 @@ pub(crate) struct Engine<'a> {
     lc_ring_send: Option<Arc<Counter>>,
     lc_ring_recv: Option<Arc<Counter>>,
     /// Continuous fidelity audit (shadow naive evaluation); present only
-    /// when configured and evaluating in [`EvalMode::Delta`].
+    /// when configured and evaluating in [`EvalMode::Delta`] or
+    /// [`EvalMode::Shared`].
     auditor: Option<FidelityAuditor>,
     /// Live-health runtime (windowed plane + burn-rate engine +
     /// watchdog); present only when [`SimConfig::slo`] is set.
@@ -656,17 +684,34 @@ impl<'a> Engine<'a> {
                 item_queries[item.index()].push(qi as u32);
             }
         }
-        let plans: Vec<EvalPlan> = cfg
-            .queries
-            .iter()
-            .map(|q| EvalPlan::compile(q.poly()))
-            .collect();
+        let shared_mode = matches!(cfg.eval, EvalMode::Shared { .. });
+        // In shared mode the whole book compiles into one cross-query
+        // plan — the per-query plans would be dead weight, so they are
+        // skipped entirely (the memory win is real in-engine, not just
+        // in the benchmark).
+        let plans: Vec<EvalPlan> = if shared_mode {
+            Vec::new()
+        } else {
+            cfg.queries
+                .iter()
+                .map(|q| EvalPlan::compile(q.poly()))
+                .collect()
+        };
+        let shared_plan =
+            shared_mode.then(|| SharedPlan::compile(cfg.queries.iter().map(|q| q.poly())));
         // Both views start at the initial snapshot (coordinator and
         // sources agree at t = 0); the compiled full evaluations here are
         // bit-identical to `Polynomial::eval`.
         let src_view = DeltaView::new(&plans, &source_values);
         let coord_view = src_view.clone();
-        let last_user_value = src_view.values().to_vec();
+        let src_sview = shared_plan
+            .as_ref()
+            .map(|plan| SharedView::new(plan, &source_values));
+        let coord_sview = src_sview.clone();
+        let last_user_value = match &src_sview {
+            Some(view) => view.values().to_vec(),
+            None => src_view.values().to_vec(),
+        };
         let n_queries = cfg.queries.len();
         // All registry names carry *global* ids so a partitioned run's
         // shards write into one coherent attribution space (identity
@@ -693,6 +738,9 @@ impl<'a> Engine<'a> {
             plans,
             src_view,
             coord_view,
+            shared_plan,
+            src_sview,
+            coord_sview,
             units: Vec::new(),
             assignments: Vec::new(),
             cache: SolveCache::new(),
@@ -744,6 +792,7 @@ impl<'a> Engine<'a> {
             c_eval_delta: obs.counter(names::EVAL_DELTA),
             c_eval_full: obs.counter(names::EVAL_FULL),
             c_eval_rebase: obs.counter(names::EVAL_REBASE),
+            c_scatter_fanout: shared_mode.then(|| obs.counter(names::EVAL_SCATTER_FANOUT)),
             c_sched_push: obs.counter(names::SCHED_PUSH),
             c_sched_pop: obs.counter(names::SCHED_POP),
             c_ingest_batch: obs.counter(names::INGEST_BATCH),
@@ -767,7 +816,7 @@ impl<'a> Engine<'a> {
                 .as_ref()
                 .map(|s| obs.labeled_counter(names::SHARD_RING_RECV, names::LABEL_SHARD, s)),
             auditor: match (&cfg.audit, &cfg.eval) {
-                (Some(audit), EvalMode::Delta { .. }) => {
+                (Some(audit), EvalMode::Delta { .. } | EvalMode::Shared { .. }) => {
                     Some(FidelityAuditor::new(audit.clone(), &obs))
                 }
                 _ => None,
@@ -780,7 +829,13 @@ impl<'a> Engine<'a> {
             obs,
         };
         // The two initial full evaluations per query that seeded the views.
-        engine.c_eval_full.add(2 * engine.plans.len() as u64);
+        engine.c_eval_full.add(2 * engine.cfg.queries.len() as u64);
+        if let Some(plan) = &engine.shared_plan {
+            engine
+                .obs
+                .counter(names::EVAL_SHARED_TERMS)
+                .add(plan.n_terms() as u64);
+        }
         let shard_id = engine.shard.as_ref().map(|c| c.shard);
         engine
             .obs
@@ -1008,7 +1063,9 @@ impl<'a> Engine<'a> {
             // under delta evaluation each item's move folds `ΔP` into the
             // source-view query values before the value lands.
             let delta_mode = matches!(self.cfg.eval, EvalMode::Delta { .. });
+            let shared_mode = matches!(self.cfg.eval, EvalMode::Shared { .. });
             let mut delta_updates = 0u64;
+            let mut scatter_updates = 0u64;
             for item in 0..self.n_items {
                 let v = self.cfg.traces.trace(item).at(tick);
                 let old = self.items.value(item);
@@ -1021,12 +1078,23 @@ impl<'a> Engine<'a> {
                         old,
                         v,
                     );
+                } else if shared_mode {
+                    let (plan, view) = (
+                        self.shared_plan.as_ref().expect("shared mode"),
+                        self.src_sview.as_mut().expect("shared mode"),
+                    );
+                    scatter_updates += view.apply(plan, self.items.values(), item, old, v);
                 }
                 self.items.set_value(item, v);
                 self.maybe_push(item, now);
             }
             if delta_updates > 0 {
                 self.c_eval_delta.add(delta_updates);
+            }
+            if scatter_updates > 0 {
+                if let Some(c) = &self.c_scatter_fanout {
+                    c.add(scatter_updates);
+                }
             }
             // Deliver everything due by this tick: heap events in time
             // order, interleaved with busy-deferred refreshes that start
@@ -1082,13 +1150,27 @@ impl<'a> Engine<'a> {
             // Periodic full-re-eval rebase: discard the rounding drift
             // the running sums accumulated, right before the sample reads
             // them.
-            if let EvalMode::Delta { rebase_every } = self.cfg.eval {
+            if let EvalMode::Delta { rebase_every } | EvalMode::Shared { rebase_every } =
+                self.cfg.eval
+            {
                 if rebase_every > 0 && tick % rebase_every == 0 {
-                    self.src_view.rebase(&self.plans, self.items.values());
-                    self.coord_view
-                        .rebase(&self.plans, self.items.coord_values());
+                    if shared_mode {
+                        let plan = self.shared_plan.as_ref().expect("shared mode");
+                        self.src_sview
+                            .as_mut()
+                            .expect("shared mode")
+                            .rebase(plan, self.items.values());
+                        self.coord_sview
+                            .as_mut()
+                            .expect("shared mode")
+                            .rebase(plan, self.items.coord_values());
+                    } else {
+                        self.src_view.rebase(&self.plans, self.items.values());
+                        self.coord_view
+                            .rebase(&self.plans, self.items.coord_values());
+                    }
                     self.c_eval_rebase.inc();
-                    self.c_eval_full.add(2 * self.plans.len() as u64);
+                    self.c_eval_full.add(2 * self.cfg.queries.len() as u64);
                 }
             }
             // Fidelity sample.
@@ -1112,6 +1194,10 @@ impl<'a> Engine<'a> {
                         EvalMode::Delta { .. } => {
                             (self.src_view.value(qi), self.coord_view.value(qi))
                         }
+                        EvalMode::Shared { .. } => (
+                            self.src_sview.as_ref().expect("shared mode").value(qi),
+                            self.coord_sview.as_ref().expect("shared mode").value(qi),
+                        ),
                     };
                     if (truth - cached).abs() > q.qab() {
                         self.metrics.per_query_violations[qi] += 1;
@@ -1129,20 +1215,27 @@ impl<'a> Engine<'a> {
             }
             // Continuous fidelity audit: read-only shadow evaluation of
             // the delta plane (preceded by the test-only fault hook).
-            if delta_mode {
+            if delta_mode || shared_mode {
                 if let Some(fault) = &self.cfg.audit_fault {
                     if fault.tick == tick {
-                        self.coord_view.corrupt(fault.query, fault.perturb);
+                        match self.coord_sview.as_mut() {
+                            Some(view) => view.corrupt(fault.query, fault.perturb),
+                            None => self.coord_view.corrupt(fault.query, fault.perturb),
+                        }
                     }
                 }
                 if let Some(auditor) = self.auditor.as_mut() {
+                    let (src_qv, coord_qv) = match (&self.src_sview, &self.coord_sview) {
+                        (Some(src), Some(coord)) => (src.values(), coord.values()),
+                        _ => (self.src_view.values(), self.coord_view.values()),
+                    };
                     auditor.on_tick(
                         tick,
                         &self.cfg.queries,
                         self.items.values(),
                         self.items.coord_values(),
-                        &self.src_view,
-                        &self.coord_view,
+                        src_qv,
+                        coord_qv,
                         self.metrics.refreshes,
                         &self.obs,
                     );
@@ -1530,19 +1623,35 @@ impl<'a> Engine<'a> {
     /// recompute.
     fn on_refresh(&mut self, item: usize, value: f64, now: f64) -> Result<(), SimError> {
         self.note_refresh_arrival(item, value, now);
-        if matches!(self.cfg.eval, EvalMode::Delta { .. }) {
-            let old = self.items.coord_value(item);
-            let n = self.coord_view.apply(
-                &self.plans,
-                &self.item_queries[item],
-                self.items.coord_values(),
-                item,
-                old,
-                value,
-            );
-            if n > 0 {
-                self.c_eval_delta.add(n);
+        match self.cfg.eval {
+            EvalMode::Delta { .. } => {
+                let old = self.items.coord_value(item);
+                let n = self.coord_view.apply(
+                    &self.plans,
+                    &self.item_queries[item],
+                    self.items.coord_values(),
+                    item,
+                    old,
+                    value,
+                );
+                if n > 0 {
+                    self.c_eval_delta.add(n);
+                }
             }
+            EvalMode::Shared { .. } => {
+                let old = self.items.coord_value(item);
+                let (plan, view) = (
+                    self.shared_plan.as_ref().expect("shared mode"),
+                    self.coord_sview.as_mut().expect("shared mode"),
+                );
+                let n = view.apply(plan, self.items.coord_values(), item, old, value);
+                if n > 0 {
+                    if let Some(c) = &self.c_scatter_fanout {
+                        c.add(n);
+                    }
+                }
+            }
+            EvalMode::Naive => {}
         }
         self.items.set_coord_value(item, value);
         self.process_refresh(item, now)
@@ -1621,19 +1730,34 @@ impl<'a> Engine<'a> {
         for &(item, value) in batch {
             self.note_refresh_arrival(item, value, now);
         }
-        if matches!(self.cfg.eval, EvalMode::Delta { .. }) {
-            let n = self.coord_view.apply_batch(
-                &self.plans,
-                &self.item_queries,
-                self.items.coord_values_mut(),
-                batch,
-            );
-            if n > 0 {
-                self.c_eval_delta.add(n);
+        match self.cfg.eval {
+            EvalMode::Delta { .. } => {
+                let n = self.coord_view.apply_batch(
+                    &self.plans,
+                    &self.item_queries,
+                    self.items.coord_values_mut(),
+                    batch,
+                );
+                if n > 0 {
+                    self.c_eval_delta.add(n);
+                }
             }
-        } else {
-            for &(item, value) in batch {
-                self.items.set_coord_value(item, value);
+            EvalMode::Shared { .. } => {
+                let (plan, view) = (
+                    self.shared_plan.as_ref().expect("shared mode"),
+                    self.coord_sview.as_mut().expect("shared mode"),
+                );
+                let n = view.apply_batch(plan, self.items.coord_values_mut(), batch);
+                if n > 0 {
+                    if let Some(c) = &self.c_scatter_fanout {
+                        c.add(n);
+                    }
+                }
+            }
+            EvalMode::Naive => {
+                for &(item, value) in batch {
+                    self.items.set_coord_value(item, value);
+                }
             }
         }
         for &(item, _) in batch {
@@ -1669,6 +1793,9 @@ impl<'a> Engine<'a> {
                     q.eval(self.items.coord_values())
                 }
                 EvalMode::Delta { .. } => self.coord_view.value(qi),
+                EvalMode::Shared { .. } => {
+                    self.coord_sview.as_ref().expect("shared mode").value(qi)
+                }
             };
             if (qv - self.last_user_value[qi]).abs() > q.qab() {
                 self.last_user_value[qi] = qv;
@@ -2119,6 +2246,61 @@ mod tests {
         assert!(count(names::EVAL_DELTA) > 0, "source moves fold deltas");
         // 1199 post-zero ticks / 100 → 11 rebases, each re-evaluating
         // both views; plus the two seeding evaluations per query.
+        assert_eq!(count(names::EVAL_REBASE), 11);
+        assert_eq!(count(names::EVAL_FULL), 2 + 11 * 2);
+    }
+
+    #[test]
+    fn shared_eval_matches_naive_metrics_exactly() {
+        // The cross-query shared plan must not change a single simulated
+        // decision either: full metric equality (violations included)
+        // against both the naive and per-query delta paths. The QAB
+        // margins sit ~13 orders of magnitude above the float drift
+        // between the evaluation orders, so decision parity is exact.
+        let mut configs = vec![
+            small_config(DelayConfig::zero(), dual(5.0)),
+            small_config(DelayConfig::planetlab_like(), dual(5.0)),
+            small_config(DelayConfig::with_node_mean(2.0), optimal()),
+        ];
+        let mut lossy = small_config(DelayConfig::planetlab_like(), dual(1.0));
+        lossy.loss_probability = 0.3;
+        configs.push(lossy);
+        for cfg in configs {
+            let mut naive_cfg = cfg.clone();
+            naive_cfg.eval = EvalMode::Naive;
+            let mut delta_cfg = cfg.clone();
+            delta_cfg.eval = EvalMode::Delta { rebase_every: 256 };
+            let mut shared_cfg = cfg;
+            shared_cfg.eval = EvalMode::Shared { rebase_every: 256 };
+            let mut naive = run(&naive_cfg).unwrap();
+            let mut delta = run(&delta_cfg).unwrap();
+            let mut shared = run(&shared_cfg).unwrap();
+            // Wall-clock solver time is the only nondeterministic field.
+            naive.solver_seconds = 0.0;
+            delta.solver_seconds = 0.0;
+            shared.solver_seconds = 0.0;
+            assert_eq!(naive, shared);
+            assert_eq!(delta, shared);
+        }
+    }
+
+    #[test]
+    fn shared_mode_counts_terms_scatters_and_rebases() {
+        let mut cfg = small_config(DelayConfig::zero(), dual(5.0));
+        cfg.eval = EvalMode::Shared { rebase_every: 100 };
+        let obs = Obs::null();
+        run_observed(&cfg, &obs).unwrap();
+        let snap = obs.snapshot();
+        let count = |n: &str| snap.counters.get(n).copied().unwrap_or(0);
+        // One portfolio leg compiles to one distinct monomial.
+        assert_eq!(count(names::EVAL_SHARED_TERMS), 1);
+        assert!(
+            count(names::EVAL_SCATTER_FANOUT) > 0,
+            "source moves scatter"
+        );
+        assert_eq!(count(names::EVAL_DELTA), 0, "no per-query delta path");
+        // Same rebase cadence as delta mode: 1199 post-zero ticks / 100
+        // → 11 rebases re-evaluating both views, plus the two seedings.
         assert_eq!(count(names::EVAL_REBASE), 11);
         assert_eq!(count(names::EVAL_FULL), 2 + 11 * 2);
     }

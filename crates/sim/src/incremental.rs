@@ -20,7 +20,17 @@
 //! [`crate::engine::EvalMode`]), keeping the maintained values well
 //! inside the margins of any QAB comparison.
 
-use pq_poly::{EvalPlan, ItemId};
+//! A [`SharedView`] is the same idea over a whole query book compiled
+//! into one [`pq_poly::SharedPlan`]: each distinct monomial's delta is
+//! computed once and scattered to every subscribing query through the
+//! plan's CSR term → query index, so the per-change cost is
+//! `O(distinct terms containing the item + scatter fan-out)` instead of
+//! `O(Σ per-query affected terms)`. Its drift bound and rebase story
+//! are identical to [`DeltaView`]'s, with the shared plan's own
+//! deterministic full evaluation as the rebase anchor (see
+//! [`pq_poly::SharedPlan::full_eval_into`]).
+
+use pq_poly::{EvalPlan, ItemId, SharedPlan};
 
 /// Per-query values of one view, maintained incrementally.
 #[derive(Debug, Clone)]
@@ -125,6 +135,105 @@ impl DeltaView {
         for (qv, plan) in self.qv.iter_mut().zip(plans) {
             *qv = plan.eval(values);
         }
+        self.deltas_since_rebase = 0;
+    }
+}
+
+/// Per-query values of one view, maintained incrementally through a
+/// cross-query [`SharedPlan`] (`EvalMode::Shared`). The API mirrors
+/// [`DeltaView`], but no item → query index is needed — the shared plan
+/// carries its own CSR item → term dispatch and term → query scatter.
+#[derive(Debug, Clone)]
+pub struct SharedView {
+    qv: Vec<f64>,
+    /// Monomial-evaluation scratch reused across rebases/seeds.
+    scratch: Vec<f64>,
+    /// Query-value scatter updates folded in since the last rebase
+    /// (drives the `eval.scatter_fanout` counter and the drift bound).
+    deltas_since_rebase: u64,
+}
+
+impl SharedView {
+    /// Builds a view over `plan`, fully evaluating the book at `values`.
+    pub fn new(plan: &SharedPlan, values: &[f64]) -> Self {
+        let mut view = SharedView {
+            qv: Vec::new(),
+            scratch: Vec::new(),
+            deltas_since_rebase: 0,
+        };
+        plan.full_eval_into(values, &mut view.scratch, &mut view.qv);
+        view
+    }
+
+    /// The maintained value of query `qi`.
+    #[inline]
+    pub fn value(&self, qi: usize) -> f64 {
+        self.qv[qi]
+    }
+
+    /// All maintained values, indexed by query slot.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.qv
+    }
+
+    /// Scatter updates folded in since the last rebase.
+    #[inline]
+    pub fn deltas_since_rebase(&self) -> u64 {
+        self.deltas_since_rebase
+    }
+
+    /// Folds the move `old -> new` of `item` into every subscribing
+    /// query through the shared plan's scatter. `values` is the view's
+    /// value array; its `item` slot may hold either the old or the new
+    /// value — the delta uses the explicit `old`/`new` arguments.
+    ///
+    /// Returns the scatter fan-out (query values updated).
+    #[inline]
+    pub fn apply(
+        &mut self,
+        plan: &SharedPlan,
+        values: &[f64],
+        item: usize,
+        old: f64,
+        new: f64,
+    ) -> u64 {
+        let fanout = plan.delta_scatter(values, ItemId(item as u32), old, new, &mut self.qv);
+        self.deltas_since_rebase += fanout;
+        fanout
+    }
+
+    /// Folds a batch of moves `(item, new_value)` into the view in
+    /// order, writing each new value into `values` as it is applied so
+    /// later moves in the batch see earlier ones — bit-identical to the
+    /// equivalent sequence of [`SharedView::apply`] calls followed by
+    /// per-item stores. Returns the total scatter fan-out.
+    pub fn apply_batch(
+        &mut self,
+        plan: &SharedPlan,
+        values: &mut [f64],
+        moves: &[(usize, f64)],
+    ) -> u64 {
+        let mut updated = 0;
+        for &(item, new) in moves {
+            let old = values[item];
+            updated += self.apply(plan, values, item, old, new);
+            values[item] = new;
+        }
+        updated
+    }
+
+    /// Fault injection: perturbs the maintained value of query `qi` by
+    /// `amount` without touching the underlying item values (see
+    /// [`DeltaView::corrupt`]; the fidelity auditor's test hook).
+    pub fn corrupt(&mut self, qi: usize, amount: f64) {
+        self.qv[qi] += amount;
+    }
+
+    /// Recomputes every value with the shared plan's full evaluation at
+    /// `values`, discarding accumulated rounding drift.
+    pub fn rebase(&mut self, plan: &SharedPlan, values: &[f64]) {
+        plan.full_eval_into(values, &mut self.scratch, &mut self.qv);
         self.deltas_since_rebase = 0;
     }
 }
@@ -246,5 +355,98 @@ mod tests {
         for (qi, plan) in plans.iter().enumerate() {
             assert_eq!(view.value(qi), plan.eval(&values), "q{qi} after rebase");
         }
+    }
+
+    fn book() -> Vec<Polynomial> {
+        // Overlapping monomials: x0*x1 appears in q0 and q1.
+        vec![
+            Polynomial::from_terms([
+                PTerm::new(2.0, [(x(0), 1), (x(1), 1)]).unwrap(),
+                PTerm::new(1.0, [(x(2), 1)]).unwrap(),
+            ]),
+            Polynomial::from_terms([
+                PTerm::new(-3.0, [(x(0), 1), (x(1), 1)]).unwrap(),
+                PTerm::new(1.0, [(x(1), 2)]).unwrap(),
+            ]),
+            Polynomial::term(PTerm::constant(4.0).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn shared_view_tracks_full_reevaluation() {
+        let book = book();
+        let plan = SharedPlan::compile(&book);
+        let mut values = vec![3.0, 4.0, 5.0];
+        let mut view = SharedView::new(&plan, &values);
+        assert_eq!(view.values(), &[29.0, -20.0, 4.0]);
+
+        for (item, new) in [(0usize, 3.5), (1, -2.0), (2, 0.25), (1, 10.0)] {
+            let old = values[item];
+            view.apply(&plan, &values, item, old, new);
+            values[item] = new;
+            for (qi, poly) in book.iter().enumerate() {
+                let full = poly.eval(&values);
+                assert!(
+                    (view.value(qi) - full).abs() <= 1e-9 * (1.0 + full.abs()),
+                    "q{qi}: {} vs {full}",
+                    view.value(qi)
+                );
+            }
+        }
+        assert!(view.deltas_since_rebase() > 0);
+    }
+
+    #[test]
+    fn shared_apply_batch_matches_sequential_applies() {
+        let book = book();
+        let plan = SharedPlan::compile(&book);
+        let moves = [(0usize, 3.5), (1, -2.0), (2, 0.25), (1, 10.0)];
+
+        let mut seq_values = vec![3.0, 4.0, 5.0];
+        let mut seq_view = SharedView::new(&plan, &seq_values);
+        let mut seq_updated = 0;
+        for &(item, new) in &moves {
+            let old = seq_values[item];
+            seq_updated += seq_view.apply(&plan, &seq_values, item, old, new);
+            seq_values[item] = new;
+        }
+
+        let mut batch_values = vec![3.0, 4.0, 5.0];
+        let mut batch_view = SharedView::new(&plan, &batch_values);
+        let batch_updated = batch_view.apply_batch(&plan, &mut batch_values, &moves);
+
+        assert_eq!(batch_updated, seq_updated);
+        assert_eq!(batch_values, seq_values);
+        assert_eq!(batch_view.values(), seq_view.values());
+    }
+
+    #[test]
+    fn shared_rebase_restores_plan_exact_values() {
+        let book = book();
+        let plan = SharedPlan::compile(&book);
+        let mut values = vec![3.0, 4.0, 5.0];
+        let mut view = SharedView::new(&plan, &values);
+        for k in 0..1000 {
+            let item = k % 3;
+            let old = values[item];
+            let new = old + 0.001 * (k as f64 % 7.0 - 3.0);
+            view.apply(&plan, &values, item, old, new);
+            values[item] = new;
+        }
+        view.rebase(&plan, &values);
+        assert_eq!(view.deltas_since_rebase(), 0);
+        let (mut scratch, mut qv) = (Vec::new(), Vec::new());
+        plan.full_eval_into(&values, &mut scratch, &mut qv);
+        assert_eq!(view.values(), qv.as_slice());
+    }
+
+    #[test]
+    fn shared_noop_moves_cost_nothing() {
+        let book = book();
+        let plan = SharedPlan::compile(&book);
+        let values = vec![3.0, 4.0, 5.0];
+        let mut view = SharedView::new(&plan, &values);
+        assert_eq!(view.apply(&plan, &values, 0, 3.0, 3.0), 0);
+        assert_eq!(view.deltas_since_rebase(), 0);
     }
 }

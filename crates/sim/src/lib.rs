@@ -10,7 +10,8 @@
 //!   (sources with DAB filters, refresh delivery, user notification,
 //!   validity-triggered DAB recomputation, fidelity sampling);
 //! * [`incremental`] — delta-maintained per-query values
-//!   ([`DeltaView`]) powering the engine's `O(affected terms)`
+//!   ([`DeltaView`] per query, [`SharedView`] over a cross-query
+//!   [`pq_poly::SharedPlan`]) powering the engine's `O(affected terms)`
 //!   fidelity sampling and per-refresh checks (see [`EvalMode`]);
 //! * [`network`] — a dissemination tree of cooperating coordinators for
 //!   the Fig. 8(c) experiment;
@@ -45,7 +46,7 @@ pub use audit::{AuditConfig, AuditFault};
 pub use delay::{DelayConfig, Pareto};
 pub use engine::{run, run_observed, DelayRng, EvalMode, SimConfig, SimError, SimStrategy};
 pub use event::{Event, EventQueue};
-pub use incremental::DeltaView;
+pub use incremental::{DeltaView, SharedView};
 pub use metrics::SimMetrics;
 pub use network::{run_network, run_network_observed, NetworkConfig, NetworkMetrics};
 pub use pq_obs::{Obs, ObsConfig, RecorderConfig, SloConfig};

@@ -6,9 +6,10 @@
 //! connected components onto `k` shards by estimated refresh/recompute
 //! load and only splits a component when it alone exceeds a shard's
 //! fair share. Each shard then runs the full single-coordinator engine
-//! — its own timer wheel, SoA item table, delta views and solve caches
-//! — over a dense projection of its items and queries, on its own
-//! thread. Shards sharing a split component exchange messages over
+//! — its own timer wheel, SoA item table, delta views (or, under
+//! `EvalMode::Shared`, its own cross-query [`pq_poly::SharedPlan`]
+//! compiled over just its partition) and solve caches — over a dense
+//! projection of its items and queries, on its own thread. Shards sharing a split component exchange messages over
 //! bounded SPSC rings ([`crate::ring`]):
 //!
 //! * **home → remote**: accepted source refreshes of a shared item,
@@ -164,7 +165,7 @@ pub fn run_sharded(cfg: &SimConfig, obs: &Obs, exec: Execution) -> Result<ShardR
         .into_iter()
         .map(|r| r.abs().max(1e-9))
         .collect();
-    let query_load: Vec<f64> = query_items.iter().map(|items| items.len() as f64).collect();
+    let query_load = query_load_for(cfg, &query_items);
     let plan = partition(
         &PartitionInput {
             query_items: &query_items,
@@ -420,7 +421,7 @@ pub fn plan_for(cfg: &SimConfig) -> PartitionPlan {
         .into_iter()
         .map(|r| r.abs().max(1e-9))
         .collect();
-    let query_load: Vec<f64> = query_items.iter().map(|items| items.len() as f64).collect();
+    let query_load = query_load_for(cfg, &query_items);
     partition(
         &PartitionInput {
             query_items: &query_items,
@@ -430,4 +431,19 @@ pub fn plan_for(cfg: &SimConfig) -> PartitionPlan {
         },
         cfg.shards.max(1),
     )
+}
+
+/// Per-query recompute/eval cost proxy the partitioner packs by. Under
+/// [`EvalMode::Shared`] each shard compiles one cross-query
+/// [`pq_poly::SharedPlan`] over its partition, so a query's marginal
+/// eval cost is dominated by the distinct monomials it *introduces* —
+/// already-shared monomials only add a scatter subscription. The
+/// per-query plans' proxy (item-set size) stays in place for the other
+/// modes.
+fn query_load_for(cfg: &SimConfig, query_items: &[Vec<u32>]) -> Vec<f64> {
+    if matches!(cfg.eval, crate::engine::EvalMode::Shared { .. }) {
+        pq_poly::shared_query_loads(cfg.queries.iter().map(|q| q.poly()))
+    } else {
+        query_items.iter().map(|items| items.len() as f64).collect()
+    }
 }

@@ -155,6 +155,40 @@ fn fidelity_and_violations_match_fig5_across_shard_counts() {
 }
 
 #[test]
+fn shared_eval_is_invariant_across_shard_counts() {
+    // Under EvalMode::Shared each coordinator compiles a SharedPlan
+    // over its own partition (and the partitioner packs by marginal
+    // shared-eval load): fixed-seed metrics must still match the
+    // classic engine at k = 1 and stay invariant across shard counts.
+    let mut base = cross_k_config(96, 12, 300);
+    base.eval = pq_sim::EvalMode::Shared { rebase_every: 256 };
+    let obs = Obs::null();
+    let classic = run_observed(&base, &obs).expect("classic shared run");
+    let mut baseline = None;
+    for k in [1usize, 2, 4] {
+        let mut cfg = base.clone();
+        cfg.shards = k;
+        let obs = Obs::null();
+        let report = run_sharded(&cfg, &obs, Execution::Threaded)
+            .unwrap_or_else(|e| panic!("sharded shared run failed at k = {k}: {e}"));
+        assert_eq!(report.cross_edges, 0, "banded workload must split cleanly");
+        let view = cross_k_view(report.metrics);
+        assert!(view.refreshes > 0, "degenerate run at k = {k}");
+        if k == 1 {
+            assert_eq!(
+                cross_k_view(classic.clone()),
+                view,
+                "shards = 1 must reproduce the classic shared-eval engine"
+            );
+        }
+        match &baseline {
+            None => baseline = Some(view),
+            Some(b) => assert_eq!(b, &view, "fixed-seed metrics must be invariant at k = {k}"),
+        }
+    }
+}
+
+#[test]
 fn sequential_execution_matches_threaded_on_clean_partitions() {
     let mut cfg = cross_k_config(64, 8, 200);
     cfg.shards = 4;

@@ -236,6 +236,71 @@ impl WorkloadGen {
             .collect()
     }
 
+    /// Generates `n` portfolio PPQs whose legs draw from a **shared
+    /// pool of distinct item pairs**, so the same monomial `x_a·x_b`
+    /// recurs across many queries — the workload shape the cross-query
+    /// shared-evaluation compiler ([`pq_poly::SharedPlan`]) exploits.
+    ///
+    /// `overlap` in `[0, 1)` controls how much the book shares: the
+    /// pool holds roughly `(1 − overlap) × total legs` distinct pairs,
+    /// so at `0.0` most legs introduce fresh monomials while at `0.9`
+    /// ten legs compete for every pool slot. Within the pool, draws
+    /// follow the configured 80–20 popularity model (the first
+    /// `group1_fraction` of the pool receives `group1_probability` of
+    /// the picks), weights are fresh per leg, and QABs follow
+    /// [`WorkloadGen::portfolio_queries`].
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= overlap < 1.0`.
+    pub fn overlapping_book(
+        &mut self,
+        n: usize,
+        overlap: f64,
+        initial_values: &[f64],
+    ) -> Vec<PolynomialQuery> {
+        assert!(initial_values.len() >= self.cfg.n_items);
+        assert!(
+            (0.0..1.0).contains(&overlap),
+            "overlap factor {overlap} outside [0, 1)"
+        );
+        let mean_legs = (self.cfg.legs.start() + self.cfg.legs.end()) as f64 / 2.0;
+        let max_pairs = self.cfg.n_items * (self.cfg.n_items - 1) / 2;
+        let pool_size =
+            ((n as f64 * mean_legs * (1.0 - overlap)).ceil() as usize).clamp(1, max_pairs);
+        let mut seen = std::collections::HashSet::with_capacity(pool_size);
+        let mut pool: Vec<(ItemId, ItemId)> = Vec::with_capacity(pool_size);
+        while pool.len() < pool_size {
+            let (a, b) = self.pick_pair();
+            // x_a·x_b == x_b·x_a: canonicalize so the pool counts
+            // distinct monomials, not ordered pairs.
+            let pair = if a.0 <= b.0 { (a, b) } else { (b, a) };
+            if seen.insert(pair) {
+                pool.push(pair);
+            }
+        }
+        let hot = ((pool.len() as f64 * self.cfg.group1_fraction) as usize).max(1);
+        (0..n)
+            .map(|_| {
+                let legs: Vec<(f64, ItemId, ItemId)> = (0..self.pick_legs())
+                    .map(|_| {
+                        let k = if self.rng.gen::<f64>() < self.cfg.group1_probability {
+                            self.rng.gen_range(0..hot)
+                        } else {
+                            self.rng.gen_range(hot.min(pool.len() - 1)..pool.len())
+                        };
+                        let (a, b) = pool[k];
+                        (self.pick_weight(), a, b)
+                    })
+                    .collect();
+                let q = PolynomialQuery::portfolio(legs.iter().copied(), 1.0)
+                    .expect("positive weights and bound");
+                let initial = q.eval(initial_values);
+                let qab = (self.cfg.ppq_qab_fraction * initial.abs()).max(1e-9);
+                q.with_qab(qab).expect("positive bound")
+            })
+            .collect()
+    }
+
     /// 80–20 pick restricted to one half of each group (`half` 0 or 1),
     /// guaranteeing buy/sell independence.
     fn pick_pair_in_half(&mut self, half: usize) -> (ItemId, ItemId) {
@@ -381,6 +446,46 @@ mod tests {
                 assert!(all.insert(item.index()), "item shared across bands");
             }
         }
+    }
+
+    #[test]
+    fn overlapping_book_shares_monomials_by_factor() {
+        use pq_poly::SharedPlan;
+        let values = values();
+        let distinct_at = |overlap: f64| {
+            let mut g = WorkloadGen::new(37);
+            let qs = g.overlapping_book(200, overlap, &values);
+            assert_eq!(qs.len(), 200);
+            let total_legs: usize = qs.iter().map(|q| q.poly().terms().len()).sum();
+            let plan = SharedPlan::compile(qs.iter().map(|q| q.poly()));
+            assert!(plan.n_terms() <= total_legs);
+            plan.n_terms()
+        };
+        let loose = distinct_at(0.0);
+        let tight = distinct_at(0.9);
+        assert!(
+            tight * 3 < loose,
+            "overlap 0.9 ({tight} distinct) should share far more than 0.0 ({loose})"
+        );
+        // At 0.9 the pool is ~10x oversubscribed: the whole 200-query
+        // book must fit in a small distinct-monomial set.
+        assert!(tight <= 200 * 7 / 10 + 1, "pool leaked: {tight} distinct");
+    }
+
+    #[test]
+    fn overlapping_book_keeps_portfolio_shape() {
+        let mut g = WorkloadGen::new(41);
+        let values = values();
+        let qs = g.overlapping_book(50, 0.5, &values);
+        for q in &qs {
+            assert_eq!(q.class(), QueryClass::PositiveCoefficient);
+            let initial = q.eval(&values);
+            assert!((q.qab() - 0.01 * initial).abs() < 1e-9 * initial);
+        }
+        // Seed-deterministic like every other generator.
+        let a = WorkloadGen::new(43).overlapping_book(10, 0.5, &values);
+        let b = WorkloadGen::new(43).overlapping_book(10, 0.5, &values);
+        assert_eq!(a, b);
     }
 
     #[test]
