@@ -28,18 +28,24 @@ use std::time::Instant;
 
 use pq_bench::{fmt, print_table, Scale};
 use pq_core::{
-    assign_unit, assign_unit_cached, assignment_units, default_recompute_threads,
+    aao_program, assign_unit, assign_unit_cached, assignment_units, default_recompute_threads,
     recompute_parallel, AssignmentStrategy, AssignmentUnit, PqHeuristic, RecomputeJob, SolveCache,
     SolveContext,
 };
 use pq_ddm::{DataDynamicsModel, RateEstimator};
-use pq_gp::SolverOptions;
+use pq_gp::{CompiledGp, GpSolution, KktMode, SolveWorkspace, SolverOptions};
 use pq_obs::{names, Obs};
+use pq_poly::{ItemId, PolynomialQuery};
 
 /// Speedup floor `--enforce` holds the warm path to.
 const MIN_SPEEDUP: f64 = 1.5;
 /// Warm-hit floor `--enforce` holds the cache to.
 const MIN_HIT_RATE: f64 = 0.8;
+/// Sparse-over-dense warm speedup floor `--enforce` holds the n = 2048
+/// sweep point to (the dense→sparse crossover gate).
+const MIN_SPARSE_CROSSOVER: f64 = 5.0;
+/// Dense/sparse per-unit solution agreement floor on the fig5 workload.
+const MAX_PARITY_REL_DIFF: f64 = 1e-3;
 
 struct Args {
     quick: bool,
@@ -233,6 +239,208 @@ fn bench_throughput(
     (solves as f64 / secs, solves)
 }
 
+// ---------------------------------------------------------------------------
+// Unit-size sweep: dense→sparse crossover on AAO-structured programs
+// ---------------------------------------------------------------------------
+//
+// Each sweep point builds one joint AAO program ([`pq_core::aao_program`])
+// over `Q` two-leg portfolio queries sharing a pool of `I` items, giving
+// `n = I + 5Q` GP variables (one shared `b` per item, four `c` plus one
+// `R` per query). Cold solves pay the full barrier solve; warm rounds
+// drift the item values, refresh the compiled program in place and
+// re-solve from the previous optimum — the regime the engine lives in.
+// Dense cold runs only at the small sizes (it is cubic per Newton step);
+// dense warm additionally at n = 2048 for the crossover gate, seeded
+// from the sparse solution so the gate never waits on a dense cold solve.
+
+/// Recompute-rate weight of the sweep's AAO objective.
+const SWEEP_MU: f64 = 5.0;
+
+struct SweepPoint {
+    n_items: usize,
+    n_queries: usize,
+    n_vars: usize,
+    n_terms: usize,
+    sparse_cold_ns: f64,
+    sparse_warm_ns: f64,
+    dense_cold_ns: Option<f64>,
+    dense_warm_ns: Option<f64>,
+}
+
+/// `Q` two-leg portfolio queries over a pool of `I` items, wired so every
+/// item is referenced and consecutive queries overlap (one connected
+/// AAO unit, like a hot shard).
+fn sweep_queries(n_items: usize, n_queries: usize) -> Vec<PolynomialQuery> {
+    (0..n_queries)
+        .map(|k| {
+            let at = |o: usize| ItemId(((4 * k + o) % n_items) as u32);
+            PolynomialQuery::portfolio(
+                [
+                    (1.5 + (k % 5) as f64 * 0.3, at(0), at(1)),
+                    (1.0 + (k % 3) as f64 * 0.5, at(2), at(3)),
+                ],
+                40.0 + (k % 7) as f64 * 5.0,
+            )
+            .expect("sweep query")
+        })
+        .collect()
+}
+
+fn sweep_ctx<'a>(values: &'a [f64], rates: &'a [f64], gp: SolverOptions) -> SolveContext<'a> {
+    SolveContext {
+        values,
+        rates,
+        ddm: DataDynamicsModel::Monotonic,
+        gp,
+    }
+}
+
+fn sweep_opts(kkt: KktMode) -> SolverOptions {
+    SolverOptions {
+        kkt,
+        ..Scale::from_env().sim_gp_options()
+    }
+}
+
+/// Fastest of `reps` cold solves, plus the last solution (the warm
+/// passes seed from it).
+fn sweep_cold(
+    queries: &[PolynomialQuery],
+    values: &[f64],
+    rates: &[f64],
+    opts: &SolverOptions,
+    reps: usize,
+) -> (f64, GpSolution) {
+    let ctx = sweep_ctx(values, rates, opts.clone());
+    let prog = aao_program(queries, &ctx, SWEEP_MU).expect("sweep program");
+    let mut best = f64::INFINITY;
+    let mut sol = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let s = pq_gp::solve_with_start(&prog.problem, &prog.start, opts).expect("sweep cold");
+        best = best.min(started.elapsed().as_nanos() as f64);
+        sol = Some(s);
+    }
+    (best, sol.expect("at least one rep"))
+}
+
+/// Fastest warm round: drift the values, refresh the compiled program in
+/// place (`update_from` keeps the cached symbolic factorization — only
+/// coefficients change), warm-start from the previous optimum.
+fn sweep_warm(
+    queries: &[PolynomialQuery],
+    values0: &[f64],
+    rates: &[f64],
+    opts: &SolverOptions,
+    seed_x: &[f64],
+    rounds: usize,
+) -> f64 {
+    let mut values = values0.to_vec();
+    let ctx = sweep_ctx(&values, rates, opts.clone());
+    let prog0 = aao_program(queries, &ctx, SWEEP_MU).expect("sweep program");
+    let mut compiled = CompiledGp::compile(&prog0.problem).expect("sweep compile");
+    if opts.kkt == KktMode::Sparse {
+        compiled.prepare_sparse();
+    }
+    let mut ws = SolveWorkspace::new();
+    let mut prev = seed_x.to_vec();
+    let mut best = f64::INFINITY;
+    for round in 0..rounds {
+        apply_drift(&mut values, round);
+        let ctx = sweep_ctx(&values, rates, opts.clone());
+        let prog = aao_program(queries, &ctx, SWEEP_MU).expect("sweep program");
+        let started = Instant::now();
+        compiled.update_from(&prog.problem).expect("sweep refresh");
+        let (sol, _) = compiled
+            .solve_warm(&prev, &prog.start, opts, &mut ws)
+            .expect("sweep warm");
+        best = best.min(started.elapsed().as_nanos() as f64);
+        prev = sol.x;
+    }
+    best
+}
+
+fn bench_sweep(quick: bool) -> Vec<SweepPoint> {
+    // n = I + 5Q ∈ {128, 512, 2048, 10240}.
+    let mut sizes = vec![(48usize, 16usize), (192, 64), (768, 256)];
+    if !quick {
+        sizes.push((3840, 1280));
+    }
+    let mut out = Vec::new();
+    for (n_items, n_queries) in sizes {
+        let queries = sweep_queries(n_items, n_queries);
+        let values0: Vec<f64> = (0..n_items).map(|i| 4.0 + (i % 13) as f64).collect();
+        let rates: Vec<f64> = (0..n_items).map(|i| 0.02 + 0.01 * (i % 7) as f64).collect();
+        let n_vars = n_items + 5 * n_queries;
+        let (cold_reps, warm_rounds) = if n_vars <= 512 { (3, 6) } else { (1, 3) };
+
+        let sparse = sweep_opts(KktMode::Sparse);
+        let (sparse_cold_ns, sparse_sol) =
+            sweep_cold(&queries, &values0, &rates, &sparse, cold_reps);
+        let sparse_warm_ns = sweep_warm(
+            &queries,
+            &values0,
+            &rates,
+            &sparse,
+            &sparse_sol.x,
+            warm_rounds,
+        );
+
+        let dense = sweep_opts(KktMode::Dense);
+        let dense_cold_ns =
+            (n_vars <= 512).then(|| sweep_cold(&queries, &values0, &rates, &dense, cold_reps).0);
+        // Dense warm at the crossover point seeds from the *sparse*
+        // solution: a dense cold solve at n = 2048 would dominate the
+        // whole sweep's runtime without informing any gate.
+        let dense_warm_ns = (n_vars <= 2048).then(|| {
+            let rounds = if n_vars <= 512 { warm_rounds } else { 2 };
+            sweep_warm(&queries, &values0, &rates, &dense, &sparse_sol.x, rounds)
+        });
+
+        let ctx = sweep_ctx(&values0, &rates, sparse.clone());
+        let n_terms = aao_program(&queries, &ctx, SWEEP_MU)
+            .expect("sweep program")
+            .problem
+            .total_terms();
+        out.push(SweepPoint {
+            n_items,
+            n_queries,
+            n_vars,
+            n_terms,
+            sparse_cold_ns,
+            sparse_warm_ns,
+            dense_cold_ns,
+            dense_warm_ns,
+        });
+    }
+    out
+}
+
+/// Worst dense-vs-sparse relative difference across the fig5 workload's
+/// per-unit solutions (primary DABs and recompute rates) — the parity
+/// check `--enforce` gates on.
+fn fig5_parity(w: &Workload) -> f64 {
+    let mut worst = 0.0f64;
+    for units in &w.units {
+        for u in units {
+            let mut ctx_d = w.ctx(&w.values0, &Obs::null());
+            ctx_d.gp.kkt = KktMode::Dense;
+            let mut ctx_s = w.ctx(&w.values0, &Obs::null());
+            ctx_s.gp.kkt = KktMode::Sparse;
+            let d = assign_unit(u, &ctx_d, w.strategy).expect("parity dense");
+            let s = assign_unit(u, &ctx_s, w.strategy).expect("parity sparse");
+            for (item, bd) in &d.primary {
+                let bs = s.primary[item];
+                worst = worst.max((bd - bs).abs() / bd.abs().max(1e-12));
+            }
+            worst = worst.max(
+                (d.recompute_rate - s.recompute_rate).abs() / d.recompute_rate.abs().max(1e-12),
+            );
+        }
+    }
+    worst
+}
+
 fn main() {
     let args = parse_args();
     let rounds = if args.quick { 6 } else { 20 };
@@ -282,6 +490,8 @@ fn main() {
     }
     let (throughput, throughput_solves) =
         bench_throughput(&w, rounds, rounds, &mut cache, threads, &warm_obs);
+    let sweep = bench_sweep(args.quick);
+    let parity = fig5_parity(&w);
 
     let gp_ns = |o: &Obs| {
         o.snapshot()
@@ -329,6 +539,75 @@ fn main() {
         ],
     );
 
+    let na = || "-".to_string();
+    print_table(
+        "solvebench: unit-size sweep (AAO programs, n = items + 5*queries)",
+        &[
+            "n_vars",
+            "terms",
+            "sparse cold ns",
+            "sparse warm ns",
+            "dense cold ns",
+            "dense warm ns",
+        ],
+        &sweep
+            .iter()
+            .map(|p| {
+                vec![
+                    p.n_vars.to_string(),
+                    p.n_terms.to_string(),
+                    format!("{:.0}", p.sparse_cold_ns),
+                    format!("{:.0}", p.sparse_warm_ns),
+                    p.dense_cold_ns.map_or_else(na, |v| format!("{v:.0}")),
+                    p.dense_warm_ns.map_or_else(na, |v| format!("{v:.0}")),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("fig5 dense/sparse parity: max rel diff {parity:.2e}");
+
+    let crossover_speedup = sweep
+        .iter()
+        .find(|p| p.n_vars == 2048)
+        .and_then(|p| p.dense_warm_ns.map(|d| d / p.sparse_warm_ns));
+    if let Some(s) = crossover_speedup {
+        println!("dense→sparse crossover at n=2048: sparse is {s:.1}x faster (warm)");
+    }
+    let dense512_cold = sweep
+        .iter()
+        .find(|p| p.n_vars == 512)
+        .and_then(|p| p.dense_cold_ns);
+    let sparse10k = sweep.iter().find(|p| p.n_vars == 10240);
+    if let (Some(d512), Some(p10k)) = (dense512_cold, sparse10k) {
+        println!(
+            "scale check: sparse n=10240 cold {:.1} ms vs dense n=512 cold {:.1} ms ({:.2}x)",
+            p10k.sparse_cold_ns / 1e6,
+            d512 / 1e6,
+            p10k.sparse_cold_ns / d512
+        );
+    }
+
+    let sweep_json: String = sweep
+        .iter()
+        .map(|p| {
+            let opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.1}"));
+            format!(
+                "    {{ \"n_vars\": {}, \"n_items\": {}, \"n_queries\": {}, \"n_terms\": {}, \
+                 \"sparse_cold_ns\": {:.1}, \"sparse_warm_ns\": {:.1}, \
+                 \"dense_cold_ns\": {}, \"dense_warm_ns\": {} }}",
+                p.n_vars,
+                p.n_items,
+                p.n_queries,
+                p.n_terms,
+                p.sparse_cold_ns,
+                p.sparse_warm_ns,
+                opt(p.dense_cold_ns),
+                opt(p.dense_warm_ns),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
         "{{\n  \"workload\": \"fig5-steady-state\",\n  \"quick\": {},\n  \
          \"cold_ns_per_solve\": {:.1},\n  \"warm_ns_per_solve\": {:.1},\n  \
@@ -337,7 +616,10 @@ fn main() {
          \"fanout_threads\": {},\n  \"counters\": {{\n    \
          \"solve.warm_hit\": {},\n    \"solve.warm_repair\": {},\n    \
          \"solve.cold_fallback\": {},\n    \"solve.cold_start\": {}\n  }},\n  \
-         \"warm_hit_rate\": {:.4}\n}}\n",
+         \"warm_hit_rate\": {:.4},\n  \
+         \"fig5_parity_max_rel_diff\": {:.3e},\n  \
+         \"sparse_crossover_speedup_2048\": {},\n  \
+         \"unit_size_sweep\": [\n{}\n  ]\n}}\n",
         args.quick,
         cold_ns,
         warm_ns,
@@ -352,6 +634,9 @@ fn main() {
         cold_fallback,
         cold_start,
         hit_rate,
+        parity,
+        crossover_speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
+        sweep_json,
     );
     std::fs::write(&args.out, json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
     println!("\nwrote {}", args.out);
@@ -370,12 +655,35 @@ fn main() {
             );
             failed = true;
         }
+        match crossover_speedup {
+            Some(s) if s < MIN_SPARSE_CROSSOVER => {
+                eprintln!(
+                    "FAIL: sparse warm speedup {s:.2}x at n=2048 below the \
+                     {MIN_SPARSE_CROSSOVER}x crossover floor"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL: sweep produced no n=2048 crossover measurement");
+                failed = true;
+            }
+            _ => {}
+        }
+        if parity > MAX_PARITY_REL_DIFF {
+            eprintln!(
+                "FAIL: fig5 dense/sparse parity {parity:.2e} above the \
+                 {MAX_PARITY_REL_DIFF:.0e} floor"
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
         println!(
-            "enforce: speedup {speedup:.2}x and warm-hit rate {:.1}% pass",
-            hit_rate * 100.0
+            "enforce: speedup {speedup:.2}x, warm-hit rate {:.1}%, crossover {}x, \
+             parity {parity:.1e} pass",
+            hit_rate * 100.0,
+            crossover_speedup.map_or("-".to_string(), |s| format!("{s:.1}")),
         );
     }
 }

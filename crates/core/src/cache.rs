@@ -36,9 +36,13 @@ pub struct UnitCache {
     counters: Option<SolveCounters>,
 }
 
-/// Pre-resolved handles for the four `solve.*` outcome counters.
+/// Pre-resolved handles for the four `solve.*` outcome counters, tagged
+/// with the registry they came from so a cache handed a *different*
+/// `Obs` later (e.g. an untimed seeding pass on `Obs::null()`, then the
+/// real run) re-resolves instead of incrementing the stale registry.
 #[derive(Debug, Clone)]
 struct SolveCounters {
+    obs: pq_obs::Obs,
     warm_hit: std::sync::Arc<pq_obs::Counter>,
     warm_repair: std::sync::Arc<pq_obs::Counter>,
     cold_fallback: std::sync::Arc<pq_obs::Counter>,
@@ -48,6 +52,7 @@ struct SolveCounters {
 impl SolveCounters {
     fn resolve(obs: &pq_obs::Obs) -> Self {
         SolveCounters {
+            obs: obs.clone(),
             warm_hit: obs.counter(names::SOLVE_WARM_HIT),
             warm_repair: obs.counter(names::SOLVE_WARM_REPAIR),
             cold_fallback: obs.counter(names::SOLVE_COLD_FALLBACK),
@@ -87,7 +92,11 @@ pub(crate) fn solve_cached(
     options: &SolverOptions,
     cache: &mut UnitCache,
 ) -> Result<GpSolution, DabError> {
-    if cache.counters.is_none() {
+    let stale = cache
+        .counters
+        .as_ref()
+        .is_none_or(|c| !c.obs.same_registry(&options.obs));
+    if stale {
         cache.counters = Some(SolveCounters::resolve(&options.obs));
     }
     let counters = cache.counters.clone().expect("resolved above");
@@ -343,6 +352,41 @@ mod tests {
             "every recompute warm-started"
         );
         assert_eq!(count(names::SOLVE_COLD_FALLBACK), 0);
+    }
+
+    /// A cache seeded under one `Obs` (the untimed `Obs::null()` warm-up
+    /// pass in benchmarks) must re-resolve its counter handles when the
+    /// caller switches to the real registry — otherwise every warm-hit
+    /// increment lands on the discarded seeding registry.
+    #[test]
+    fn counters_follow_a_registry_swap() {
+        let mut cache = UnitCache::new();
+        let interior = [0.25, 0.25];
+        let seed_options = SolverOptions {
+            obs: pq_obs::Obs::null(),
+            ..SolverOptions::default()
+        };
+        solve_cached(
+            &problem(1.0, 1.0, 1.0),
+            &interior,
+            &seed_options,
+            &mut cache,
+        )
+        .unwrap();
+
+        let (obs, _ring) = pq_obs::Obs::ring(16);
+        let options = SolverOptions {
+            obs: obs.clone(),
+            ..SolverOptions::default()
+        };
+        solve_cached(&problem(1.02, 1.0, 1.0), &interior, &options, &mut cache).unwrap();
+        let snap = obs.snapshot();
+        let count = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(
+            count(names::SOLVE_WARM_HIT) + count(names::SOLVE_WARM_REPAIR),
+            1,
+            "warm outcome must be recorded on the registry passed to *this* solve"
+        );
     }
 
     #[test]

@@ -61,6 +61,26 @@ impl DabVarIndexer for AaoIndexer<'_> {
     }
 }
 
+/// The joint AAO geometric program for a query set, built but not yet
+/// solved: the GP, a strictly feasible start, and the variable layout
+/// needed to unpack a solution. Produced by [`aao_program`]; [`aao`]
+/// solves it immediately, benchmarks use it to build AAO-structured
+/// programs of controlled size without paying for a solve.
+#[derive(Debug, Clone)]
+pub struct AaoProgram {
+    /// The joint GP (`b` per distinct item, then per-query `c` blocks
+    /// over coupled items, then per-query `R`).
+    pub problem: GpProblem,
+    /// A strictly feasible starting point for the solver.
+    pub start: Vec<f64>,
+    b_index: BTreeMap<ItemId, usize>,
+    per_query_items: Vec<Vec<ItemId>>,
+    per_query_coupled: Vec<Vec<ItemId>>,
+    c_base: Vec<usize>,
+    r_base: usize,
+    lambdas: Vec<f64>,
+}
+
 /// AAO: one joint GP over all queries (§IV).
 ///
 /// Mixed-sign queries are first transformed by Different Sum
@@ -81,6 +101,29 @@ pub fn aao(
     if queries.is_empty() {
         return Ok(CoordinatorAssignment::default());
     }
+    let program = aao_program(queries, ctx, mu)?;
+    let sol = pq_gp::solve_with_start(&program.problem, &program.start, &ctx.gp)?;
+    program.into_assignment(&sol, ctx)
+}
+
+/// Builds the joint AAO program (variables, objective, constraints and a
+/// feasible start) without solving it. See [`aao`] for the formulation.
+///
+/// # Errors
+/// [`DabError::InvalidMu`] unless `mu > 0`; [`DabError::NoFeasibleStart`]
+/// when the scalar start search fails; construction errors otherwise.
+///
+/// # Panics
+/// Panics on an empty query set ([`aao`] short-circuits that case).
+pub fn aao_program(
+    queries: &[PolynomialQuery],
+    ctx: &SolveContext<'_>,
+    mu: f64,
+) -> Result<AaoProgram, DabError> {
+    if !(mu.is_finite() && mu > 0.0) {
+        return Err(DabError::InvalidMu(mu));
+    }
+    assert!(!queries.is_empty(), "AAO program needs at least one query");
 
     // Different-Sum transform for mixed signs; collect per-query item lists.
     let bodies: Vec<Polynomial> = queries
@@ -189,39 +232,64 @@ pub fn aao(
         return Err(DabError::NoFeasibleStart);
     }
 
-    let sol = pq_gp::solve_with_start(&problem, &x, &ctx.gp)?;
-
-    // Unpack: shared item DABs + per-query assignments.
-    let item_dabs: BTreeMap<ItemId, f64> =
-        b_index.iter().map(|(&item, &k)| (item, sol.x[k])).collect();
-    let mut per_query = Vec::with_capacity(queries.len());
-    for (qi, items) in per_query_items.iter().enumerate() {
-        let primary: BTreeMap<ItemId, f64> = items.iter().map(|&i| (i, item_dabs[&i])).collect();
-        let mut secondary: BTreeMap<ItemId, f64> =
-            items.iter().map(|&i| (i, f64::INFINITY)).collect();
-        for (pos, &i) in per_query_coupled[qi].iter().enumerate() {
-            secondary.insert(i, sol.x[c_base[qi] + pos]);
-        }
-        let anchor = items
-            .iter()
-            .map(|&i| Ok((i, ctx.value(i)?)))
-            .collect::<Result<_, DabError>>()?;
-        let refresh_rate = items
-            .iter()
-            .map(|&i| ctx.ddm.refresh_rate(lambdas[b_index[&i]], item_dabs[&i]))
-            .sum();
-        per_query.push(QueryAssignment {
-            primary,
-            validity: ValidityRange::Box(secondary),
-            anchor,
-            recompute_rate: sol.x[r_base + qi],
-            refresh_rate,
-        });
-    }
-    Ok(CoordinatorAssignment {
-        item_dabs,
-        per_query,
+    Ok(AaoProgram {
+        problem,
+        start: x,
+        b_index,
+        per_query_items,
+        per_query_coupled,
+        c_base,
+        r_base,
+        lambdas,
     })
+}
+
+impl AaoProgram {
+    /// Unpacks a solution of [`AaoProgram::problem`] into shared item
+    /// DABs plus per-query assignments.
+    fn into_assignment(
+        self,
+        sol: &pq_gp::GpSolution,
+        ctx: &SolveContext<'_>,
+    ) -> Result<CoordinatorAssignment, DabError> {
+        let item_dabs: BTreeMap<ItemId, f64> = self
+            .b_index
+            .iter()
+            .map(|(&item, &k)| (item, sol.x[k]))
+            .collect();
+        let mut per_query = Vec::with_capacity(self.per_query_items.len());
+        for (qi, items) in self.per_query_items.iter().enumerate() {
+            let primary: BTreeMap<ItemId, f64> =
+                items.iter().map(|&i| (i, item_dabs[&i])).collect();
+            let mut secondary: BTreeMap<ItemId, f64> =
+                items.iter().map(|&i| (i, f64::INFINITY)).collect();
+            for (pos, &i) in self.per_query_coupled[qi].iter().enumerate() {
+                secondary.insert(i, sol.x[self.c_base[qi] + pos]);
+            }
+            let anchor = items
+                .iter()
+                .map(|&i| Ok((i, ctx.value(i)?)))
+                .collect::<Result<_, DabError>>()?;
+            let refresh_rate = items
+                .iter()
+                .map(|&i| {
+                    ctx.ddm
+                        .refresh_rate(self.lambdas[self.b_index[&i]], item_dabs[&i])
+                })
+                .sum();
+            per_query.push(QueryAssignment {
+                primary,
+                validity: ValidityRange::Box(secondary),
+                anchor,
+                recompute_rate: sol.x[self.r_base + qi],
+                refresh_rate,
+            });
+        }
+        Ok(CoordinatorAssignment {
+            item_dabs,
+            per_query,
+        })
+    }
 }
 
 #[cfg(test)]

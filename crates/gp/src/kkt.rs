@@ -18,8 +18,10 @@
 //! here have few constraints) and report both residuals.
 
 use crate::linalg::{dot, norm2, Matrix};
-use crate::logsumexp::LogPosynomial;
+use crate::logsumexp::{log_sum_exp, softmax_in_place, LogPosynomial};
+use crate::ordering::{invert_permutation, min_degree};
 use crate::problem::GpProblem;
+use crate::sparse::{upper_csc_from_pairs, SymbolicChol};
 
 /// KKT residuals of a claimed solution.
 #[derive(Debug, Clone)]
@@ -122,6 +124,761 @@ pub fn kkt_report(problem: &GpProblem, x: &[f64]) -> KktReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sparse KKT plan
+// ---------------------------------------------------------------------------
+//
+// The barrier Hessian at parameter `t` is
+//
+// ```text
+// H = t (SM0 − g0 g0ᵀ)                                 (objective, multi-term)
+//   + Σ_i [ 1/s_i (SMi − gi giᵀ) + 1/s_i² gi giᵀ ]     (constraints)
+// ```
+//
+// where `SMi = Σ_k p_k a_k a_kᵀ` is the softmax second moment of posynomial
+// `i`'s exponent rows, `gi = ∇Fi`, and `s_i = −Fi > 0` is the barrier slack.
+// Every `SM` term only touches the handful of variables its monomial
+// mentions, so `H` splits as `H = S + Σ_r β_r g_r g_rᵀ`:
+//
+// * `S` — a sparse matrix collecting, per posynomial, either the *whole*
+//   contribution (when the posynomial's support is small: a support-clique
+//   of nonzeros, and positive semidefinite because it is `1/s · ∇²Fi`
+//   plus `1/s² gi giᵀ`), or only the per-term second-moment cliques (when
+//   the support is large).
+// * the corrections — gradient outer products of the few wide-support
+//   posynomials (in AAO units: the joint objective), *hoisted* out of the
+//   factorization and applied by Sherman–Morrison–Woodbury at solve time.
+//
+// `S` is positive semidefinite by construction, so `S + reg·I` factors for
+// any `reg > 0`; solving `(S̃ + Σ β g gᵀ) x = b` by SMW then solves exactly
+// `(H + reg·I) x = b` — the same regularization semantics as the dense
+// ladder. A residual check guards the (possibly indefinite) capacitance
+// system at `reg = 0`.
+//
+// Everything structural — canonical term order, supports, the min-degree
+// permutation, the symbolic factorization, and every scatter slot — is
+// computed once per compiled GP and reused across all Newton steps,
+// regularization retries, and coefficient refreshes.
+
+/// Posynomial supports larger than this keep their gradient outer product
+/// out of `S` (hoisted into an SMW correction) instead of materializing an
+/// `s × s` clique.
+const GRAD_CLIQUE_CUTOFF: usize = 48;
+/// `KktMode::Auto` never routes programs smaller than this to the sparse
+/// backend — dense wins below it.
+const SPARSE_MIN_N: usize = 192;
+/// `KktMode::Auto` gives up when more than this many posynomials need
+/// hoisting (each costs a dense triangular solve per Newton step).
+const MAX_HOISTED_AUTO: usize = 16;
+/// Relative residual accepted from an SMW-corrected solve before the
+/// regularization ladder escalates.
+const SMW_RESIDUAL_TOL: f64 = 1e-6;
+
+/// How one posynomial's gradient outer product `β g gᵀ` enters the KKT
+/// system.
+#[derive(Debug, Clone)]
+enum GradKind {
+    /// Affine objective: no Hessian contribution at all.
+    Skip,
+    /// Small support: scattered into `S` as a support-clique. Slots cover
+    /// the `(li, lj)`, `li <= lj` local pairs in row-major order.
+    Clique(Vec<u32>),
+    /// Wide support: hoisted into SMW correction `h`.
+    Hoisted(u32),
+}
+
+/// One monomial term, pre-resolved against the global pattern.
+#[derive(Debug, Clone)]
+struct TermPlan {
+    /// Index of this term's coefficient in the source [`LogPosynomial`]
+    /// (terms are re-sorted canonically; coefficients are read live so
+    /// in-place refreshes keep working).
+    coef_idx: u32,
+    /// `(local support index, exponent)` pairs, locals ascending.
+    entries: Vec<(u32, f64)>,
+    /// Second-moment scatter: `(value slot, e_a · e_b)` per unordered
+    /// support pair of this term (diagonal included). Empty for affine
+    /// posynomials (their second moment cancels against `g gᵀ`).
+    sm_slots: Vec<(u32, f64)>,
+}
+
+/// One posynomial (objective or constraint) in plan form.
+#[derive(Debug, Clone)]
+struct PosyPlan {
+    /// Sorted original variable ids this posynomial touches.
+    support: Vec<u32>,
+    /// Terms in canonical (insertion-order-independent) order.
+    terms: Vec<TermPlan>,
+    grad: GradKind,
+}
+
+/// The per-compiled-GP sparse KKT structure: canonical term ordering,
+/// fill-reducing permutation, cached symbolic factorization, and
+/// pre-resolved scatter slots for assembling `S` directly in permuted
+/// upper-CSC form. Built once (it depends only on the term *structure*,
+/// not coefficients) and shared via `Arc` across warm-started solves.
+#[derive(Debug, Clone)]
+pub struct SparseKktPlan {
+    n: usize,
+    posys: Vec<PosyPlan>,
+    /// `perm[new] = old` (min-degree order).
+    perm: Vec<u32>,
+    sym: SymbolicChol,
+    /// Value slot of diagonal `(k, k)` per permuted index `k`.
+    diag_slots: Vec<u32>,
+    /// Permuted variable ids of hoisted gradients, flat.
+    hoist_pvars: Vec<u32>,
+    /// Offsets into `hoist_pvars` / scratch values, length `n_hoisted+1`.
+    hoist_offsets: Vec<u32>,
+    max_terms: usize,
+    max_support: usize,
+}
+
+/// Caller-owned numeric buffers for one solver workspace; every slice is
+/// sized by [`SparseScratch::ensure`] against the active plan.
+#[derive(Debug, Default)]
+pub struct SparseScratch {
+    /// Assembled values of `S`, positionally matching the plan's pattern.
+    a_values: Vec<f64>,
+    /// Numeric factor of `S + reg I`.
+    lvals: Vec<f64>,
+    /// Dense factor scratch (kept all-zero between factorizations).
+    fx: Vec<f64>,
+    cursor: Vec<u32>,
+    /// Per-posynomial term values / softmax weights.
+    z: Vec<f64>,
+    /// Support-local gradient of the current posynomial.
+    glocal: Vec<f64>,
+    /// Permuted right-hand side, solution, residual, diagonal.
+    pb: Vec<f64>,
+    sol: Vec<f64>,
+    resid: Vec<f64>,
+    diag: Vec<f64>,
+    /// Hoisted gradient values (aligned with the plan's `hoist_pvars`) and
+    /// their per-eval `β` weights.
+    hoist_vals: Vec<f64>,
+    hoist_beta: Vec<f64>,
+    /// Dense SMW workspace: `k` solved columns, capacitance matrix, rhs.
+    w: Vec<f64>,
+    cap: Vec<f64>,
+    cap_rhs: Vec<f64>,
+    active: Vec<usize>,
+    /// Largest |diagonal| of the last assembled `H` (regularization scale).
+    scale: f64,
+}
+
+impl SparseScratch {
+    /// Grows every buffer to fit `plan`, re-establishing the all-zero
+    /// invariant of the factor scratch.
+    pub fn ensure(&mut self, plan: &SparseKktPlan) {
+        let n = plan.n;
+        let k = plan.n_hoisted();
+        self.a_values.resize(plan.sym.a_pattern().1.len(), 0.0);
+        self.lvals.resize(plan.sym.l_nnz(), 0.0);
+        self.fx.clear();
+        self.fx.resize(n, 0.0);
+        self.cursor.resize(n, 0);
+        self.z.reserve(plan.max_terms);
+        self.glocal.resize(plan.max_support, 0.0);
+        self.pb.resize(n, 0.0);
+        self.sol.resize(n, 0.0);
+        self.resid.resize(n, 0.0);
+        self.diag.resize(n, 0.0);
+        self.hoist_vals.resize(plan.hoist_pvars.len(), 0.0);
+        self.hoist_beta.resize(k, 0.0);
+        self.w.resize(k * n, 0.0);
+        self.cap.resize(k * k, 0.0);
+        self.cap_rhs.resize(k, 0.0);
+    }
+}
+
+/// Canonical order of a posynomial's terms: by exponent row (variable
+/// ascending, then exponent, then row length), then log-coefficient, then
+/// original index. Any insertion order of the same term multiset yields
+/// the same plan — the root of the sparse path's byte-determinism.
+fn canonical_term_order(lp: &LogPosynomial) -> Vec<u32> {
+    let rows = lp.rows();
+    let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        let (ra, rb) = (&rows[a as usize], &rows[b as usize]);
+        for ((va, ea), (vb, eb)) in ra.iter().zip(rb.iter()) {
+            match va.cmp(vb).then(ea.total_cmp(eb)) {
+                std::cmp::Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        ra.len()
+            .cmp(&rb.len())
+            .then(lp.log_coef(a as usize).total_cmp(&lp.log_coef(b as usize)))
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Sorted distinct variables of a posynomial.
+fn posy_support(lp: &LogPosynomial) -> Vec<u32> {
+    let mut support: Vec<u32> = lp
+        .rows()
+        .iter()
+        .flat_map(|r| r.iter().map(|&(v, _)| v as u32))
+        .collect();
+    support.sort_unstable();
+    support.dedup();
+    support
+}
+
+/// Slot of the symmetric entry `(pi, pj)` (permuted indices) in the
+/// upper-CSC pattern.
+fn slot_of(col_ptr: &[u32], row_idx: &[u32], pi: u32, pj: u32) -> u32 {
+    let (r, c) = if pi <= pj { (pi, pj) } else { (pj, pi) };
+    let lo = col_ptr[c as usize] as usize;
+    let hi = col_ptr[c as usize + 1] as usize;
+    let off = row_idx[lo..hi]
+        .binary_search(&r)
+        .expect("pattern must contain every scatter target");
+    (lo + off) as u32
+}
+
+/// True when [`crate::KktMode::Auto`] should route this program to the
+/// sparse backend: large enough, clique density low enough, and few
+/// enough wide-support posynomials to hoist.
+pub(crate) fn auto_wanted(f0: &LogPosynomial, fs: &[LogPosynomial], n: usize) -> bool {
+    if n < SPARSE_MIN_N {
+        return false;
+    }
+    let mut hoisted = 0usize;
+    let mut est_nnz: u64 = 0;
+    for (pi, lp) in std::iter::once(f0).chain(fs.iter()).enumerate() {
+        let affine = lp.n_terms() == 1;
+        if pi == 0 && affine {
+            continue;
+        }
+        let s = posy_support(lp).len() as u64;
+        if s as usize > GRAD_CLIQUE_CUTOFF {
+            hoisted += 1;
+            for r in lp.rows() {
+                let t = r.len() as u64;
+                est_nnz += t * (t + 1) / 2;
+            }
+        } else {
+            est_nnz += s * (s + 1) / 2;
+        }
+    }
+    let n = n as u64;
+    hoisted <= MAX_HOISTED_AUTO && est_nnz <= n * (n + 1) / 8
+}
+
+impl SparseKktPlan {
+    /// Analyzes the structure of a compiled GP: canonical term order,
+    /// hoisting decisions, sparsity pattern, min-degree permutation,
+    /// symbolic factorization, and scatter slots.
+    pub fn build(f0: &LogPosynomial, fs: &[LogPosynomial], n: usize) -> Self {
+        struct Raw {
+            support: Vec<u32>,
+            order: Vec<u32>,
+            kind: u8, // 0 = skip, 1 = clique, 2 = hoisted
+        }
+        let mut raws = Vec::with_capacity(1 + fs.len());
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (pi, lp) in std::iter::once(f0).chain(fs.iter()).enumerate() {
+            let support = posy_support(lp);
+            let order = canonical_term_order(lp);
+            let affine = lp.n_terms() == 1;
+            let kind = if pi == 0 && affine {
+                0
+            } else if support.len() <= GRAD_CLIQUE_CUTOFF {
+                1
+            } else {
+                2
+            };
+            match kind {
+                1 => {
+                    // The support clique covers every term pair too.
+                    for (ai, &va) in support.iter().enumerate() {
+                        for &vb in &support[ai + 1..] {
+                            pairs.push((va, vb));
+                        }
+                    }
+                }
+                2 if !affine => {
+                    // Only the per-term second-moment cliques enter `S`.
+                    for row in lp.rows() {
+                        for (ai, &(va, _)) in row.iter().enumerate() {
+                            for &(vb, _) in &row[ai + 1..] {
+                                pairs.push((va as u32, vb as u32));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            raws.push(Raw {
+                support,
+                order,
+                kind,
+            });
+        }
+
+        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in &pairs {
+            adjacency[a as usize].push(b);
+            adjacency[b as usize].push(a);
+        }
+        let perm = min_degree(n, &adjacency);
+        let inv = invert_permutation(&perm);
+
+        let permuted: Vec<(u32, u32)> = pairs
+            .iter()
+            .map(|&(a, b)| (inv[a as usize], inv[b as usize]))
+            .collect();
+        let (col_ptr, row_idx) = upper_csc_from_pairs(n, &permuted);
+        let sym = SymbolicChol::analyze(n, col_ptr, row_idx);
+        let (cp, ri) = sym.a_pattern();
+        let diag_slots: Vec<u32> = (0..n)
+            .map(|k| {
+                let slot = cp[k + 1] - 1;
+                debug_assert_eq!(ri[slot as usize] as usize, k, "diagonal is last in column");
+                slot
+            })
+            .collect();
+
+        // Second pass: resolve slots now that the pattern exists.
+        let mut posys = Vec::with_capacity(raws.len());
+        let mut hoist_pvars = Vec::new();
+        let mut hoist_offsets = vec![0u32];
+        let mut max_terms = 0usize;
+        let mut max_support = 0usize;
+        let mut n_hoisted = 0u32;
+        for (raw, lp) in raws.iter().zip(std::iter::once(f0).chain(fs.iter())) {
+            let rows = lp.rows();
+            let multi = rows.len() > 1;
+            max_terms = max_terms.max(rows.len());
+            max_support = max_support.max(raw.support.len());
+            let terms: Vec<TermPlan> = raw
+                .order
+                .iter()
+                .map(|&orig| {
+                    let row = &rows[orig as usize];
+                    let entries: Vec<(u32, f64)> = row
+                        .iter()
+                        .map(|&(v, e)| {
+                            let li = raw.support.binary_search(&(v as u32)).unwrap() as u32;
+                            (li, e)
+                        })
+                        .collect();
+                    let mut sm_slots = Vec::new();
+                    if multi {
+                        sm_slots.reserve(row.len() * (row.len() + 1) / 2);
+                        for (ai, &(va, ea)) in row.iter().enumerate() {
+                            for &(vb, eb) in &row[ai..] {
+                                let slot = slot_of(cp, ri, inv[va], inv[vb]);
+                                sm_slots.push((slot, ea * eb));
+                            }
+                        }
+                    }
+                    TermPlan {
+                        coef_idx: orig,
+                        entries,
+                        sm_slots,
+                    }
+                })
+                .collect();
+            let grad = match raw.kind {
+                0 => GradKind::Skip,
+                1 => {
+                    let s = raw.support.len();
+                    let mut slots = Vec::with_capacity(s * (s + 1) / 2);
+                    for (ai, &va) in raw.support.iter().enumerate() {
+                        for &vb in &raw.support[ai..] {
+                            slots.push(slot_of(cp, ri, inv[va as usize], inv[vb as usize]));
+                        }
+                    }
+                    GradKind::Clique(slots)
+                }
+                _ => {
+                    for &v in &raw.support {
+                        hoist_pvars.push(inv[v as usize]);
+                    }
+                    hoist_offsets.push(hoist_pvars.len() as u32);
+                    n_hoisted += 1;
+                    GradKind::Hoisted(n_hoisted - 1)
+                }
+            };
+            posys.push(PosyPlan {
+                support: raw.support.clone(),
+                terms,
+                grad,
+            });
+        }
+
+        SparseKktPlan {
+            n,
+            posys,
+            perm,
+            sym,
+            diag_slots,
+            hoist_pvars,
+            hoist_offsets,
+            max_terms,
+            max_support,
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hoisted (SMW-corrected) gradient outer products.
+    pub fn n_hoisted(&self) -> usize {
+        self.hoist_offsets.len() - 1
+    }
+
+    /// Nonzeros in the factor `L`.
+    pub fn l_nnz(&self) -> usize {
+        self.sym.l_nnz()
+    }
+
+    /// Evaluates the barrier function `t F0 − Σ ln(−Fi)` at `y`,
+    /// assembling value, gradient (into `grad`, original variable order)
+    /// and the Hessian in decomposed form (`S` values + hoisted
+    /// corrections) into `s`. Returns `None` outside the barrier domain.
+    pub(crate) fn eval(
+        &self,
+        f0: &LogPosynomial,
+        fs: &[LogPosynomial],
+        t: f64,
+        y: &[f64],
+        s: &mut SparseScratch,
+        grad: &mut [f64],
+    ) -> Option<f64> {
+        s.a_values.fill(0.0);
+        grad.fill(0.0);
+        let mut value = 0.0;
+        for (pi, (pp, lp)) in self
+            .posys
+            .iter()
+            .zip(std::iter::once(f0).chain(fs.iter()))
+            .enumerate()
+        {
+            s.z.clear();
+            for tp in &pp.terms {
+                let mut zk = lp.log_coef(tp.coef_idx as usize);
+                for &(li, e) in &tp.entries {
+                    zk += e * y[pp.support[li as usize] as usize];
+                }
+                s.z.push(zk);
+            }
+            let v = softmax_in_place(&mut s.z);
+            let multi = pp.terms.len() > 1;
+            let (w_grad, alpha, beta) = if pi == 0 {
+                value += t * v;
+                (t, t, -t)
+            } else {
+                if v >= 0.0 {
+                    return None;
+                }
+                let slack = -v;
+                value -= slack.ln();
+                let inv_s = 1.0 / slack;
+                let beta = if multi {
+                    inv_s * inv_s - inv_s
+                } else {
+                    inv_s * inv_s
+                };
+                (inv_s, inv_s, beta)
+            };
+
+            let sup = pp.support.len();
+            s.glocal[..sup].fill(0.0);
+            for (tp, &pk) in pp.terms.iter().zip(s.z.iter()) {
+                if pk == 0.0 {
+                    continue;
+                }
+                for &(li, e) in &tp.entries {
+                    s.glocal[li as usize] += pk * e;
+                }
+                let apk = alpha * pk;
+                for &(slot, eprod) in &tp.sm_slots {
+                    s.a_values[slot as usize] += apk * eprod;
+                }
+            }
+            for li in 0..sup {
+                grad[pp.support[li] as usize] += w_grad * s.glocal[li];
+            }
+            match &pp.grad {
+                GradKind::Skip => {}
+                GradKind::Clique(slots) => {
+                    let mut si = 0usize;
+                    for li in 0..sup {
+                        let gli = beta * s.glocal[li];
+                        for lj in li..sup {
+                            s.a_values[slots[si] as usize] += gli * s.glocal[lj];
+                            si += 1;
+                        }
+                    }
+                }
+                GradKind::Hoisted(h) => {
+                    let h = *h as usize;
+                    s.hoist_beta[h] = beta;
+                    let off = self.hoist_offsets[h] as usize;
+                    s.hoist_vals[off..off + sup].copy_from_slice(&s.glocal[..sup]);
+                }
+            }
+        }
+
+        // Regularization scale: |diag H| = |diag S + Σ β g²| at its max.
+        for k in 0..self.n {
+            s.diag[k] = s.a_values[self.diag_slots[k] as usize];
+        }
+        for h in 0..self.n_hoisted() {
+            let b = s.hoist_beta[h];
+            let (o0, o1) = (
+                self.hoist_offsets[h] as usize,
+                self.hoist_offsets[h + 1] as usize,
+            );
+            for i in o0..o1 {
+                let g = s.hoist_vals[i];
+                s.diag[self.hoist_pvars[i] as usize] += b * g * g;
+            }
+        }
+        s.scale = s.diag.iter().fold(0.0_f64, |m, &d| m.max(d.abs())).max(1.0);
+        Some(value)
+    }
+
+    /// Barrier value only (line search), using the plan's canonical term
+    /// order so the sparse path's arithmetic is independent of the term
+    /// insertion order. Returns `None` outside the domain.
+    pub(crate) fn barrier_value(
+        &self,
+        f0: &LogPosynomial,
+        fs: &[LogPosynomial],
+        t: f64,
+        y: &[f64],
+        z: &mut Vec<f64>,
+    ) -> Option<f64> {
+        let mut value = 0.0;
+        for (pi, (pp, lp)) in self
+            .posys
+            .iter()
+            .zip(std::iter::once(f0).chain(fs.iter()))
+            .enumerate()
+        {
+            z.clear();
+            for tp in &pp.terms {
+                let mut zk = lp.log_coef(tp.coef_idx as usize);
+                for &(li, e) in &tp.entries {
+                    zk += e * y[pp.support[li as usize] as usize];
+                }
+                z.push(zk);
+            }
+            let v = log_sum_exp(z);
+            if pi == 0 {
+                value += t * v;
+            } else {
+                if v >= 0.0 {
+                    return None;
+                }
+                value -= (-v).ln();
+            }
+        }
+        Some(value)
+    }
+
+    /// Solves `H dy = rhs` for the Hessian last assembled by
+    /// [`SparseKktPlan::eval`], walking the same regularization ladder as
+    /// the dense path (`(H + reg I) dy = rhs`, `reg` escalating from 0).
+    /// Returns the shift that was needed, or `None` when every level
+    /// failed.
+    pub(crate) fn solve_newton(
+        &self,
+        s: &mut SparseScratch,
+        rhs: &[f64],
+        dy: &mut Vec<f64>,
+    ) -> Option<f64> {
+        let n = self.n;
+        for k in 0..n {
+            s.pb[k] = rhs[self.perm[k] as usize];
+        }
+        let mut reg = 0.0;
+        for _ in 0..41 {
+            if self.try_solve(s, reg) {
+                dy.clear();
+                dy.resize(n, 0.0);
+                for k in 0..n {
+                    dy[self.perm[k] as usize] = s.sol[k];
+                }
+                return Some(reg);
+            }
+            reg = if reg == 0.0 {
+                1e-12 * s.scale
+            } else {
+                reg * 10.0
+            };
+        }
+        None
+    }
+
+    /// One rung of the ladder: factor `S + reg I`, apply the SMW
+    /// correction for the hoisted outer products, verify the residual.
+    fn try_solve(&self, s: &mut SparseScratch, reg: f64) -> bool {
+        let n = self.n;
+        if !self
+            .sym
+            .factor(&s.a_values, reg, &mut s.lvals, &mut s.fx, &mut s.cursor)
+        {
+            return false;
+        }
+        s.sol.copy_from_slice(&s.pb);
+        self.sym.solve(&s.lvals, &mut s.sol);
+
+        // Corrections with β = 0 contribute nothing; skip them.
+        s.active.clear();
+        for h in 0..self.n_hoisted() {
+            if s.hoist_beta[h] != 0.0 {
+                s.active.push(h);
+            }
+        }
+        if s.active.is_empty() {
+            return true;
+        }
+
+        // W = S̃⁻¹ G, capacitance M = diag(1/β) + Gᵀ W, u = Gᵀ z.
+        let k = s.active.len();
+        for (ci, &h) in s.active.iter().enumerate() {
+            let (o0, o1) = (
+                self.hoist_offsets[h] as usize,
+                self.hoist_offsets[h + 1] as usize,
+            );
+            let w = &mut s.w[ci * n..(ci + 1) * n];
+            w.fill(0.0);
+            for i in o0..o1 {
+                w[self.hoist_pvars[i] as usize] = s.hoist_vals[i];
+            }
+            self.sym.solve(&s.lvals, w);
+        }
+        for (ri, &h) in s.active.iter().enumerate() {
+            let (o0, o1) = (
+                self.hoist_offsets[h] as usize,
+                self.hoist_offsets[h + 1] as usize,
+            );
+            let mut u = 0.0;
+            for i in o0..o1 {
+                u += s.hoist_vals[i] * s.sol[self.hoist_pvars[i] as usize];
+            }
+            s.cap_rhs[ri] = u;
+            for ci in 0..k {
+                let w = &s.w[ci * n..(ci + 1) * n];
+                let mut m = 0.0;
+                for i in o0..o1 {
+                    m += s.hoist_vals[i] * w[self.hoist_pvars[i] as usize];
+                }
+                if ri == ci {
+                    m += 1.0 / s.hoist_beta[h];
+                }
+                s.cap[ri * k + ci] = m;
+            }
+        }
+        if !solve_small_pivoted(&mut s.cap[..k * k], &mut s.cap_rhs[..k], k) {
+            return false;
+        }
+        for ci in 0..k {
+            let v = s.cap_rhs[ci];
+            if v != 0.0 {
+                let w = &s.w[ci * n..(ci + 1) * n];
+                for (xi, wi) in s.sol.iter_mut().zip(w) {
+                    *xi -= v * wi;
+                }
+            }
+        }
+
+        // The capacitance system can be indefinite (mixed β signs), so a
+        // successful elimination does not certify the solve — check the
+        // true residual `(S̃ + Σ β g gᵀ) x − b` before accepting.
+        for k2 in 0..n {
+            s.resid[k2] = reg * s.sol[k2] - s.pb[k2];
+        }
+        let (cp, ri) = self.sym.a_pattern();
+        for col in 0..n {
+            let xc = s.sol[col];
+            let (lo, hi) = (cp[col] as usize, cp[col + 1] as usize);
+            for (&r, &v) in ri[lo..hi].iter().zip(&s.a_values[lo..hi]) {
+                let row = r as usize;
+                if row == col {
+                    s.resid[col] += v * xc;
+                } else {
+                    s.resid[row] += v * xc;
+                    s.resid[col] += v * s.sol[row];
+                }
+            }
+        }
+        for &h in &s.active {
+            let (o0, o1) = (
+                self.hoist_offsets[h] as usize,
+                self.hoist_offsets[h + 1] as usize,
+            );
+            let mut gx = 0.0;
+            for i in o0..o1 {
+                gx += s.hoist_vals[i] * s.sol[self.hoist_pvars[i] as usize];
+            }
+            let bgx = s.hoist_beta[h] * gx;
+            for i in o0..o1 {
+                s.resid[self.hoist_pvars[i] as usize] += bgx * s.hoist_vals[i];
+            }
+        }
+        let rmax = s.resid.iter().fold(0.0_f64, |m, &r| m.max(r.abs()));
+        let bmax = s.pb.iter().fold(0.0_f64, |m, &b| m.max(b.abs()));
+        let xmax = s.sol.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+        rmax.is_finite()
+            && rmax <= SMW_RESIDUAL_TOL * bmax.max(s.scale * xmax).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Gaussian elimination with partial pivoting on a small row-major `k × k`
+/// system, solving in place into `rhs`. Returns `false` on a (near-)
+/// singular pivot.
+fn solve_small_pivoted(m: &mut [f64], rhs: &mut [f64], k: usize) -> bool {
+    for col in 0..k {
+        let mut piv = col;
+        let mut best = m[col * k + col].abs();
+        for r in col + 1..k {
+            let a = m[r * k + col].abs();
+            if a > best {
+                best = a;
+                piv = r;
+            }
+        }
+        if best <= 0.0 || !best.is_finite() {
+            return false;
+        }
+        if piv != col {
+            for c in 0..k {
+                m.swap(col * k + c, piv * k + c);
+            }
+            rhs.swap(col, piv);
+        }
+        let d = m[col * k + col];
+        for r in col + 1..k {
+            let f = m[r * k + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..k {
+                m[r * k + c] -= f * m[col * k + c];
+            }
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    for col in (0..k).rev() {
+        let mut acc = rhs[col];
+        for c in col + 1..k {
+            acc -= m[col * k + c] * rhs[c];
+        }
+        rhs[col] = acc / m[col * k + col];
+    }
+    rhs.iter().all(|v| v.is_finite())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +942,250 @@ mod tests {
         let report = kkt_report(&p, &[1.0]);
         assert!(report.stationarity < 1e-12);
         assert!(report.multipliers.is_empty());
+    }
+
+    // --- sparse KKT plan -------------------------------------------------
+
+    /// AAO-shaped test program in compiled form: one wide-support
+    /// multi-term objective (hoisted when `n > GRAD_CLIQUE_CUTOFF`) plus
+    /// chains of narrow-support constraints (clique-scattered), all
+    /// strictly feasible on `y ∈ [-0.1, 0.1]`.
+    fn aao_like_logposys(n: usize) -> (LogPosynomial, Vec<LogPosynomial>) {
+        let mut obj = Posynomial::monomial(Monomial::new(1.5, [(0, -1.0)]).unwrap());
+        for v in 1..n {
+            obj.add(&Posynomial::monomial(
+                Monomial::new(1.5 + 0.01 * v as f64, [(v, -1.0)]).unwrap(),
+            ));
+        }
+        for v in 0..n {
+            obj.add(&Posynomial::monomial(
+                Monomial::new(0.5 + 0.003 * v as f64, [(v, 1.0)]).unwrap(),
+            ));
+        }
+        let mut cons = Vec::new();
+        for v in 0..n - 1 {
+            // 0.25 x_v x_{v+1} <= 1: single-term (affine in log space).
+            cons.push(Posynomial::monomial(
+                Monomial::new(0.25, [(v, 1.0), (v + 1, 1.0)]).unwrap(),
+            ));
+        }
+        for v in (0..n.saturating_sub(3)).step_by(3) {
+            // (x_v + x_{v+3}) / 6 <= 1: multi-term, narrow support.
+            let mut c = Posynomial::monomial(Monomial::new(1.0 / 6.0, [(v, 1.0)]).unwrap());
+            c.add(&Posynomial::monomial(
+                Monomial::new(1.0 / 6.0, [(v + 3, 1.0)]).unwrap(),
+            ));
+            cons.push(c);
+        }
+        // One mixed-exponent three-variable posynomial for variety.
+        let mut c = Posynomial::monomial(Monomial::new(0.125, [(0, 1.0), (1, 1.0)]).unwrap());
+        c.add(&Posynomial::monomial(
+            Monomial::new(0.125, [(2, 0.5)]).unwrap(),
+        ));
+        c.add(&Posynomial::monomial(
+            Monomial::new(0.125, [(0, 1.0)]).unwrap(),
+        ));
+        cons.push(c);
+        let f0 = LogPosynomial::compile(&obj, n);
+        let fs = cons.iter().map(|p| LogPosynomial::compile(p, n)).collect();
+        (f0, fs)
+    }
+
+    fn test_point(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 0.1 * (((i * 37 + 11) % 19) as f64 / 9.0 - 1.0))
+            .collect()
+    }
+
+    /// Dense oracle: assemble the barrier value/gradient/Hessian exactly
+    /// as the dense backend does (same formulas as `barrier_eval_full`).
+    fn dense_barrier_oracle(
+        f0: &LogPosynomial,
+        fs: &[LogPosynomial],
+        t: f64,
+        y: &[f64],
+    ) -> (f64, Vec<f64>, Matrix) {
+        let n = y.len();
+        let mut probs = Vec::new();
+        let mut gi = vec![0.0; n];
+        let mut dense = vec![0.0; n];
+        let mut hess = Matrix::zeros(n, n);
+        let v0 = f0.value_grad_buf(y, &mut probs, &mut gi);
+        let mut value = t * v0;
+        let mut grad: Vec<f64> = gi.iter().map(|&g| t * g).collect();
+        if f0.n_terms() > 1 {
+            f0.add_second_moment(&probs, t, &mut dense, &mut hess);
+            hess.add_outer(-t, &gi);
+        }
+        for fi in fs {
+            let vi = fi.value_grad_buf(y, &mut probs, &mut gi);
+            assert!(vi < 0.0, "test point must be strictly feasible");
+            let s = -vi;
+            value -= s.ln();
+            let inv_s = 1.0 / s;
+            for (g, &gg) in grad.iter_mut().zip(&gi) {
+                *g += inv_s * gg;
+            }
+            if fi.n_terms() > 1 {
+                fi.add_second_moment(&probs, inv_s, &mut dense, &mut hess);
+                hess.add_outer(inv_s * inv_s - inv_s, &gi);
+            } else {
+                hess.add_outer(inv_s * inv_s, &gi);
+            }
+        }
+        (value, grad, hess)
+    }
+
+    /// Expands the sparse decomposition (`S` values plus hoisted `β g gᵀ`
+    /// corrections) held in `s` back into a dense matrix in original
+    /// variable order.
+    fn reconstruct_dense(plan: &SparseKktPlan, s: &SparseScratch) -> Matrix {
+        let n = plan.n;
+        let mut h = Matrix::zeros(n, n);
+        let (cp, ri) = plan.sym.a_pattern();
+        for col in 0..n {
+            let (lo, hi) = (cp[col] as usize, cp[col + 1] as usize);
+            for (&r, &v) in ri[lo..hi].iter().zip(&s.a_values[lo..hi]) {
+                let row = r as usize;
+                let (oi, oj) = (plan.perm[row] as usize, plan.perm[col] as usize);
+                h[(oi, oj)] += v;
+                if row != col {
+                    h[(oj, oi)] += v;
+                }
+            }
+        }
+        for hi in 0..plan.n_hoisted() {
+            let b = s.hoist_beta[hi];
+            let (o0, o1) = (
+                plan.hoist_offsets[hi] as usize,
+                plan.hoist_offsets[hi + 1] as usize,
+            );
+            for i in o0..o1 {
+                let gi = s.hoist_vals[i];
+                let oi = plan.perm[plan.hoist_pvars[i] as usize] as usize;
+                for j in o0..o1 {
+                    let oj = plan.perm[plan.hoist_pvars[j] as usize] as usize;
+                    h[(oi, oj)] += b * gi * s.hoist_vals[j];
+                }
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn sparse_decomposition_reconstructs_dense_hessian() {
+        // n > GRAD_CLIQUE_CUTOFF so the objective gradient is hoisted.
+        let n = 60;
+        let (f0, fs) = aao_like_logposys(n);
+        let plan = SparseKktPlan::build(&f0, &fs, n);
+        assert_eq!(plan.n_hoisted(), 1, "wide objective must be hoisted");
+        let mut s = SparseScratch::default();
+        s.ensure(&plan);
+        let y = test_point(n);
+        let t = 3.0;
+        let mut grad = vec![0.0; n];
+        let value = plan.eval(&f0, &fs, t, &y, &mut s, &mut grad).unwrap();
+
+        let (dvalue, dgrad, dhess) = dense_barrier_oracle(&f0, &fs, t, &y);
+        assert!((value - dvalue).abs() <= 1e-9 * dvalue.abs().max(1.0));
+        for (g, dg) in grad.iter().zip(&dgrad) {
+            assert!((g - dg).abs() <= 1e-9 * dg.abs().max(1.0), "grad mismatch");
+        }
+        let h = reconstruct_dense(&plan, &s);
+        let scale = dhess.max_abs_diagonal().max(1.0);
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (h[(i, j)], dhess[(i, j)]);
+                assert!(
+                    (a - b).abs() <= 1e-9 * scale,
+                    "H[{i}][{j}]: sparse {a} vs dense {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_newton_solve_matches_dense() {
+        let n = 60;
+        let (f0, fs) = aao_like_logposys(n);
+        let plan = SparseKktPlan::build(&f0, &fs, n);
+        let mut s = SparseScratch::default();
+        s.ensure(&plan);
+        let y = test_point(n);
+        let mut grad = vec![0.0; n];
+        plan.eval(&f0, &fs, 3.0, &y, &mut s, &mut grad).unwrap();
+
+        let rhs: Vec<f64> = (0..n)
+            .map(|i| ((i * 29 + 3) % 13) as f64 / 13.0 - 0.5)
+            .collect();
+        let mut dy = Vec::new();
+        let reg = plan.solve_newton(&mut s, &rhs, &mut dy).unwrap();
+        assert_eq!(reg, 0.0, "well-conditioned system needs no shift");
+
+        let (_, _, dhess) = dense_barrier_oracle(&f0, &fs, 3.0, &y);
+        let mut chol = Matrix::zeros(n, n);
+        let mut expect = Vec::new();
+        assert!(dhess.cholesky_solve_into(&rhs, &mut chol, &mut expect));
+        let xmax = expect.iter().fold(0.0_f64, |m, &v| m.max(v.abs())).max(1.0);
+        for (a, b) in dy.iter().zip(&expect) {
+            assert!((a - b).abs() <= 1e-6 * xmax, "dy mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_backends_reach_same_optimum() {
+        // Same program solved end-to-end by both backends (forced modes,
+        // below the Auto size floor on purpose).
+        let n = 60;
+        let mut p = GpProblem::new(n);
+        let mut obj = mono(1.5, &[(0, -1.0)]);
+        for v in 1..n {
+            obj.add(&mono(1.5 + 0.01 * v as f64, &[(v, -1.0)]));
+        }
+        for v in 0..n {
+            obj.add(&mono(0.5 + 0.003 * v as f64, &[(v, 1.0)]));
+        }
+        p.set_objective(obj).unwrap();
+        for v in 0..n - 1 {
+            p.add_constraint_le(mono(1.0, &[(v, 1.0), (v + 1, 1.0)]), 4.0)
+                .unwrap();
+        }
+        for v in (0..n - 3).step_by(3) {
+            let mut c = mono(1.0, &[(v, 1.0)]);
+            c.add(&mono(1.0, &[(v + 3, 1.0)]));
+            p.add_constraint_le(c, 6.0).unwrap();
+        }
+        let start = vec![1.0; n];
+        let dense = solve_with_start(
+            &p,
+            &start,
+            &SolverOptions {
+                kkt: crate::solver::KktMode::Dense,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sparse = solve_with_start(
+            &p,
+            &start,
+            &SolverOptions {
+                kkt: crate::solver::KktMode::Sparse,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (dense.objective - sparse.objective).abs() <= 1e-6 * dense.objective.abs(),
+            "objectives diverge: dense {} sparse {}",
+            dense.objective,
+            sparse.objective
+        );
+        for (a, b) in dense.x.iter().zip(&sparse.x) {
+            assert!(
+                (a - b).abs() <= 1e-4 * a.abs().max(1.0),
+                "x mismatch: {a} vs {b}"
+            );
+        }
     }
 
     #[test]

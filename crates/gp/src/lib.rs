@@ -10,10 +10,15 @@
 //! * [`logsumexp`] — the log-variable transform making GPs convex;
 //! * [`problem`] — program construction and validation;
 //! * [`solver`] — a log-barrier interior-point method with damped Newton
-//!   steps, built on the dense linear algebra in [`linalg`].
+//!   steps, built on the dense linear algebra in [`linalg`];
+//! * [`sparse`] + [`ordering`] — a sparse Cholesky KKT backend (upper-CSC
+//!   up-looking factorization under a min-degree ordering) that exploits
+//!   the query↔item graph structure of joint AAO units, scaling the Newton
+//!   solve to 10k+ variables.
 //!
-//! Problems in this workspace have tens to a few hundred variables, so the
-//! dense `O(n^3)` Newton solve is the appropriate regime.
+//! Small programs (tens to a couple hundred variables) stay on the dense
+//! `O(n^3)` path; larger structured units are routed to the sparse backend
+//! automatically (see [`KktMode`]).
 //!
 //! ```
 //! use pq_gp::{GpProblem, Monomial, Posynomial, SolverOptions, solve_with_start};
@@ -36,12 +41,16 @@ pub mod error;
 pub mod kkt;
 pub mod linalg;
 pub mod logsumexp;
+pub mod ordering;
 pub mod posynomial;
 pub mod problem;
 pub mod solver;
+pub mod sparse;
 
 pub use error::GpError;
-pub use kkt::{kkt_report, KktReport};
+pub use kkt::{kkt_report, KktReport, SparseKktPlan};
 pub use posynomial::{Monomial, Posynomial};
 pub use problem::{GpProblem, GpSolution};
-pub use solver::{solve, solve_with_start, CompiledGp, SolveWorkspace, SolverOptions, WarmStart};
+pub use solver::{
+    solve, solve_with_start, CompiledGp, KktMode, SolveWorkspace, SolverOptions, WarmStart,
+};

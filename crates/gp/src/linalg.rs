@@ -1,8 +1,15 @@
 //! Minimal dense linear algebra used by the interior-point solver.
 //!
-//! Geometric programs arising from DAB assignment are small (tens to a few
-//! hundred variables), so a dense, row-major symmetric solve via Cholesky
-//! factorization is both simpler and faster than pulling in a sparse solver.
+//! The solver now has two KKT backends. Small geometric programs (tens to
+//! a couple hundred variables) use the dense, row-major Cholesky kernels
+//! here — simpler, cache-friendly, and the correctness oracle for the
+//! sparse path. Large AAO units route through the sparse path in
+//! [`crate::sparse`] (upper-CSC up-looking Cholesky under a min-degree
+//! ordering from [`crate::ordering`], driven by the structure plan in
+//! `kkt.rs`). The crossover is picked automatically in `solver.rs`:
+//! sparse kicks in when the variable count is large and the estimated
+//! clique density of the query↔item graph stays low (see
+//! [`crate::KktMode`]); dense remains the unconditional fallback.
 
 /// A dense, row-major matrix of `f64`. `Default` is the empty `0 x 0`
 /// matrix.
@@ -250,6 +257,21 @@ impl Matrix {
         scratch: &mut Matrix,
         x: &mut Vec<f64>,
     ) -> bool {
+        self.cholesky_solve_regularized_level_into(b, scratch, x)
+            .is_some()
+    }
+
+    /// Like [`Matrix::cholesky_solve_regularized_into`], but reports the
+    /// diagonal shift that was actually needed: `Some(0.0)` when the plain
+    /// factorization succeeded, `Some(reg > 0)` when the ladder had to bump
+    /// the diagonal (callers surface this as the `gp.chol_regularized`
+    /// counter), `None` when every level failed.
+    pub fn cholesky_solve_regularized_level_into(
+        &self,
+        b: &[f64],
+        scratch: &mut Matrix,
+        x: &mut Vec<f64>,
+    ) -> Option<f64> {
         assert_eq!(self.n_rows, self.n_cols);
         assert_eq!(b.len(), self.n_rows);
         let mut reg = 0.0;
@@ -263,7 +285,7 @@ impl Matrix {
                 x.clear();
                 x.extend_from_slice(b);
                 scratch.solve_factored(x);
-                return true;
+                return Some(reg);
             }
             reg = if reg == 0.0 {
                 1e-12 * scale
@@ -271,7 +293,7 @@ impl Matrix {
                 reg * 10.0
             };
         }
-        false
+        None
     }
 }
 
@@ -394,6 +416,32 @@ mod tests {
         a[(1, 1)] = 1.0;
         let x = a.cholesky_solve_regularized(&[1.0, 1.0]).unwrap();
         assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn regularized_level_reports_shift() {
+        // Well-conditioned SPD: no shift needed.
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 4.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 3.0;
+        let mut scratch = Matrix::zeros(0, 0);
+        let mut x = Vec::new();
+        assert_eq!(
+            a.cholesky_solve_regularized_level_into(&[2.0, 1.0], &mut scratch, &mut x),
+            Some(0.0)
+        );
+        // Singular PSD: ladder must bump the diagonal.
+        let mut s = Matrix::zeros(2, 2);
+        s[(0, 0)] = 1.0;
+        s[(0, 1)] = 1.0;
+        s[(1, 0)] = 1.0;
+        s[(1, 1)] = 1.0;
+        let reg = s
+            .cholesky_solve_regularized_level_into(&[1.0, 1.0], &mut scratch, &mut x)
+            .unwrap();
+        assert!(reg > 0.0);
     }
 
     #[test]

@@ -60,6 +60,17 @@ impl LogPosynomial {
         self.rows.len()
     }
 
+    /// Per-term sparse exponent rows (the sparse KKT plan reads the
+    /// structure directly to build its support cliques).
+    pub(crate) fn rows(&self) -> &[Vec<(usize, f64)>] {
+        &self.rows
+    }
+
+    /// Log-coefficient of term `k`.
+    pub(crate) fn log_coef(&self, k: usize) -> f64 {
+        self.log_coefs[k]
+    }
+
     /// Refreshes the log-coefficients in place from `p` when the term
     /// structure (number of terms and exponent rows) matches; returns
     /// `false` (leaving `self` untouched) when it does not.
@@ -222,7 +233,7 @@ pub fn log_sum_exp(z: &[f64]) -> f64 {
 
 /// Stable softmax over `z` in place; returns `log_sum_exp(z)` and leaves
 /// `z` holding the softmax weights.
-fn softmax_in_place(z: &mut [f64]) -> f64 {
+pub(crate) fn softmax_in_place(z: &mut [f64]) -> f64 {
     let m = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let mut s = 0.0;
     for zi in z.iter_mut() {

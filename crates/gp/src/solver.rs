@@ -18,10 +18,65 @@
 //! phase-I problem (`minimize s  s.t.  Fi(y) <= s`) is solved first.
 
 use crate::error::GpError;
+use crate::kkt::{auto_wanted, SparseKktPlan, SparseScratch};
 use crate::linalg::{axpy, dot, Matrix};
 use crate::logsumexp::LogPosynomial;
 use crate::problem::{GpProblem, GpSolution};
 use pq_obs::{names, EventKind, Obs};
+use std::sync::Arc;
+
+/// Which KKT backend solves the Newton systems inside the barrier method.
+///
+/// The dense path copies the Hessian and runs an `O(n³)` Cholesky per
+/// step — unbeatable for the small per-query programs. The sparse path
+/// assembles the Hessian directly in compressed form (exploiting the
+/// query↔item structure of joint AAO units), factors it under a cached
+/// fill-reducing ordering, and hoists the few dense gradient outer
+/// products into Sherman–Morrison–Woodbury corrections — scaling joint
+/// units to 10k+ variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KktMode {
+    /// Pick automatically: sparse for large, structurally sparse programs
+    /// (a cached plan on a [`CompiledGp`] is always used when present);
+    /// dense otherwise. The default.
+    #[default]
+    Auto,
+    /// Always dense — the small-`n` fallback and the correctness oracle.
+    Dense,
+    /// Always sparse, building a plan on the fly if none is cached.
+    Sparse,
+}
+
+/// Resolved backend for one barrier solve.
+enum Backend {
+    Dense,
+    Sparse(Arc<SparseKktPlan>),
+}
+
+/// Picks the backend for a one-shot (non-compiled) solve; compiled GPs
+/// resolve against their cached plan instead (see [`CompiledGp`]).
+fn resolve_backend(
+    f0: &LogPosynomial,
+    fs: &[LogPosynomial],
+    n: usize,
+    options: &SolverOptions,
+) -> Backend {
+    let build = || {
+        options.obs.counter(names::GP_SPARSE_SYMBOLIC).inc();
+        Backend::Sparse(Arc::new(SparseKktPlan::build(f0, fs, n)))
+    };
+    match options.kkt {
+        KktMode::Dense => Backend::Dense,
+        KktMode::Sparse => build(),
+        KktMode::Auto => {
+            if auto_wanted(f0, fs, n) {
+                build()
+            } else {
+                Backend::Dense
+            }
+        }
+    }
+}
 
 /// Tuning knobs for the barrier solver. The defaults solve every program in
 /// this workspace; they are exposed for experimentation.
@@ -61,6 +116,8 @@ pub struct SolverOptions {
     /// Pre-resolved `gp.solve` span timer (see [`Obs::timer`]); same
     /// caching contract as [`SolverOptions::query_counter`].
     pub solve_timer: Option<pq_obs::Timer>,
+    /// KKT backend selection. Default [`KktMode::Auto`].
+    pub kkt: KktMode,
 }
 
 impl Default for SolverOptions {
@@ -78,6 +135,7 @@ impl Default for SolverOptions {
             query: None,
             query_counter: None,
             solve_timer: None,
+            kkt: KktMode::Auto,
         }
     }
 }
@@ -137,10 +195,12 @@ pub struct SolveWorkspace {
     probs: Vec<f64>,
     /// Dense expansion of one sparse exponent row.
     dense: Vec<f64>,
-    /// Accumulated barrier Hessian.
+    /// Accumulated barrier Hessian (dense backend only).
     hess: Matrix,
-    /// Cholesky factorization scratch.
+    /// Cholesky factorization scratch (dense backend only).
     chol: Matrix,
+    /// Sparse-backend buffers (empty unless a sparse solve ran).
+    sparse: SparseScratch,
 }
 
 impl SolveWorkspace {
@@ -149,7 +209,10 @@ impl SolveWorkspace {
         SolveWorkspace::default()
     }
 
-    /// Grows every buffer to fit an `n`-variable program.
+    /// Grows the backend-independent buffers to fit an `n`-variable
+    /// program. The dense `n × n` matrices are sized separately (see
+    /// [`SolveWorkspace::ensure_backend`]) so a 10k-variable sparse solve
+    /// never allocates them.
     fn ensure(&mut self, n: usize) {
         self.grad.resize(n, 0.0);
         self.gi.resize(n, 0.0);
@@ -157,9 +220,18 @@ impl SolveWorkspace {
         self.dy.clear();
         self.trial.resize(n, 0.0);
         self.dense.resize(n, 0.0);
-        if self.hess.n_rows() != n {
-            self.hess.resize_zeroed(n, n);
-            self.chol.resize_zeroed(n, n);
+    }
+
+    /// Grows the backend-specific buffers.
+    fn ensure_backend(&mut self, n: usize, backend: &Backend) {
+        match backend {
+            Backend::Dense => {
+                if self.hess.n_rows() != n {
+                    self.hess.resize_zeroed(n, n);
+                    self.chol.resize_zeroed(n, n);
+                }
+            }
+            Backend::Sparse(plan) => self.sparse.ensure(plan),
         }
     }
 
@@ -197,7 +269,8 @@ pub fn solve_with_start(
         .collect();
     let mut ws = SolveWorkspace::new();
     ws.seed_from_x(x0);
-    barrier_solve(&f0, &fs, options, &mut ws)
+    let backend = resolve_backend(&f0, &fs, n, options);
+    barrier_solve(&f0, &fs, options, &mut ws, &backend)
 }
 
 /// Solves `problem`, running a phase-I feasibility search first if needed.
@@ -221,7 +294,8 @@ pub fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSolution,
     let y0 = phase_one(&fs, n, options)?;
     let mut ws = SolveWorkspace::new();
     ws.y = y0;
-    barrier_solve(&f0, &fs, options, &mut ws)
+    let backend = resolve_backend(&f0, &fs, n, options);
+    barrier_solve(&f0, &fs, options, &mut ws, &backend)
 }
 
 /// A geometric program compiled once to log-space for repeated solves.
@@ -236,6 +310,13 @@ pub struct CompiledGp {
     n_vars: usize,
     f0: LogPosynomial,
     fs: Vec<LogPosynomial>,
+    /// Cached sparse KKT structure (term ordering, min-degree permutation,
+    /// symbolic factorization, scatter slots). Built at compile time when
+    /// the auto heuristic wants the sparse backend — or on demand via
+    /// [`CompiledGp::prepare_sparse`] — and shared across clones, so the
+    /// per-unit solve caches upstream reuse one symbolic analysis across
+    /// every warm-started refresh.
+    plan: Option<Arc<SparseKktPlan>>,
 }
 
 /// How a warm-started solve obtained its strictly feasible start (see
@@ -264,14 +345,52 @@ impl CompiledGp {
     pub fn compile(problem: &GpProblem) -> Result<Self, GpError> {
         let (objective, constraints) = problem.validated()?;
         let n = problem.n_vars();
+        let f0 = LogPosynomial::compile(objective, n);
+        let fs: Vec<LogPosynomial> = constraints
+            .iter()
+            .map(|c| LogPosynomial::compile(c, n))
+            .collect();
+        let plan = auto_wanted(&f0, &fs, n).then(|| Arc::new(SparseKktPlan::build(&f0, &fs, n)));
         Ok(CompiledGp {
             n_vars: n,
-            f0: LogPosynomial::compile(objective, n),
-            fs: constraints
-                .iter()
-                .map(|c| LogPosynomial::compile(c, n))
-                .collect(),
+            f0,
+            fs,
+            plan,
         })
+    }
+
+    /// Forces the sparse KKT plan to exist (idempotent). Callers that know
+    /// they will solve with [`KktMode::Sparse`] build the symbolic
+    /// factorization once here instead of per solve.
+    pub fn prepare_sparse(&mut self) {
+        if self.plan.is_none() {
+            self.plan = Some(Arc::new(SparseKktPlan::build(
+                &self.f0,
+                &self.fs,
+                self.n_vars,
+            )));
+        }
+    }
+
+    /// True when a cached sparse plan exists (i.e. [`KktMode::Auto`] will
+    /// route this program to the sparse backend).
+    pub fn has_sparse_plan(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Resolves the backend for this compiled program under `options`.
+    fn backend(&self, options: &SolverOptions) -> Backend {
+        match options.kkt {
+            KktMode::Dense => Backend::Dense,
+            KktMode::Sparse => Backend::Sparse(self.plan.clone().unwrap_or_else(|| {
+                options.obs.counter(names::GP_SPARSE_SYMBOLIC).inc();
+                Arc::new(SparseKktPlan::build(&self.f0, &self.fs, self.n_vars))
+            })),
+            KktMode::Auto => match &self.plan {
+                Some(p) => Backend::Sparse(p.clone()),
+                None => Backend::Dense,
+            },
+        }
     }
 
     /// Number of variables.
@@ -293,13 +412,23 @@ impl CompiledGp {
             *self = CompiledGp::compile(problem)?;
             return Ok(());
         }
+        let mut structure_changed = false;
         if !self.f0.refresh_coefs(objective) {
             self.f0 = LogPosynomial::compile(objective, self.n_vars);
+            structure_changed = true;
         }
         for (lc, c) in self.fs.iter_mut().zip(constraints) {
             if !lc.refresh_coefs(c) {
                 *lc = LogPosynomial::compile(c, self.n_vars);
+                structure_changed = true;
             }
+        }
+        // A pure coefficient refresh keeps the cached sparse plan (the
+        // structure it encodes is unchanged); a structural change rebuilds
+        // it when one existed or the heuristic now wants one.
+        if structure_changed {
+            self.plan = (self.plan.is_some() || auto_wanted(&self.f0, &self.fs, self.n_vars))
+                .then(|| Arc::new(SparseKktPlan::build(&self.f0, &self.fs, self.n_vars)));
         }
         Ok(())
     }
@@ -331,7 +460,8 @@ impl CompiledGp {
             return Err(GpError::InvalidStartingPoint);
         }
         let _span = solve_span(options);
-        barrier_solve(&self.f0, &self.fs, options, ws)
+        let backend = self.backend(options);
+        barrier_solve(&self.f0, &self.fs, options, ws, &backend)
     }
 
     /// Warm-started solve: blends the previous optimum `prev_x` toward the
@@ -375,10 +505,11 @@ impl CompiledGp {
             return Err(GpError::InvalidStartingPoint);
         }
         let _span = solve_span(options);
+        let backend = self.backend(options);
         let m = self.fs.len();
         if m == 0 {
             ws.seed_from_x(prev_x);
-            let solution = barrier_solve(&self.f0, &self.fs, options, ws)?;
+            let solution = barrier_solve(&self.f0, &self.fs, options, ws, &backend)?;
             return Ok((solution, WarmStart::Hit));
         }
 
@@ -422,7 +553,16 @@ impl CompiledGp {
 
         let mut last_err = GpError::InvalidStartingPoint;
         if repairable && theta <= WARM_LADDER[0] {
-            match self.try_rung(&y_prev, &y_int, theta, 0.5 * slack, t_boost, options, ws) {
+            match self.try_rung(
+                &y_prev,
+                &y_int,
+                theta,
+                0.5 * slack,
+                t_boost,
+                options,
+                ws,
+                &backend,
+            ) {
                 Some(Ok(solution)) => {
                     ws.trial = y_int;
                     return Ok((solution, WarmStart::Hit));
@@ -440,7 +580,9 @@ impl CompiledGp {
             } else {
                 options.t0
             };
-            match self.try_rung(&y_prev, &y_int, rung_theta, WARM_SLACK, t0, options, ws) {
+            match self.try_rung(
+                &y_prev, &y_int, rung_theta, WARM_SLACK, t0, options, ws, &backend,
+            ) {
                 Some(Ok(solution)) => {
                     ws.trial = y_int;
                     return Ok((solution, WarmStart::Repaired));
@@ -465,6 +607,7 @@ impl CompiledGp {
         t0: f64,
         options: &SolverOptions,
         ws: &mut SolveWorkspace,
+        backend: &Backend,
     ) -> Option<Result<GpSolution, GpError>> {
         ws.y.clear();
         ws.y.extend(
@@ -481,7 +624,7 @@ impl CompiledGp {
         }
         let mut warm = options.clone();
         warm.t0 = t0;
-        Some(barrier_solve(&self.f0, &self.fs, &warm, ws))
+        Some(barrier_solve(&self.f0, &self.fs, &warm, ws, backend))
     }
 }
 
@@ -492,10 +635,15 @@ fn barrier_solve(
     fs: &[LogPosynomial],
     options: &SolverOptions,
     ws: &mut SolveWorkspace,
+    backend: &Backend,
 ) -> Result<GpSolution, GpError> {
     let mut y = std::mem::take(&mut ws.y);
     ws.ensure(y.len());
-    let result = barrier_solve_inner(f0, fs, options, &mut y, ws);
+    ws.ensure_backend(y.len(), backend);
+    if let Backend::Sparse(_) = backend {
+        options.obs.counter(names::GP_SPARSE_SOLVE).inc();
+    }
+    let result = barrier_solve_inner(f0, fs, options, &mut y, ws, backend);
     ws.y = y;
     result
 }
@@ -506,6 +654,7 @@ fn barrier_solve_inner(
     options: &SolverOptions,
     y: &mut [f64],
     ws: &mut SolveWorkspace,
+    backend: &Backend,
 ) -> Result<GpSolution, GpError> {
     let m = fs.len();
     let mut t = options.t0.max(f64::MIN_POSITIVE);
@@ -518,7 +667,7 @@ fn barrier_solve_inner(
 
     if m == 0 {
         // Pure unconstrained minimization of F0.
-        newton_steps += newton_minimize(f0, fs, 1.0, y, ws, options, "unconstrained")?;
+        newton_steps += newton_minimize(f0, fs, 1.0, y, ws, options, "unconstrained", backend)?;
         let solution = finish(f0, y, outer, newton_steps, 0.0);
         emit_solved(options, &solution);
         return Ok(solution);
@@ -527,7 +676,7 @@ fn barrier_solve_inner(
     loop {
         outer += 1;
         let tt = t;
-        newton_steps += newton_minimize(f0, fs, tt, y, ws, options, "center")?;
+        newton_steps += newton_minimize(f0, fs, tt, y, ws, options, "center", backend)?;
         let gap = m as f64 / t;
         options
             .obs
@@ -663,6 +812,7 @@ fn barrier_value(
 /// Returns the number of Newton steps taken. `y` is updated in place; all
 /// scratch lives in `ws`. `phase` labels the emitted `gp.newton` events
 /// ("center" or "unconstrained"; phase I has its own loop).
+#[allow(clippy::too_many_arguments)]
 fn newton_minimize(
     f0: &LogPosynomial,
     fs: &[LogPosynomial],
@@ -671,19 +821,30 @@ fn newton_minimize(
     ws: &mut SolveWorkspace,
     options: &SolverOptions,
     phase: &'static str,
+    backend: &Backend,
 ) -> Result<usize, GpError> {
     let mut prev_value = f64::INFINITY;
     for steps in 0..options.max_newton_steps {
-        let value = barrier_eval_full(f0, fs, t, y, ws)
-            .ok_or(GpError::NumericalFailure("iterate left barrier domain"))?;
+        let value = match backend {
+            Backend::Dense => barrier_eval_full(f0, fs, t, y, ws),
+            Backend::Sparse(plan) => plan.eval(f0, fs, t, y, &mut ws.sparse, &mut ws.grad),
+        }
+        .ok_or(GpError::NumericalFailure("iterate left barrier domain"))?;
         for (r, g) in ws.rhs.iter_mut().zip(&ws.grad) {
             *r = -g;
         }
-        if !ws
-            .hess
-            .cholesky_solve_regularized_into(&ws.rhs, &mut ws.chol, &mut ws.dy)
-        {
+        let reg_used = match backend {
+            Backend::Dense => {
+                ws.hess
+                    .cholesky_solve_regularized_level_into(&ws.rhs, &mut ws.chol, &mut ws.dy)
+            }
+            Backend::Sparse(plan) => plan.solve_newton(&mut ws.sparse, &ws.rhs, &mut ws.dy),
+        };
+        let Some(reg) = reg_used else {
             return Err(GpError::NumericalFailure("newton system unsolvable"));
+        };
+        if reg > 0.0 {
+            options.obs.counter(names::GP_CHOL_REGULARIZED).inc();
         }
         let decrement_sq = -dot(&ws.grad, &ws.dy);
         if !decrement_sq.is_finite() {
@@ -715,7 +876,14 @@ fn newton_minimize(
         for _ in 0..60 {
             ws.trial.copy_from_slice(y);
             axpy(step, &ws.dy, &mut ws.trial);
-            match barrier_value(f0, fs, t, &ws.trial, &mut ws.probs) {
+            // The sparse backend evaluates in the plan's canonical term
+            // order so line-search arithmetic matches its Hessian eval and
+            // stays independent of term insertion order.
+            let trial_value = match backend {
+                Backend::Dense => barrier_value(f0, fs, t, &ws.trial, &mut ws.probs),
+                Backend::Sparse(plan) => plan.barrier_value(f0, fs, t, &ws.trial, &mut ws.probs),
+            };
+            match trial_value {
                 Some(tv)
                     if tv.is_finite() && tv <= value - options.armijo * step * decrement_sq =>
                 {

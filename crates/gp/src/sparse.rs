@@ -1,0 +1,424 @@
+//! Sparse symmetric Cholesky with a cached symbolic analysis.
+//!
+//! The barrier solver's KKT matrix is stored as the **upper triangle in
+//! CSC order** (column `k` holds rows `j <= k`). By symmetry that column
+//! is exactly row `k` of the lower triangle — precisely the access
+//! pattern the up-looking factorization wants, so no transposition ever
+//! happens at numeric time.
+//!
+//! Factorization is split the classic way:
+//!
+//! * [`SymbolicChol::analyze`] — elimination tree, per-row reach
+//!   patterns, exact column counts, and the full structure of `L`. Runs
+//!   once per compiled GP (the pattern of the KKT system is fixed by the
+//!   query↔item graph) and is reused across every Newton step, every
+//!   regularization retry, and every warm-started refresh.
+//! * [`SymbolicChol::factor`] — numeric up-looking Cholesky `A + reg·I =
+//!   L Lᵀ` into caller-owned buffers. Fails cleanly (returning `false`
+//!   with all scratch re-zeroed) on a non-positive pivot so the caller's
+//!   regularization ladder can retry at a higher shift.
+//! * [`SymbolicChol::solve`] — forward/backward substitution in place.
+//!
+//! Everything is deterministic: patterns are sorted, loops run in fixed
+//! order, and no hashing is involved.
+
+/// Builds an upper-triangle CSC pattern from an unordered list of
+/// `(row, col)` index pairs (either orientation; duplicates fine). The
+/// full diagonal is always present so a diagonal shift can be applied
+/// with no structural change. Returns `(col_ptr, row_idx)`.
+pub fn upper_csc_from_pairs(n: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+    let mut entries: Vec<(u32, u32)> = Vec::with_capacity(pairs.len() + n);
+    for k in 0..n as u32 {
+        entries.push((k, k));
+    }
+    for &(a, b) in pairs {
+        debug_assert!((a as usize) < n && (b as usize) < n);
+        // Normalize to (col, row) with row <= col: upper triangle.
+        let (row, col) = if a <= b { (a, b) } else { (b, a) };
+        entries.push((col, row));
+    }
+    entries.sort_unstable();
+    entries.dedup();
+    let mut col_ptr = vec![0u32; n + 1];
+    let mut row_idx = Vec::with_capacity(entries.len());
+    for &(col, row) in &entries {
+        col_ptr[col as usize + 1] += 1;
+        row_idx.push(row);
+    }
+    for k in 0..n {
+        col_ptr[k + 1] += col_ptr[k];
+    }
+    (col_ptr, row_idx)
+}
+
+/// Symbolic Cholesky analysis of a fixed upper-CSC pattern, plus the
+/// derived structure of the factor `L` (lower CSC, diagonal entry first
+/// in each column, remaining rows ascending).
+#[derive(Debug, Clone)]
+pub struct SymbolicChol {
+    n: usize,
+    /// Input pattern (upper CSC), kept so `factor` can walk A directly.
+    a_col_ptr: Vec<u32>,
+    a_row_idx: Vec<u32>,
+    /// Row patterns: for row `k`, the columns `j < k` where `L(k, j) != 0`,
+    /// stored ascending (ascending order along an etree reach is a valid
+    /// topological order for the up-looking triangular solve).
+    rpat_ptr: Vec<u32>,
+    rpat_col: Vec<u32>,
+    /// Structure of `L` in lower CSC; `lrow_idx[lcol_ptr[j]] == j`.
+    lcol_ptr: Vec<u32>,
+    lrow_idx: Vec<u32>,
+}
+
+impl SymbolicChol {
+    /// Analyzes the pattern `(col_ptr, row_idx)` of the upper triangle
+    /// (diagonal must be present in every column).
+    pub fn analyze(n: usize, a_col_ptr: Vec<u32>, a_row_idx: Vec<u32>) -> Self {
+        debug_assert_eq!(a_col_ptr.len(), n + 1);
+        // Elimination tree via ancestor path compression (Liu's
+        // algorithm): for each strict entry (j, k), j < k, walk j's
+        // ancestor chain; the first root found gets parent k.
+        let mut parent = vec![u32::MAX; n];
+        let mut ancestor = vec![u32::MAX; n];
+        for k in 0..n {
+            for &r in &a_row_idx[a_col_ptr[k] as usize..a_col_ptr[k + 1] as usize] {
+                let mut j = r as usize;
+                while j < k {
+                    let next = ancestor[j];
+                    ancestor[j] = k as u32;
+                    if next == u32::MAX {
+                        parent[j] = k as u32;
+                        break;
+                    }
+                    j = next as usize;
+                }
+            }
+        }
+
+        // Row patterns: reach of row k's strict A entries in the etree,
+        // truncated below k. Collect then sort ascending.
+        let mut mark = vec![u32::MAX; n];
+        let mut rpat_ptr = vec![0u32; n + 1];
+        let mut rpat_col: Vec<u32> = Vec::new();
+        let mut row: Vec<u32> = Vec::new();
+        for k in 0..n {
+            row.clear();
+            mark[k] = k as u32;
+            for &r in &a_row_idx[a_col_ptr[k] as usize..a_col_ptr[k + 1] as usize] {
+                let mut j = r as usize;
+                while j < k && mark[j] != k as u32 {
+                    mark[j] = k as u32;
+                    row.push(j as u32);
+                    let p = parent[j];
+                    if p == u32::MAX {
+                        break;
+                    }
+                    j = p as usize;
+                }
+            }
+            row.sort_unstable();
+            rpat_col.extend_from_slice(&row);
+            rpat_ptr[k + 1] = rpat_col.len() as u32;
+        }
+
+        // Column counts of L: each row-pattern entry (k, j) is one
+        // off-diagonal in column j; every column also has its diagonal.
+        let mut lcol_ptr = vec![0u32; n + 1];
+        for k in 0..n {
+            lcol_ptr[k + 1] += 1; // diagonal
+        }
+        for &j in &rpat_col {
+            lcol_ptr[j as usize + 1] += 1;
+        }
+        for k in 0..n {
+            lcol_ptr[k + 1] += lcol_ptr[k];
+        }
+        // Fill lrow_idx: diagonal first, then rows in ascending order —
+        // guaranteed because rows k are visited in increasing order.
+        let nnz = lcol_ptr[n] as usize;
+        let mut lrow_idx = vec![0u32; nnz];
+        let mut cursor: Vec<u32> = lcol_ptr[..n].to_vec();
+        for k in 0..n {
+            lrow_idx[cursor[k] as usize] = k as u32;
+            cursor[k] += 1;
+        }
+        for k in 0..n {
+            for &jc in &rpat_col[rpat_ptr[k] as usize..rpat_ptr[k + 1] as usize] {
+                let j = jc as usize;
+                lrow_idx[cursor[j] as usize] = k as u32;
+                cursor[j] += 1;
+            }
+        }
+
+        SymbolicChol {
+            n,
+            a_col_ptr,
+            a_row_idx,
+            rpat_ptr,
+            rpat_col,
+            lcol_ptr,
+            lrow_idx,
+        }
+    }
+
+    /// Dimension of the matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nonzeros in `L` (including the diagonal).
+    pub fn l_nnz(&self) -> usize {
+        self.lrow_idx.len()
+    }
+
+    /// Upper-CSC pattern of A this analysis was built for.
+    pub fn a_pattern(&self) -> (&[u32], &[u32]) {
+        (&self.a_col_ptr, &self.a_row_idx)
+    }
+
+    /// Numeric up-looking factorization of `A + reg·I` where `a_values`
+    /// matches the analyzed pattern positionally. Writes the factor into
+    /// `lvals` (`l_nnz` long). `x` is dense scratch of length `n` that
+    /// must be all-zero on entry and is all-zero again on exit — also
+    /// when the factorization fails — so the caller's regularization
+    /// ladder can retry without re-clearing. `cursor` is scratch of
+    /// length `n`. Returns `false` on a non-positive or non-finite
+    /// pivot.
+    pub fn factor(
+        &self,
+        a_values: &[f64],
+        reg: f64,
+        lvals: &mut [f64],
+        x: &mut [f64],
+        cursor: &mut [u32],
+    ) -> bool {
+        let n = self.n;
+        debug_assert_eq!(a_values.len(), self.a_row_idx.len());
+        debug_assert_eq!(lvals.len(), self.lrow_idx.len());
+        debug_assert!(x.iter().all(|&v| v == 0.0), "x scratch must start zeroed");
+        // cursor[j]: next free slot in column j of L, starting just past
+        // the diagonal.
+        for (c, &p) in cursor.iter_mut().zip(&self.lcol_ptr[..n]) {
+            *c = p + 1;
+        }
+        for k in 0..n {
+            // Scatter column k of upper(A) = row k of lower(A) into x.
+            let mut d = reg;
+            let (lo, hi) = (self.a_col_ptr[k] as usize, self.a_col_ptr[k + 1] as usize);
+            for (&j, &v) in self.a_row_idx[lo..hi].iter().zip(&a_values[lo..hi]) {
+                let j = j as usize;
+                if j == k {
+                    d += v;
+                } else {
+                    x[j] = v;
+                }
+            }
+            // Sparse triangular solve over row k's pattern (ascending ==
+            // topological): y_j = x_j / L(j,j), then eliminate.
+            for idx in self.rpat_ptr[k] as usize..self.rpat_ptr[k + 1] as usize {
+                let j = self.rpat_col[idx] as usize;
+                let lj0 = self.lcol_ptr[j] as usize;
+                let yj = x[j] / lvals[lj0];
+                x[j] = 0.0;
+                for s in lj0 + 1..cursor[j] as usize {
+                    x[self.lrow_idx[s] as usize] -= lvals[s] * yj;
+                }
+                d -= yj * yj;
+                lvals[cursor[j] as usize] = yj;
+                cursor[j] += 1;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                // x is already re-zeroed for every pattern entry of row k
+                // (each scatter target is either consumed above or is the
+                // diagonal accumulated into d); nothing else was touched.
+                // But a failed row may have scattered entries whose
+                // pattern positions were never reached — clear explicitly.
+                for idx in self.a_col_ptr[k] as usize..self.a_col_ptr[k + 1] as usize {
+                    x[self.a_row_idx[idx] as usize] = 0.0;
+                }
+                for idx in self.rpat_ptr[k] as usize..self.rpat_ptr[k + 1] as usize {
+                    x[self.rpat_col[idx] as usize] = 0.0;
+                }
+                return false;
+            }
+            lvals[self.lcol_ptr[k] as usize] = d.sqrt();
+        }
+        true
+    }
+
+    /// Solves `L Lᵀ z = b` in place given `lvals` from a successful
+    /// [`factor`](Self::factor) call.
+    pub fn solve(&self, lvals: &[f64], b: &mut [f64]) {
+        let n = self.n;
+        // Forward: L y = b, column-oriented.
+        for j in 0..n {
+            let p0 = self.lcol_ptr[j] as usize;
+            let p1 = self.lcol_ptr[j + 1] as usize;
+            let yj = b[j] / lvals[p0];
+            b[j] = yj;
+            for s in p0 + 1..p1 {
+                b[self.lrow_idx[s] as usize] -= lvals[s] * yj;
+            }
+        }
+        // Backward: Lᵀ z = y, column-oriented (dot with column j).
+        for j in (0..n).rev() {
+            let p0 = self.lcol_ptr[j] as usize;
+            let p1 = self.lcol_ptr[j + 1] as usize;
+            let mut acc = b[j];
+            for s in p0 + 1..p1 {
+                acc -= lvals[s] * b[self.lrow_idx[s] as usize];
+            }
+            b[j] = acc / lvals[p0];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Matrix;
+
+    /// Deterministic xorshift for test matrices.
+    struct Rng(u64);
+    impl Rng {
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Random sparse SPD matrix: banded + a few long-range couplings,
+    /// diagonally dominant. Returns (dense, upper-CSC pattern, values).
+    #[allow(clippy::type_complexity)]
+    fn random_spd(n: usize, seed: u64) -> (Matrix, Vec<u32>, Vec<u32>, Vec<f64>) {
+        let mut rng = Rng(seed | 1);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for i in 0..n {
+            for j in i + 1..(i + 4).min(n) {
+                pairs.push((i as u32, j as u32));
+            }
+        }
+        for _ in 0..n / 2 {
+            let a = (rng.next_f64() * n as f64) as u32 % n as u32;
+            let b = (rng.next_f64() * n as f64) as u32 % n as u32;
+            if a != b {
+                pairs.push((a, b));
+            }
+        }
+        let (col_ptr, row_idx) = upper_csc_from_pairs(n, &pairs);
+        let mut values = vec![0.0; row_idx.len()];
+        let mut dense = Matrix::zeros(n, n);
+        for col in 0..n {
+            for idx in col_ptr[col] as usize..col_ptr[col + 1] as usize {
+                let row = row_idx[idx] as usize;
+                if row == col {
+                    continue;
+                }
+                let v = rng.next_f64() - 0.5;
+                values[idx] = v;
+                dense[(row, col)] = v;
+                dense[(col, row)] = v;
+            }
+        }
+        // Diagonal dominance ⇒ SPD.
+        for i in 0..n {
+            let rowsum: f64 = (0..n).map(|j| dense[(i, j)].abs()).sum();
+            let d = rowsum + 1.0 + rng.next_f64();
+            dense[(i, i)] = d;
+            for idx in col_ptr[i] as usize..col_ptr[i + 1] as usize {
+                if row_idx[idx] as usize == i {
+                    values[idx] = d;
+                }
+            }
+        }
+        (dense, col_ptr, row_idx, values)
+    }
+
+    #[test]
+    fn pattern_builder_normalizes_and_includes_diagonal() {
+        let (col_ptr, row_idx) = upper_csc_from_pairs(3, &[(2, 0), (0, 2), (1, 0)]);
+        // Columns: 0 -> {0}; 1 -> {0,1}; 2 -> {0,2}
+        assert_eq!(col_ptr, vec![0, 1, 3, 5]);
+        assert_eq!(row_idx, vec![0, 0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn factor_solve_matches_dense_oracle() {
+        for n in [1usize, 2, 5, 17, 40] {
+            for seed in [3u64, 99, 12345] {
+                let (dense, col_ptr, row_idx, values) = random_spd(n, seed);
+                let sym = SymbolicChol::analyze(n, col_ptr, row_idx);
+                let mut lvals = vec![0.0; sym.l_nnz()];
+                let mut x = vec![0.0; n];
+                let mut cur = vec![0u32; n];
+                assert!(sym.factor(&values, 0.0, &mut lvals, &mut x, &mut cur));
+                assert!(x.iter().all(|&v| v == 0.0), "scratch re-zeroed");
+
+                let mut rng = Rng(seed ^ 0xabcd);
+                let b: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+                let mut z = b.clone();
+                sym.solve(&lvals, &mut z);
+
+                let mut chol = Matrix::zeros(n, n);
+                let mut expect = Vec::new();
+                assert!(dense.cholesky_solve_into(&b, &mut chol, &mut expect));
+                for i in 0..n {
+                    assert!(
+                        (z[i] - expect[i]).abs() <= 1e-9 * (1.0 + expect[i].abs()),
+                        "n={n} seed={seed} i={i}: {} vs {}",
+                        z[i],
+                        expect[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failed_factor_rezeroes_scratch_and_retries_with_reg() {
+        // Indefinite matrix: [[1, 2], [2, 1]] fails; big shift succeeds.
+        let (col_ptr, row_idx) = upper_csc_from_pairs(2, &[(0, 1)]);
+        let sym = SymbolicChol::analyze(2, col_ptr.clone(), row_idx.clone());
+        // values follow the pattern: col0 {0}, col1 {0,1}
+        let values = vec![1.0, 2.0, 1.0];
+        let mut lvals = vec![0.0; sym.l_nnz()];
+        let mut x = vec![0.0; 2];
+        let mut cur = vec![0u32; 2];
+        assert!(!sym.factor(&values, 0.0, &mut lvals, &mut x, &mut cur));
+        assert!(x.iter().all(|&v| v == 0.0), "scratch re-zeroed on failure");
+        assert!(sym.factor(&values, 10.0, &mut lvals, &mut x, &mut cur));
+        // Check against dense solve of A + 10 I.
+        let mut dense = Matrix::zeros(2, 2);
+        dense[(0, 0)] = 11.0;
+        dense[(1, 1)] = 11.0;
+        dense[(0, 1)] = 2.0;
+        dense[(1, 0)] = 2.0;
+        let b = [1.0, -3.0];
+        let mut z = b.to_vec();
+        sym.solve(&lvals, &mut z);
+        let mut chol = Matrix::zeros(2, 2);
+        let mut expect = Vec::new();
+        assert!(dense.cholesky_solve_into(&b, &mut chol, &mut expect));
+        for i in 0..2 {
+            assert!((z[i] - expect[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn factorization_is_bitwise_deterministic() {
+        let (_, col_ptr, row_idx, values) = random_spd(23, 7);
+        let sym = SymbolicChol::analyze(23, col_ptr, row_idx);
+        let mut l1 = vec![0.0; sym.l_nnz()];
+        let mut l2 = vec![0.0; sym.l_nnz()];
+        let mut x = vec![0.0; 23];
+        let mut cur = vec![0u32; 23];
+        assert!(sym.factor(&values, 1e-9, &mut l1, &mut x, &mut cur));
+        assert!(sym.factor(&values, 1e-9, &mut l2, &mut x, &mut cur));
+        assert_eq!(
+            l1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            l2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -84,6 +84,15 @@ pub mod names {
     pub const GP_OUTER: &str = "gp.outer";
     /// One Newton step inside the GP solver.
     pub const GP_NEWTON: &str = "gp.newton";
+    /// Counter: a KKT solve (dense or sparse) only succeeded after the
+    /// regularization ladder bumped the diagonal — a near-singular system
+    /// that would otherwise hide in timing noise.
+    pub const GP_CHOL_REGULARIZED: &str = "gp.chol_regularized";
+    /// Counter: barrier solves routed through the sparse KKT backend.
+    pub const GP_SPARSE_SOLVE: &str = "gp.sparse_solve";
+    /// Counter: sparse symbolic analyses built at solve time (compiled
+    /// GPs build theirs at compile time and are not counted here).
+    pub const GP_SPARSE_SYMBOLIC: &str = "gp.sparse_symbolic";
     /// DAB assignment solve span (histogram `dab.solve_ns`).
     pub const DAB_SOLVE: &str = "dab.solve";
     /// A DAB recomputation was triggered (one event per query solved).
@@ -315,6 +324,14 @@ impl Obs {
     /// how `SimMetrics` is populated), but no events are constructed.
     pub fn null() -> Self {
         Obs::with_subscriber(Arc::new(NullSubscriber))
+    }
+
+    /// True when `other` is a clone of this handle (same subscriber and
+    /// registry). Callers that cache resolved counter handles use this
+    /// to notice when they were handed a different registry and must
+    /// re-resolve, instead of silently incrementing the old one.
+    pub fn same_registry(&self, other: &Obs) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// A handle delivering events to the given subscriber.

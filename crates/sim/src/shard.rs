@@ -38,7 +38,7 @@
 use std::collections::BTreeSet;
 use std::time::Instant;
 
-use pq_core::{partition, PartitionInput, PartitionPlan};
+use pq_core::{partition_with_slack, PartitionInput, PartitionPlan};
 use pq_obs::Obs;
 use pq_poly::ItemId;
 
@@ -166,7 +166,7 @@ pub fn run_sharded(cfg: &SimConfig, obs: &Obs, exec: Execution) -> Result<ShardR
         .map(|r| r.abs().max(1e-9))
         .collect();
     let query_load = query_load_for(cfg, &query_items);
-    let plan = partition(
+    let plan = partition_with_slack(
         &PartitionInput {
             query_items: &query_items,
             n_items,
@@ -174,6 +174,7 @@ pub fn run_sharded(cfg: &SimConfig, obs: &Obs, exec: Execution) -> Result<ShardR
             query_load: &query_load,
         },
         k,
+        split_slack_for(cfg),
     );
     let execution = match exec {
         // A split component needs live peers on both sides of its
@@ -422,7 +423,7 @@ pub fn plan_for(cfg: &SimConfig) -> PartitionPlan {
         .map(|r| r.abs().max(1e-9))
         .collect();
     let query_load = query_load_for(cfg, &query_items);
-    partition(
+    partition_with_slack(
         &PartitionInput {
             query_items: &query_items,
             n_items: cfg.traces.n_items(),
@@ -430,7 +431,23 @@ pub fn plan_for(cfg: &SimConfig) -> PartitionPlan {
             query_load: &query_load,
         },
         cfg.shards.max(1),
+        split_slack_for(cfg),
     )
+}
+
+/// Split slack for this configuration. Only an *explicit*
+/// [`pq_gp::KktMode::Sparse`] opts into the widened
+/// [`pq_core::SPARSE_SPLIT_SLACK`] — larger units are then near-linear
+/// to solve, so keeping components whole (no ring traffic) beats
+/// balance. `Auto` keeps the dense default: the partitioner would have
+/// to guess whether the resulting units clear the sparse backend's
+/// size floor, and fixed-seed shard metrics must not shift under a
+/// heuristic.
+fn split_slack_for(cfg: &SimConfig) -> f64 {
+    match cfg.gp.kkt {
+        pq_gp::KktMode::Sparse => pq_core::SPARSE_SPLIT_SLACK,
+        pq_gp::KktMode::Auto | pq_gp::KktMode::Dense => pq_core::DEFAULT_SPLIT_SLACK,
+    }
 }
 
 /// Per-query recompute/eval cost proxy the partitioner packs by. Under
